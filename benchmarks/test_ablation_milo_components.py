@@ -1,0 +1,100 @@
+"""Algorithm-level ablation of MiLo's components (design-choice study).
+
+Not a paper table, but the design choices DESIGN.md calls out deserve their
+own ablation: starting from plain HQQ INT3 and adding, one at a time,
+
+1. a one-shot low-rank compensator (LoRC-style, single iteration),
+2. the iterative joint optimization (Algorithm 1, up to 20 iterations),
+3. the adaptive (dense-weighted) rank allocation instead of a uniform one,
+4. compensator quantization to INT3 (memory back down, quality kept).
+
+Expected shape: each algorithmic ingredient improves perplexity (or, for
+compensator quantization, retains it while cutting compensator memory).
+"""
+
+import pytest
+
+from _helpers import compress_model, format_rows, save_result
+from repro.core import DenseRank, KurtosisRank, CompositeRankPolicy, MiLoConfig, UniformRank
+from repro.core.strategies import scale_rank
+from repro.models import build_model
+
+MODEL = "mixtral-mini"
+
+
+def run_ablation(evaluation_setups):
+    teacher, harness = evaluation_setups(MODEL)
+    config = build_model(MODEL).config
+    dense_rank = scale_rank(512, config, "mixtral")
+    kurtosis_rank = scale_rank(16, config, "mixtral")
+    adaptive_policy = CompositeRankPolicy([DenseRank(dense_rank), KurtosisRank(kurtosis_rank)])
+    # A uniform policy with (approximately) the same total rank budget.
+    uniform_equivalent = UniformRank(max(1, dense_rank // 4))
+
+    variants = {
+        "HQQ INT3 (no compensator)": dict(method="hqq", rank_policy=None),
+        "+ one-shot LoRC (1 iter, uniform)": dict(
+            method="milo", rank_policy=uniform_equivalent,
+            milo_config=MiLoConfig(max_iterations=1), compensator_bits=None,
+        ),
+        "+ iterative optimization (20 iters)": dict(
+            method="milo", rank_policy=uniform_equivalent,
+            milo_config=MiLoConfig(max_iterations=20), compensator_bits=None,
+        ),
+        "+ adaptive ranks (Dense + Kurtosis)": dict(
+            method="milo", rank_policy=adaptive_policy,
+            milo_config=MiLoConfig(max_iterations=20), compensator_bits=None,
+        ),
+        "+ INT3 compensators (full MiLo)": dict(
+            method="milo", rank_policy=adaptive_policy,
+            milo_config=MiLoConfig(max_iterations=20), compensator_bits=3,
+        ),
+    }
+
+    rows, results = [], {}
+    for label, kwargs in variants.items():
+        method = kwargs.pop("method")
+        model, report = compress_model(MODEL, method, bits=3, **kwargs)
+        row = harness.evaluate(model, label, tasks=["mmlu-syn"])
+        results[label] = {"ppl": row.wikitext2_ppl, "comp_bytes": report.compensator_bytes}
+        rows.append(
+            {
+                "variant": label,
+                "wikitext2_ppl": round(row.wikitext2_ppl, 4),
+                "mmlu_syn": round(row.task_scores["mmlu-syn"], 2),
+                "compensator_kb": round(report.compensator_bytes / 1024, 1),
+                "memory_mb": round(row.memory_mb, 3),
+            }
+        )
+    return rows, results
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_milo_component_ablation(benchmark, evaluation_setups):
+    rows, results = benchmark.pedantic(
+        run_ablation, args=(evaluation_setups,), rounds=1, iterations=1
+    )
+    save_result(
+        "ablation_milo_components",
+        format_rows(rows, title="MiLo component ablation (mixtral-mini, W3A16)"),
+    )
+
+    hqq = results["HQQ INT3 (no compensator)"]["ppl"]
+    oneshot = results["+ one-shot LoRC (1 iter, uniform)"]["ppl"]
+    iterative = results["+ iterative optimization (20 iters)"]["ppl"]
+    adaptive = results["+ adaptive ranks (Dense + Kurtosis)"]["ppl"]
+    quantized = results["+ INT3 compensators (full MiLo)"]["ppl"]
+
+    # Each algorithmic ingredient improves (or at least does not hurt) quality.
+    assert oneshot < hqq
+    assert iterative <= oneshot * 1.02
+    assert adaptive <= iterative * 1.02
+    assert adaptive < hqq
+
+    # Quantizing the compensators keeps most of the benefit at ~37.5% of the
+    # compensator memory.
+    fp16_comp = results["+ adaptive ranks (Dense + Kurtosis)"]["comp_bytes"]
+    int3_comp = results["+ INT3 compensators (full MiLo)"]["comp_bytes"]
+    assert int3_comp < 0.5 * fp16_comp
+    assert quantized < hqq
+    assert quantized <= adaptive * 1.25

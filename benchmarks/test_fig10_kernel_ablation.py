@@ -1,0 +1,77 @@
+"""Fig. 10 — ablation of the MiLo kernel optimizations.
+
+Paper shape (asymmetric kernel, batch 16, group size 64): removing the
+asynchronous global weight load hurts the most on every model MLP; removing
+MiLo Dequant hurts increasingly as the MLP grows; removing the MoE-specific
+tile tuning matters mainly for the small (DeepSeek-like) MLPs and fades for
+the largest ones.
+"""
+
+import pytest
+
+from _helpers import format_rows, save_result
+from repro.kernels import MiLoKernelSim
+from repro.models import REFERENCE_FFN_SHAPES
+
+#: MLPs ordered by size, as in the paper's Fig. 10 (left = smallest).
+MODELS = ["deepseek-moe", "arctic-moe", "mixtral-8x7b", "falcon-180b"]
+BATCH = 16
+
+VARIANTS = {
+    "baseline": {},
+    "-async load": {"async_load": False},
+    "-milo dequant": {"milo_dequant": False},
+    "-tile tuning": {"tile_tuning": False},
+}
+
+
+def run_fig10():
+    rows = []
+    slowdowns: dict[tuple[str, str], float] = {}
+    for model_name in MODELS:
+        shapes = REFERENCE_FFN_SHAPES[model_name]
+        base_latency = MiLoKernelSim(symmetric=False).mlp_latency(shapes, BATCH)
+        for variant, overrides in VARIANTS.items():
+            latency = MiLoKernelSim(symmetric=False, **overrides).mlp_latency(shapes, BATCH)
+            slowdown = latency / base_latency
+            slowdowns[(model_name, variant)] = slowdown
+            rows.append(
+                {
+                    "model_mlp": model_name,
+                    "variant": variant,
+                    "latency_us": round(latency * 1e6, 1),
+                    "slowdown_vs_baseline": round(slowdown, 3),
+                }
+            )
+    return rows, slowdowns
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_kernel_ablation(benchmark):
+    rows, slowdowns = benchmark.pedantic(run_fig10, rounds=1, iterations=1)
+    save_result(
+        "fig10_kernel_ablation",
+        format_rows(rows, title="Fig. 10: MiLo asymmetric kernel ablation (batch 16, modeled A100)"),
+    )
+
+    for model_name in MODELS:
+        # Async weight loading is the most critical optimization everywhere.
+        assert slowdowns[(model_name, "-async load")] > 1.2
+        assert slowdowns[(model_name, "-async load")] >= slowdowns[(model_name, "-milo dequant")]
+        assert slowdowns[(model_name, "-async load")] >= slowdowns[(model_name, "-tile tuning")]
+        # Every removal costs something (or is at worst neutral for tile tuning
+        # on the huge dense Falcon MLP).
+        assert slowdowns[(model_name, "-milo dequant")] > 1.0
+        assert slowdowns[(model_name, "-tile tuning")] >= 1.0
+
+    # MiLo Dequant matters more as the MLP grows.
+    assert (
+        slowdowns[("falcon-180b", "-milo dequant")]
+        > slowdowns[("deepseek-moe", "-milo dequant")]
+    )
+    # Tile tuning matters most for the small DeepSeek MLP and fades with size.
+    assert (
+        slowdowns[("deepseek-moe", "-tile tuning")]
+        > slowdowns[("falcon-180b", "-tile tuning")]
+    )
+    assert slowdowns[("deepseek-moe", "-tile tuning")] > 1.05

@@ -1,0 +1,67 @@
+"""Fig. 11 — compensator memory vs perplexity as the rank grows.
+
+Paper shape: increasing the rank monotonically increases the compensator
+memory and decreases perplexity, with diminishing returns at higher ranks.
+"""
+
+import pytest
+
+from _helpers import compress_model, format_rows, save_result
+from repro.core import MiLoConfig, UniformRank
+
+#: Uniform ranks swept on the mini model (the paper sweeps 16..128 at full scale).
+RANKS = [0, 1, 2, 4, 8]
+
+#: Compensator group size scaled to the mini model dimensions (see Table 6 bench).
+MILO_CONFIG = MiLoConfig(compensator_group_size=16)
+
+
+def run_fig11(evaluation_setups):
+    teacher, harness = evaluation_setups("mixtral-mini")
+    fp16_ppl = harness.evaluate(teacher, "fp16", tasks=[]).wikitext2_ppl
+    rows, curve = [], []
+    for rank in RANKS:
+        model, report = compress_model(
+            "mixtral-mini", "milo", bits=3, rank_policy=UniformRank(rank),
+            milo_config=MILO_CONFIG,
+        )
+        ppl = harness.evaluate(model, f"rank-{rank}", tasks=[]).wikitext2_ppl
+        curve.append((rank, report.compensator_bytes, ppl))
+        rows.append(
+            {
+                "uniform_rank": rank,
+                "compensator_kb": round(report.compensator_bytes / 1024, 2),
+                "total_memory_mb": round(report.memory_bytes / 2**20, 3),
+                "wikitext2_ppl": round(ppl, 4),
+                "fp16_ppl": round(fp16_ppl, 4),
+            }
+        )
+    return rows, curve, fp16_ppl
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_rank_memory_perplexity_tradeoff(benchmark, evaluation_setups):
+    rows, curve, fp16_ppl = benchmark.pedantic(
+        run_fig11, args=(evaluation_setups,), rounds=1, iterations=1
+    )
+    save_result(
+        "fig11_rank_tradeoff",
+        format_rows(rows, title="Fig. 11: compensator memory vs perplexity (uniform rank sweep)"),
+    )
+
+    ranks = [r for r, _, _ in curve]
+    memories = [m for _, m, _ in curve]
+    ppls = [p for _, _, p in curve]
+
+    # Memory grows monotonically with rank.
+    assert all(b > a for a, b in zip(memories, memories[1:]))
+    # Perplexity improves as rank grows (allowing small non-monotonic noise at
+    # the tiny mini-scale ranks), and the largest rank is clearly the best.
+    assert ppls[-1] < ppls[0]
+    assert min(ppls) == pytest.approx(ppls[-1], rel=0.1)
+    # Compensated INT3 approaches (but does not beat) the FP16 reference.
+    assert ppls[-1] > fp16_ppl
+    # Diminishing returns: the first rank step buys more than the last one.
+    first_gain = ppls[0] - ppls[1]
+    last_gain = ppls[-2] - ppls[-1]
+    assert first_gain > last_gain

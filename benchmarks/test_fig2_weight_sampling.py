@@ -1,0 +1,64 @@
+"""Fig. 2 — weight samples: FP16 vs de-quantized INT4 / INT3, attention vs expert.
+
+Paper shape: attention projections show channel-structured outliers that the
+INT3 grid preserves while washing out moderate values; expert weights are
+flatter and lose less.  We regenerate the underlying numbers: per-layer
+value ranges, reconstruction errors, and the attention-vs-expert contrast.
+"""
+
+import numpy as np
+import pytest
+
+from _helpers import format_rows, save_result
+from repro.analysis import sample_layer_weights
+from repro.models import build_model
+
+LAYERS = {
+    "attention": "layer_0.attn.q_proj",
+    "expert": "layer_0.ffn.expert_0.w1",
+}
+
+
+def run_fig2():
+    model = build_model("mixtral-mini")
+    rows, samples = [], {}
+    for kind, layer in LAYERS.items():
+        sample = sample_layer_weights(model, layer, max_rows=64, max_cols=64)
+        samples[kind] = sample
+        for variant, data in (("fp16", sample.fp16), ("int4", sample.int4), ("int3", sample.int3)):
+            rows.append(
+                {
+                    "layer_kind": kind,
+                    "variant": variant,
+                    "abs_max": round(float(np.abs(data).max()), 5),
+                    "std": round(float(data.std()), 5),
+                    "distinct_values": int(np.unique(np.round(data, 8)).size),
+                    "rel_error_vs_fp16": round(
+                        float(np.linalg.norm(data - sample.fp16) / np.linalg.norm(sample.fp16)), 4
+                    ),
+                }
+            )
+    return rows, samples
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_weight_sampling(benchmark):
+    rows, samples = benchmark.pedantic(run_fig2, rounds=1, iterations=1)
+    save_result("fig2_weight_sampling", format_rows(rows, title="Fig. 2: weight samples (Mixtral-mini)"))
+
+    attn, expert = samples["attention"], samples["expert"]
+
+    # INT3 keeps the extreme values (outliers survive quantization) ...
+    assert np.abs(attn.int3).max() == pytest.approx(np.abs(attn.fp16).max(), rel=0.15)
+    # ... but collapses the moderate values onto few grid points.
+    assert np.unique(np.round(attn.int3, 8)).size < 0.5 * np.unique(np.round(attn.fp16, 8)).size
+
+    # INT4 loses less than INT3 on both layer kinds.
+    for sample in (attn, expert):
+        err3 = np.linalg.norm(sample.fp16 - sample.int3)
+        err4 = np.linalg.norm(sample.fp16 - sample.int4)
+        assert err4 < err3
+
+    # The heavy-tailed attention projection suffers more relative loss than the expert.
+    rel = lambda s: np.linalg.norm(s.fp16 - s.int3) / np.linalg.norm(s.fp16)
+    assert rel(attn) > rel(expert)

@@ -1,0 +1,49 @@
+"""Fig. 5 — correlation between weight kurtosis and relative quantization error.
+
+Paper shape: across the weight matrices of one layer (and of the whole
+model), higher kurtosis means higher relative Frobenius quantization error
+under INT3, with a clearly positive fitted slope.
+"""
+
+import numpy as np
+import pytest
+
+from _helpers import format_rows, save_result
+from repro.analysis import kurtosis_error_correlation
+from repro.models import build_model
+
+MODELS = ["mixtral-mini", "deepseek-moe-mini"]
+
+
+def run_fig5():
+    rows, stats = [], {}
+    for model_name in MODELS:
+        model = build_model(model_name)
+        kurts, errors, corr = kurtosis_error_correlation(model, bits=3, group_size=64)
+        slope = float(np.polyfit(kurts, errors, 1)[0]) if len(kurts) > 1 else 0.0
+        stats[model_name] = {"corr": corr, "slope": slope, "n": len(kurts)}
+        rows.append(
+            {
+                "model": model_name,
+                "num_matrices": len(kurts),
+                "pearson_corr": round(corr, 3),
+                "fit_slope": round(slope, 6),
+                "kurtosis_range": f"[{kurts.min():.2f}, {kurts.max():.2f}]",
+                "error_range": f"[{errors.min():.3f}, {errors.max():.3f}]",
+            }
+        )
+    return rows, stats
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_kurtosis_vs_quantization_error(benchmark):
+    rows, stats = benchmark.pedantic(run_fig5, rounds=1, iterations=1)
+    save_result(
+        "fig5_kurtosis_error",
+        format_rows(rows, title="Fig. 5: kurtosis vs relative quantization error (INT3, group 64)"),
+    )
+
+    for model_name in MODELS:
+        assert stats[model_name]["corr"] > 0.3
+        assert stats[model_name]["slope"] > 0
+        assert stats[model_name]["n"] > 10

@@ -1,0 +1,60 @@
+"""Fig. 7 — convergence of the iterative optimization.
+
+Paper shape: the Frobenius error eps_t decreases and flattens within roughly
+ten iterations, for attention projections (q/k/v/o) and expert projections
+(w1/w2/w3) alike.
+"""
+
+import numpy as np
+import pytest
+
+from _helpers import format_table, save_result
+from repro.core import MiLoConfig, MiLoMatrixOptimizer
+from repro.models import build_model
+
+ATTENTION_MATRICES = ["q_proj", "k_proj", "v_proj", "o_proj"]
+EXPERT_MATRICES = ["w1", "w2", "w3"]
+ITERATIONS = 20
+
+
+def run_fig7():
+    model = build_model("mixtral-mini")
+    config = MiLoConfig(bits=3, group_size=64, max_iterations=ITERATIONS, stop_tol=0.0)
+    optimizer = MiLoMatrixOptimizer(config)
+    histories = {}
+    for name in ATTENTION_MATRICES:
+        weight = model.get_submodule(f"layer_0.attn.{name}").weight.data
+        histories[f"attn.{name}"] = optimizer.optimize(weight, rank=8).error_history
+    for name in EXPERT_MATRICES:
+        weight = model.get_submodule(f"layer_0.ffn.expert_0.{name}").weight.data
+        histories[f"expert_0.{name}"] = optimizer.optimize(weight, rank=4).error_history
+    return histories
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_iterative_convergence(benchmark):
+    histories = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+
+    max_len = max(len(h) for h in histories.values())
+    headers = ["iteration"] + list(histories)
+    rows = []
+    for t in range(max_len):
+        rows.append([t + 1] + [
+            round(h[t], 5) if t < len(h) else "" for h in histories.values()
+        ])
+    save_result(
+        "fig7_convergence",
+        format_table(headers, rows, title="Fig. 7: Frobenius error vs MiLo iteration (layer 0)"),
+    )
+
+    for name, history in histories.items():
+        assert len(history) >= 3
+        # The error decreases overall ...
+        assert history[-1] < history[0]
+        # ... and most of the improvement happens in the first ~10 iterations.
+        ten = min(10, len(history)) - 1
+        total_drop = history[0] - min(history)
+        early_drop = history[0] - history[ten]
+        assert early_drop >= 0.7 * total_drop
+        # No catastrophic divergence anywhere along the trajectory.
+        assert max(history) <= history[0] * 1.05

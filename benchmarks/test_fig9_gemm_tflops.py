@@ -1,0 +1,91 @@
+"""Fig. 9 (and Table 9) — mixed-precision GEMM throughput per backend.
+
+Paper shape, per model MLP (DeepSeek-MoE, Arctic-MoE, Mixtral-8x7B,
+Falcon-180B) and batch size (1 / 16 / 32):
+
+* batch 1 is memory-bound: the 3-bit kernels (MiLo, GPTQ3bit GeMV) achieve
+  the highest throughput, ahead of the 4-bit MARLIN;
+* batch 16: the MiLo symmetric kernel beats MARLIN on every model MLP;
+* batch 32 approaches the compute-bound regime, and MiLo remains at least on
+  par with MARLIN (clearly ahead on the small DeepSeek MLP);
+* the unfused "MiLo Dequant + CUTLASS" pipeline is far slower everywhere.
+
+The GEMM shapes are exactly the Appendix C (Table 9) shapes.
+"""
+
+import pytest
+
+from _helpers import format_rows, save_result
+from repro.kernels import UnsupportedBatchError, default_backends
+from repro.models import REFERENCE_FFN_SHAPES
+
+MODELS = ["deepseek-moe", "arctic-moe", "mixtral-8x7b", "falcon-180b"]
+BATCH_SIZES = (1, 16, 32)
+
+
+def run_fig9():
+    rows = []
+    tflops: dict[tuple[str, str, int], float | None] = {}
+    for model_name in MODELS:
+        shapes = REFERENCE_FFN_SHAPES[model_name]
+        for batch in BATCH_SIZES:
+            for backend_name, sim in default_backends(asymmetric_model=False).items():
+                try:
+                    value = sim.mlp_tflops(shapes, batch)
+                except UnsupportedBatchError:
+                    value = None
+                tflops[(model_name, backend_name, batch)] = value
+                rows.append(
+                    {
+                        "model_mlp": model_name,
+                        "batch": batch,
+                        "backend": backend_name,
+                        "tflops": round(value, 2) if value is not None else "-",
+                    }
+                )
+    return rows, tflops
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_gemm_throughput(benchmark):
+    rows, tflops = benchmark.pedantic(run_fig9, rounds=1, iterations=1)
+    save_result(
+        "fig9_gemm_tflops",
+        format_rows(rows, title="Fig. 9: mixed-precision GEMM TFLOPS per MLP (modeled A100)"),
+    )
+
+    # Table 9 shapes are the exact Appendix C values.
+    assert REFERENCE_FFN_SHAPES["mixtral-8x7b"]["w1"] == (4096, 14336)
+    assert REFERENCE_FFN_SHAPES["deepseek-moe"]["w2"] == (11008, 2048)
+
+    milo = "MiLo Kernel (sym)"
+    marlin = "MARLIN Kernel"
+    gptq = "GPTQ3bit Kernel"
+    unfused = "MiLo Dequant + CUTLASS"
+
+    for model_name in MODELS:
+        # Batch 1: 3-bit weight streaming wins; GPTQ's GeMV is competitive with MiLo.
+        assert tflops[(model_name, milo, 1)] > tflops[(model_name, marlin, 1)]
+        assert tflops[(model_name, gptq, 1)] > tflops[(model_name, marlin, 1)]
+
+        # Batch 16: MiLo symmetric beats MARLIN on every model MLP.
+        assert tflops[(model_name, milo, 16)] > tflops[(model_name, marlin, 16)]
+
+        # Batch 32: MiLo stays at least on par with MARLIN.
+        assert tflops[(model_name, milo, 32)] >= 0.95 * tflops[(model_name, marlin, 32)]
+
+        # GPTQ GeMV cannot serve batched inference.
+        assert tflops[(model_name, gptq, 16)] is None
+
+        # The unfused pipeline is far behind the fused kernel.
+        assert tflops[(model_name, unfused, 16)] < 0.5 * tflops[(model_name, milo, 16)]
+
+        # Throughput rises with batch size for the tensor-core backends.
+        assert (
+            tflops[(model_name, milo, 1)]
+            < tflops[(model_name, milo, 16)]
+            < tflops[(model_name, milo, 32)]
+        )
+
+    # Batch 32 on the small DeepSeek MLP: MiLo clearly ahead (paper: ~17%).
+    assert tflops[("deepseek-moe", milo, 32)] > 1.05 * tflops[("deepseek-moe", marlin, 32)]

@@ -1,0 +1,156 @@
+"""Table 4 / Table 8 — rank-strategy comparison.
+
+Two comparisons, as in the paper:
+
+* **Model-structure strategies under a fixed compensator memory budget**
+  (paper: 200 MB): Uniform vs Dense vs Sparse.  Dense wins — always-activated
+  layers are the most rank-sensitive.
+* **Sparse-layer strategies with the dense rank fixed**: Uniform vs Kurtosis
+  vs Frequency over the routed experts.  Kurtosis helps both models;
+  Frequency helps most on the imbalanced (DeepSeek-style) router.
+
+To isolate the rank strategy from the iterative optimization, MiLo is run
+with a single iteration, exactly as in the paper's Table 4 setup.
+"""
+
+import pytest
+
+from _helpers import compress_model, format_rows, save_result
+from repro.core import (
+    CompositeRankPolicy,
+    DenseRank,
+    FrequencyRank,
+    KurtosisRank,
+    MiLoConfig,
+    SparseRank,
+    UniformRank,
+    build_weight_entries,
+    total_compensator_memory,
+    uniform_rank_for_budget,
+)
+from repro.core.strategies import scale_rank
+from repro.models import build_model
+
+SINGLE_ITERATION = MiLoConfig(max_iterations=1)
+
+MODELS = {
+    "mixtral-mini": {"family": "mixtral", "dense_rank_paper": 512, "sparse_avg_paper": 32},
+    "deepseek-moe-mini": {"family": "deepseek", "dense_rank_paper": 512, "sparse_avg_paper": 16},
+}
+
+
+def _budget_for_dense_rank(model_name: str, dense_rank: int) -> float:
+    """Compensator budget equal to what Dense-{r} consumes (the paper's 200 MB analogue)."""
+    model = build_model(model_name)
+    entries = build_weight_entries(model)
+    ranks = DenseRank(dense_rank).assign(entries)
+    return total_compensator_memory(entries, ranks, bits=3, group_size=64)
+
+
+def run_structure_comparison(evaluation_setups, model_name, info):
+    """Uniform / Dense / Sparse under the same compensator memory budget."""
+    teacher, harness = evaluation_setups(model_name)
+    model = build_model(model_name)
+    entries = build_weight_entries(model)
+    dense_rank = scale_rank(info["dense_rank_paper"], model.config, info["family"])
+    budget = _budget_for_dense_rank(model_name, dense_rank)
+    uniform_rank = max(
+        1, uniform_rank_for_budget(entries, budget, bits=3, group_size=64, scope="all")
+    )
+    sparse_rank = max(
+        1, uniform_rank_for_budget(entries, budget, bits=3, group_size=64, scope="sparse")
+    )
+
+    policies = {
+        f"Uniform-{uniform_rank}": UniformRank(uniform_rank),
+        f"Dense-{dense_rank}": DenseRank(dense_rank),
+        f"Sparse-{sparse_rank}": SparseRank(sparse_rank),
+    }
+    rows, scores = [], {}
+    for label, policy in policies.items():
+        compressed, report = compress_model(
+            model_name, "milo", bits=3, rank_policy=policy, milo_config=SINGLE_ITERATION
+        )
+        row = harness.evaluate(compressed, label, tasks=["mmlu-syn"])
+        scores[label.split("-")[0]] = row
+        rows.append(
+            {
+                "model": model_name,
+                "comparison": "structure@budget",
+                "strategy": label,
+                "compensator_mb": round(report.compensator_bytes / 2**20, 3),
+                "wikitext2_ppl": round(row.wikitext2_ppl, 4),
+                "mmlu_syn": round(row.task_scores["mmlu-syn"], 2),
+            }
+        )
+    return rows, scores
+
+
+def run_sparse_comparison(evaluation_setups, model_name, info):
+    """Uniform / Kurtosis / Frequency over experts, dense rank fixed."""
+    teacher, harness = evaluation_setups(model_name)
+    model = build_model(model_name)
+    dense_rank = scale_rank(info["dense_rank_paper"], model.config, info["family"])
+    sparse_avg = scale_rank(info["sparse_avg_paper"], model.config, info["family"])
+
+    policies = {
+        f"Uniform-{sparse_avg}": UniformRank(sparse_avg, scope="sparse"),
+        f"Kurtosis-{sparse_avg}": KurtosisRank(sparse_avg),
+        f"Frequency-{sparse_avg}": FrequencyRank(sparse_avg),
+    }
+    rows, scores = [], {}
+    for label, sparse_policy in policies.items():
+        policy = CompositeRankPolicy([DenseRank(dense_rank), sparse_policy])
+        compressed, _ = compress_model(
+            model_name, "milo", bits=3, rank_policy=policy, milo_config=SINGLE_ITERATION
+        )
+        row = harness.evaluate(compressed, label, tasks=["mmlu-syn"])
+        scores[label.split("-")[0]] = row
+        rows.append(
+            {
+                "model": model_name,
+                "comparison": f"sparse@dense-{dense_rank}",
+                "strategy": label,
+                "compensator_mb": "",
+                "wikitext2_ppl": round(row.wikitext2_ppl, 4),
+                "mmlu_syn": round(row.task_scores["mmlu-syn"], 2),
+            }
+        )
+    return rows, scores
+
+
+def run_table4(evaluation_setups):
+    all_rows = []
+    structure, sparse = {}, {}
+    for model_name, info in MODELS.items():
+        rows, scores = run_structure_comparison(evaluation_setups, model_name, info)
+        all_rows.extend(rows)
+        structure[model_name] = scores
+        rows, scores = run_sparse_comparison(evaluation_setups, model_name, info)
+        all_rows.extend(rows)
+        sparse[model_name] = scores
+    return all_rows, structure, sparse
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_rank_strategy_comparison(benchmark, evaluation_setups):
+    rows, structure, sparse = benchmark.pedantic(
+        run_table4, args=(evaluation_setups,), rounds=1, iterations=1
+    )
+    save_result(
+        "table4_rank_strategies",
+        format_rows(rows, title="Table 4 / Table 8: rank strategy comparison (1 MiLo iteration)"),
+    )
+
+    for model_name in MODELS:
+        scores = structure[model_name]
+        # Dense is the best use of a fixed compensator budget; Sparse the worst.
+        assert scores["Dense"].wikitext2_ppl < scores["Sparse"].wikitext2_ppl
+        assert scores["Dense"].wikitext2_ppl <= scores["Uniform"].wikitext2_ppl * 1.05
+
+        sparse_scores = sparse[model_name]
+        # Adaptive sparse-layer policies are not worse than uniform sparse ranks.
+        best_adaptive = min(
+            sparse_scores["Kurtosis"].wikitext2_ppl, sparse_scores["Frequency"].wikitext2_ppl
+        )
+        assert best_adaptive <= sparse_scores["Uniform"].wikitext2_ppl * 1.05

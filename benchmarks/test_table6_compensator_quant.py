@@ -1,0 +1,99 @@
+"""Table 6 — INT8 vs INT3 quantization of the low-rank compensators.
+
+Paper shape: quantizing the compensators to INT3 uses ~37.5% of the INT8
+compensator memory while increasing Wikitext-2 perplexity only marginally
+(≈0.2%), across a range of ranks.
+"""
+
+import pytest
+
+from _helpers import compress_model, format_rows, save_result
+from repro.core import UniformRank
+from repro.core.compensator import compensator_memory_bytes
+from repro.models import FULL_MODEL_SPECS
+from repro.runtime.memory import build_inventory
+
+#: Paper ranks 16 / 32 / 64 on a 4096-wide model scale to 1 / 2 / 4 on the
+#: 64-wide mini (same fraction of the hidden dimension, floor 1).
+RANKS = {16: 1, 32: 2, 64: 4}
+
+#: The compensator quantization group size is scaled with the matrix
+#: dimensions (64 on a 4096-wide model maps to 16 on the 64-wide mini) so the
+#: INT3 compensator error stays proportionally comparable to the paper's
+#: setting.  See EXPERIMENTS.md for the scale caveat.
+COMPENSATOR_GROUP_SIZE = 16
+
+
+def full_scale_compensator_mb(paper_rank: int, bits: int) -> float:
+    """Compensator memory at full Mixtral-8x7B scale for a uniform rank."""
+    inventory = build_inventory(FULL_MODEL_SPECS["mixtral-8x7b"])
+    shapes = (
+        inventory.attention_shapes + inventory.expert_shapes + inventory.shared_expert_shapes
+    )
+    total = sum(compensator_memory_bytes(s, paper_rank, bits=bits, group_size=64) for s in shapes)
+    return total / 2**20
+
+
+def run_table6(evaluation_setups):
+    teacher, harness = evaluation_setups("mixtral-mini")
+    rows, results = [], {}
+    from repro.core import MiLoConfig
+
+    milo_config = MiLoConfig(compensator_group_size=COMPENSATOR_GROUP_SIZE)
+    for paper_rank, mini_rank in RANKS.items():
+        for bits in (8, 3):
+            model, report = compress_model(
+                "mixtral-mini",
+                "milo",
+                bits=3,
+                rank_policy=UniformRank(mini_rank),
+                compensator_bits=bits,
+                milo_config=milo_config,
+            )
+            ppl = harness.evaluate(model, f"rank{paper_rank}-int{bits}", tasks=[]).wikitext2_ppl
+            results[(paper_rank, bits)] = {
+                "ppl": ppl,
+                "compensator_mb": report.compensator_bytes / 2**20,
+            }
+            rows.append(
+                {
+                    "paper_rank": paper_rank,
+                    "mini_rank": mini_rank,
+                    "compensator_bits": bits,
+                    "compensator_mb_mini": round(report.compensator_bytes / 2**20, 4),
+                    "compensator_mb_fullscale": round(full_scale_compensator_mb(paper_rank, bits), 0),
+                    "wikitext2_ppl": round(ppl, 4),
+                }
+            )
+    return rows, results
+
+
+@pytest.mark.benchmark(group="table6")
+def test_table6_compensator_quantization(benchmark, evaluation_setups):
+    rows, results = benchmark.pedantic(
+        run_table6, args=(evaluation_setups,), rounds=1, iterations=1
+    )
+    save_result(
+        "table6_compensator_quant",
+        format_rows(rows, title="Table 6: INT8 vs INT3 low-rank compensators (Mixtral)"),
+    )
+
+    for paper_rank in RANKS:
+        int8 = results[(paper_rank, 8)]
+        int3 = results[(paper_rank, 3)]
+        # INT3 compensators use ~37.5% of the INT8 memory ...
+        assert 0.3 < int3["compensator_mb"] / int8["compensator_mb"] < 0.5
+        # ... with only a marginal perplexity increase.  (The paper reports
+        # ~0.2% at full-scale ranks; the mini-scale ranks of 1-4 leave the
+        # compensator much more exposed to its own quantization noise, so the
+        # tolerance here is looser.)
+        assert int3["ppl"] <= int8["ppl"] * 1.12
+
+    # Full-scale projections match the paper's memory column
+    # (rank 16: ~296 MB INT8 vs ~106 MB INT3 — we check the ratio and scale).
+    assert full_scale_compensator_mb(16, 8) == pytest.approx(296, rel=0.35)
+    assert full_scale_compensator_mb(16, 3) == pytest.approx(106, rel=0.35)
+
+    # Higher rank -> lower perplexity (Fig. 11 direction), at higher memory.
+    assert results[(64, 3)]["ppl"] <= results[(16, 3)]["ppl"]
+    assert results[(64, 3)]["compensator_mb"] > results[(16, 3)]["compensator_mb"]

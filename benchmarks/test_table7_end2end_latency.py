@@ -1,0 +1,69 @@
+"""Table 7 — end-to-end latency per backend and batch size (Mixtral-8x7B).
+
+Paper shape: the un-quantized PyTorch backend OOMs on a 40 GB A100; GPTQ's
+3-bit GeMV backend matches MiLo at batch size 1 but cannot serve batch > 1;
+MARLIN serves every batch size but is ~1.2x (batch 1) to ~1.26x (batch 32)
+slower than the MiLo backend; MiLo's latency grows only mildly with batch
+size because weight streaming dominates.
+"""
+
+import pytest
+
+from _helpers import format_rows, save_result
+from repro.kernels.simulators import UnsupportedBatchError
+from repro.models import FULL_MODEL_SPECS
+from repro.runtime import OutOfMemoryError, default_backend_lineup
+
+BATCH_SIZES = (1, 16, 32)
+SPEC = FULL_MODEL_SPECS["mixtral-8x7b"]
+
+
+def run_table7():
+    rows = []
+    latencies = {}
+    for name, backend in default_backend_lineup("mixtral-8x7b").items():
+        for batch in BATCH_SIZES:
+            try:
+                result = backend.step_latency(SPEC, batch)
+                cell = result.total
+                latencies[(name, batch)] = cell
+                display = round(cell * 1e3, 3)
+            except OutOfMemoryError:
+                display = "OOM"
+                latencies[(name, batch)] = None
+            except UnsupportedBatchError:
+                display = "-"
+                latencies[(name, batch)] = None
+            rows.append({"backend": name, "batch": batch, "latency_ms": display})
+    return rows, latencies
+
+
+@pytest.mark.benchmark(group="table7")
+def test_table7_end_to_end_latency(benchmark):
+    rows, latencies = benchmark.pedantic(run_table7, rounds=1, iterations=1)
+    save_result(
+        "table7_end2end_latency",
+        format_rows(rows, title="Table 7: end-to-end decode-step latency, Mixtral-8x7B (modeled A100-40GB)"),
+    )
+
+    # PyTorch FP16 cannot host the ~90 GB model on a 40 GB A100.
+    assert all(latencies[("PyTorch", b)] is None for b in BATCH_SIZES)
+
+    # GPTQ3bit serves batch 1 only.
+    assert latencies[("GPTQ3bit Backend", 1)] is not None
+    assert latencies[("GPTQ3bit Backend", 16)] is None
+
+    milo = {b: latencies[("MiLo Backend", b)] for b in BATCH_SIZES}
+    marlin = {b: latencies[("MARLIN Backend", b)] for b in BATCH_SIZES}
+    gptq1 = latencies[("GPTQ3bit Backend", 1)]
+
+    # Batch 1: GPTQ3bit and MiLo behave similarly; MARLIN is ~1.2x slower.
+    assert abs(milo[1] - gptq1) / gptq1 < 0.3
+    assert 1.05 < marlin[1] / milo[1] < 1.6
+
+    # MiLo stays ahead of MARLIN at every batch size (paper: 1.2x / 1.26x).
+    for batch in BATCH_SIZES:
+        assert marlin[batch] / milo[batch] > 1.05
+
+    # Latency grows only mildly with batch size (memory-bound regime).
+    assert milo[32] / milo[1] < 6.0

@@ -1,0 +1,92 @@
+"""Full Mixtral-s1 pipeline, mirroring the paper artifact's ``Mixtral_s1.sh``.
+
+Run with::
+
+    python examples/mixtral_s1_pipeline.py [output.json]
+
+Steps (the same stages as the artifact script):
+
+1. MiLo quantization of the Mixtral-style model with the s1 strategy
+   (Dense-512 + Kurtosis-16 at paper scale), reporting quantization time and
+   compressed memory;
+2. WikiText-2-style perplexity evaluation;
+3. zero-shot task evaluation (hellaswag-syn / lambada-syn / piqa-syn);
+4. few-shot task evaluation (mmlu-syn / triqa-syn);
+5. results written to a JSON file, like the artifact's ``eval_result.json``.
+"""
+
+import json
+import sys
+
+from repro.core import ModelCompressor, build_strategy
+from repro.data import FEW_SHOT_TASKS, ZERO_SHOT_TASKS
+from repro.eval import EvaluationEnvironment, EvaluationHarness
+from repro.models import FULL_MODEL_SPECS, build_model
+from repro.quant import project_full_model_time
+from repro.runtime import quantized_model_memory_gb, strategy_compensator_gb
+
+
+def main(output_path: str = "mixtral_s1_results.json") -> None:
+    model_name, strategy_name = "mixtral-mini", "mixtral-s1"
+    teacher = build_model(model_name)
+
+    print("== Stage 0: evaluation environment (teacher-consistent) ==")
+    environment = EvaluationEnvironment.from_teacher(
+        teacher, num_sequences=24, seq_len=32, num_task_items=128, seed=0
+    )
+    harness = EvaluationHarness(environment)
+    fp16 = harness.evaluate(teacher, "fp16")
+    print(f"FP16 perplexity: {fp16.wikitext2_ppl:.4f}")
+
+    print("\n== Stage 1: MiLo quantization (strategy s1) ==")
+    model = build_model(model_name)
+    policy = build_strategy(strategy_name, model.config)
+    compressor = ModelCompressor(method="milo", bits=3, group_size=64, rank_policy=policy)
+    model, report = compressor.compress(model)
+    print(f"Strategy: {policy.describe()}")
+    print(f"Quantization time (mini model, measured): {report.quant_time_s:.2f} s")
+    print(f"Projected full-scale quantization time:  {project_full_model_time('milo', 46.7):.0f} s")
+    print(f"Compressed memory: {report.memory_bytes / 2**20:.2f} MiB "
+          f"({100 * report.compression_ratio:.1f}% of FP16)")
+
+    spec = FULL_MODEL_SPECS["mixtral-8x7b"]
+    full_gb = quantized_model_memory_gb(spec, bits=3, group_size=64) + strategy_compensator_gb(
+        spec, strategy_name
+    )
+    print(f"Projected full-scale Mixtral-8x7B memory: {full_gb:.2f} GB (paper: 20.8 GB)")
+
+    print("\n== Stage 2: WikiText-2-style perplexity ==")
+    result = harness.evaluate(model, "milo-s1", tasks=[])
+    print(f"MiLo-s1 perplexity: {result.wikitext2_ppl:.4f}")
+
+    print("\n== Stage 3: zero-shot tasks ==")
+    zero_shot = harness.evaluate(model, "milo-s1", tasks=list(ZERO_SHOT_TASKS))
+    for task, score in zero_shot.task_scores.items():
+        print(f"  {task:15s} {score:6.2f}")
+    print(f"  {'average':15s} {zero_shot.zero_shot_average:6.2f}")
+
+    print("\n== Stage 4: few-shot tasks ==")
+    few_shot = harness.evaluate(model, "milo-s1", tasks=list(FEW_SHOT_TASKS))
+    for task, score in few_shot.task_scores.items():
+        print(f"  {task:15s} {score:6.2f}")
+
+    results = {
+        "model": model_name,
+        "strategy": strategy_name,
+        "fp16_perplexity": fp16.wikitext2_ppl,
+        "milo_perplexity": result.wikitext2_ppl,
+        "zero_shot": zero_shot.task_scores,
+        "zero_shot_average": zero_shot.zero_shot_average,
+        "few_shot": few_shot.task_scores,
+        "quant_time_s": report.quant_time_s,
+        "memory_mb": report.memory_bytes / 2**20,
+        "projected_fullscale_memory_gb": full_gb,
+        "ranks": report.ranks,
+    }
+    with open(output_path, "w") as handle:
+        json.dump(results, handle, indent=2)
+    print(f"\nResults written to {output_path}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "mixtral_s1_results.json")

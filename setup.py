@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline environment used for this reproduction ships setuptools without
+the ``wheel`` package, so PEP 660 editable installs (which need
+``bdist_wheel``) fail.  This shim lets ``pip install -e .`` fall back to the
+legacy ``setup.py develop`` path; all project metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,28 @@
+"""MiLo reproduction: efficient quantized MoE inference with mixtures of low-rank compensators.
+
+Subpackages
+-----------
+``repro.models``
+    Numpy MoE transformer substrate (Mixtral-style and DeepSeek-style minis).
+``repro.quant``
+    Group-wise quantization: RTN, HQQ, GPTQ, symmetric compensator quantization.
+``repro.core``
+    The MiLo algorithm: iterative joint optimization, adaptive rank policies,
+    named strategies, and the model-level compression driver.
+``repro.kernels``
+    Zero-bit-waste INT3 packing, I2F dequantization, packed GEMM, and the A100
+    performance model behind the kernel benchmarks.
+``repro.runtime``
+    Inference backends (PyTorch-FP16, GPTQ3bit, MARLIN, MiLo) and end-to-end
+    latency / memory accounting.
+``repro.analysis``
+    Kurtosis, residual rank, expert-frequency and distribution tooling.
+``repro.data``
+    Synthetic corpora and task suites standing in for the public benchmarks.
+``repro.eval``
+    Perplexity / task-accuracy harness producing paper-style result rows.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

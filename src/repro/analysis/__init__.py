@@ -1,0 +1,34 @@
+"""Analysis tooling: kurtosis, residual rank, expert frequency, distributions."""
+
+from .distribution import (
+    WeightSample,
+    histogram_overlap,
+    information_loss_report,
+    kurtosis_error_correlation,
+    sample_layer_weights,
+)
+from .expert_frequency import ExpertFrequencyProfile, profile_expert_frequency
+from .kurtosis import MatrixKurtosis, kurtosis_by_kind, model_kurtosis_records
+from .residual_rank import (
+    ResidualRankRecord,
+    model_residual_ranks,
+    residual_rank,
+    residual_rank_by_kind,
+)
+
+__all__ = [
+    "MatrixKurtosis",
+    "model_kurtosis_records",
+    "kurtosis_by_kind",
+    "ResidualRankRecord",
+    "residual_rank",
+    "model_residual_ranks",
+    "residual_rank_by_kind",
+    "ExpertFrequencyProfile",
+    "profile_expert_frequency",
+    "WeightSample",
+    "sample_layer_weights",
+    "histogram_overlap",
+    "information_loss_report",
+    "kurtosis_error_correlation",
+]

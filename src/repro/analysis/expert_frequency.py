@@ -1,0 +1,88 @@
+"""Expert activation-frequency analysis (paper Observation 1.2, Fig. 3).
+
+Experts within one MoE layer are not activated equally often; the imbalance
+is mild for Mixtral's 8 coarse experts and severe for DeepSeek's fine-grained
+experts (the paper reports an 11.7x max/min ratio).  This module profiles a
+model over a token stream and summarizes the per-layer frequency
+distribution — the heatmap of Fig. 3 and the signal behind the Frequency-{r}
+rank policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..models.transformer import MoETransformer
+
+__all__ = ["ExpertFrequencyProfile", "profile_expert_frequency"]
+
+
+@dataclass
+class ExpertFrequencyProfile:
+    """Per-layer expert activation statistics."""
+
+    model_name: str
+    counts: dict[int, np.ndarray]        # layer index -> raw activation counts
+    frequencies: dict[int, np.ndarray]   # layer index -> normalized frequencies
+
+    def heatmap(self) -> np.ndarray:
+        """(num_moe_layers, num_experts) matrix of normalized frequencies (Fig. 3)."""
+        if not self.frequencies:
+            return np.zeros((0, 0))
+        layers = sorted(self.frequencies)
+        return np.stack([self.frequencies[i] for i in layers])
+
+    def imbalance_ratio(self, layer: int | None = None) -> float:
+        """Max/min activation ratio within one layer (or the worst layer)."""
+        if not self.frequencies:
+            return 1.0
+        ratios = []
+        layers = [layer] if layer is not None else sorted(self.frequencies)
+        for i in layers:
+            freq = self.frequencies[i]
+            least = freq[freq > 0].min() if np.any(freq > 0) else 1.0
+            most = freq.max()
+            ratios.append(most / least if least > 0 else np.inf)
+        return float(max(ratios))
+
+    def coefficient_of_variation(self) -> float:
+        """Mean CV of expert frequencies across layers (imbalance summary)."""
+        if not self.frequencies:
+            return 0.0
+        cvs = []
+        for freq in self.frequencies.values():
+            mean = freq.mean()
+            cvs.append(freq.std() / mean if mean > 0 else 0.0)
+        return float(np.mean(cvs))
+
+
+def profile_expert_frequency(
+    model: MoETransformer,
+    tokens: np.ndarray | None = None,
+    num_tokens: int = 2048,
+    seed: int = 0,
+) -> ExpertFrequencyProfile:
+    """Run a token stream through the model and collect router statistics.
+
+    If ``tokens`` is not given, a synthetic stream of ``num_tokens`` tokens is
+    drawn uniformly from the vocabulary — the routing skew then reflects the
+    router's own (learned-like plus popularity-bias) preferences, as in the
+    paper's WikiText-2 profiling.
+    """
+    if tokens is None:
+        rng = np.random.default_rng(seed)
+        seq = 32
+        batch = max(1, num_tokens // seq)
+        tokens = rng.integers(0, model.config.vocab_size, size=(batch, seq))
+    model.reset_expert_counts()
+    model.forward(np.asarray(tokens))
+    counts = model.expert_activation_counts()
+    model.reset_expert_counts()
+
+    frequencies = {}
+    for layer, layer_counts in counts.items():
+        total = layer_counts.sum()
+        frequencies[layer] = layer_counts / total if total else np.zeros_like(layer_counts, dtype=float)
+    return ExpertFrequencyProfile(model_name=model.config.name, counts=counts, frequencies=frequencies)

@@ -1,0 +1,177 @@
+"""Command-line interface mirroring the MiLo artifact's workflow scripts.
+
+Three subcommands correspond to the stages of the paper's artifact appendix:
+
+* ``milo quantize``   — quantize a mini model with RTN / HQQ / GPTQ / MiLo and
+  report memory and quantization time (the role of ``MiLo_quant_main.py``).
+* ``milo evaluate``   — quantize and then evaluate perplexity plus the task
+  suite, printing a Table-3-style row per method.
+* ``milo kernel``     — run the kernel performance model for the Appendix C
+  GEMM shapes (the role of ``kernel_GeMM_performance.sh``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from .core import ModelCompressor, UniformRank, build_strategy
+from .core.rank_policy import DenseRank, KurtosisRank, SparseRank
+from .data import zipfian_corpus
+from .eval import EvaluationEnvironment, EvaluationHarness, format_rows
+from .kernels import UnsupportedBatchError, default_backends
+from .models import REFERENCE_FFN_SHAPES, available_models, build_model
+
+__all__ = ["main", "build_parser"]
+
+
+def _make_policy(args: argparse.Namespace, config) -> object | None:
+    if args.strategy:
+        return build_strategy(args.strategy, config)
+    policies = []
+    if args.dense_rank:
+        policies.append(DenseRank(args.dense_rank))
+    if args.sparse_rank:
+        policies.append(SparseRank(args.sparse_rank))
+    if args.kurtosis_rank:
+        policies.append(KurtosisRank(args.kurtosis_rank))
+    if args.uniform_rank:
+        policies.append(UniformRank(args.uniform_rank))
+    if not policies:
+        return None
+    if len(policies) == 1:
+        return policies[0]
+    from .core.rank_policy import CompositeRankPolicy
+
+    return CompositeRankPolicy(policies)
+
+
+def _compress(args: argparse.Namespace):
+    model = build_model(args.model)
+    policy = _make_policy(args, model.config)
+    calibration = None
+    if args.method == "gptq":
+        calibration = zipfian_corpus(
+            model.config.vocab_size, num_sequences=32, seq_len=32, seed=args.seed
+        ).tokens
+    compressor = ModelCompressor(
+        method=args.method,
+        bits=args.bits,
+        group_size=args.group_size,
+        rank_policy=policy,
+        calibration_tokens=calibration,
+        compensator_bits=args.compensator_bits,
+    )
+    return compressor.compress(model)
+
+
+def cmd_quantize(args: argparse.Namespace) -> int:
+    model, report = _compress(args)
+    summary = {
+        "model": args.model,
+        "method": report.method,
+        "bits": report.bits,
+        "group_size": report.group_size,
+        "memory_mb": round(report.memory_bytes / 2**20, 3),
+        "fp16_memory_mb": round(report.fp16_memory_bytes / 2**20, 3),
+        "compression_ratio": round(report.compression_ratio, 4),
+        "quant_time_s": round(report.quant_time_s, 3),
+        "average_rank": round(report.average_rank, 2),
+    }
+    print(json.dumps(summary, indent=2))
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    teacher = build_model(args.model)
+    environment = EvaluationEnvironment.from_teacher(
+        teacher,
+        num_sequences=args.eval_sequences,
+        seq_len=args.eval_seq_len,
+        num_task_items=args.task_items,
+        seed=args.seed,
+    )
+    harness = EvaluationHarness(environment)
+    rows = [harness.evaluate(teacher, "fp16").as_row()]
+    model, report = _compress(args)
+    row = harness.evaluate(model, f"{args.method}-int{args.bits}").as_row()
+    row["quant_time_s"] = round(report.quant_time_s, 3)
+    rows.append(row)
+    print(format_rows(rows, title=f"Evaluation on {args.model}"))
+    return 0
+
+
+def cmd_kernel(args: argparse.Namespace) -> int:
+    if args.gemm_model not in REFERENCE_FFN_SHAPES:
+        print(f"unknown GEMM model {args.gemm_model!r}; known: {sorted(REFERENCE_FFN_SHAPES)}")
+        return 2
+    shapes = REFERENCE_FFN_SHAPES[args.gemm_model]
+    rows = []
+    for batch in args.batch_sizes:
+        for name, sim in default_backends(asymmetric_model=args.asymmetric).items():
+            try:
+                tflops = sim.mlp_tflops(shapes, batch)
+                latency = sim.mlp_latency(shapes, batch)
+            except UnsupportedBatchError:
+                tflops, latency = float("nan"), float("nan")
+            rows.append(
+                {
+                    "batch": batch,
+                    "backend": name,
+                    "tflops": round(tflops, 2),
+                    "latency_us": round(latency * 1e6, 2),
+                }
+            )
+    print(format_rows(rows, title=f"GEMM throughput model for {args.gemm_model} MLP"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="milo", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--model", default="mixtral-mini", choices=available_models())
+        p.add_argument("--method", default="milo", choices=["rtn", "hqq", "gptq", "milo"])
+        p.add_argument("--bits", type=int, default=3)
+        p.add_argument("--group-size", type=int, default=64)
+        p.add_argument("--compensator-bits", type=int, default=3)
+        p.add_argument("--strategy", default=None, help="named paper strategy, e.g. mixtral-s1")
+        p.add_argument("--dense-rank", type=int, default=0)
+        p.add_argument("--sparse-rank", type=int, default=0)
+        p.add_argument("--kurtosis-rank", type=int, default=0)
+        p.add_argument("--uniform-rank", type=int, default=0)
+        p.add_argument("--seed", type=int, default=0)
+
+    q = sub.add_parser("quantize", help="quantize a mini model and report memory / time")
+    add_common(q)
+    q.set_defaults(func=cmd_quantize)
+
+    e = sub.add_parser("evaluate", help="quantize and evaluate perplexity + tasks")
+    add_common(e)
+    e.add_argument("--eval-sequences", type=int, default=16)
+    e.add_argument("--eval-seq-len", type=int, default=32)
+    e.add_argument("--task-items", type=int, default=96)
+    e.set_defaults(func=cmd_evaluate)
+
+    k = sub.add_parser("kernel", help="kernel GEMM performance model")
+    k.add_argument("--gemm-model", default="mixtral-8x7b")
+    k.add_argument("--batch-sizes", type=int, nargs="+", default=[1, 16, 32])
+    k.add_argument("--asymmetric", action="store_true")
+    k.set_defaults(func=cmd_kernel)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    np.seterr(all="ignore")
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,73 @@
+"""MiLo core: iterative quantization with a mixture of low-rank compensators.
+
+Typical use::
+
+    from repro.core import ModelCompressor, build_strategy
+    from repro.models import build_model
+
+    model = build_model("mixtral-mini")
+    policy = build_strategy("mixtral-s1", model.config)
+    compressor = ModelCompressor(method="milo", bits=3, rank_policy=policy)
+    model, report = compressor.compress(model)
+"""
+
+from .compensator import LowRankCompensator, compensator_memory_bytes, truncated_svd_factors
+from .milo import MiLoConfig, MiLoMatrixOptimizer, MiLoMatrixResult
+from .pipeline import (
+    CompressionReport,
+    ModelCompressor,
+    build_weight_entries,
+    profile_expert_frequencies,
+    replace_linear,
+)
+from .pruning import ExpertPruningReport, prune_experts_by_frequency
+from .rank_policy import (
+    CompositeRankPolicy,
+    DenseRank,
+    FrequencyRank,
+    KurtosisRank,
+    RankPolicy,
+    SparseRank,
+    UniformRank,
+    WeightEntry,
+    total_compensator_memory,
+    uniform_rank_for_budget,
+)
+from .strategies import (
+    PAPER_STRATEGIES,
+    StrategySpec,
+    available_strategies,
+    build_strategy,
+    scale_rank,
+)
+
+__all__ = [
+    "MiLoConfig",
+    "MiLoMatrixOptimizer",
+    "MiLoMatrixResult",
+    "LowRankCompensator",
+    "truncated_svd_factors",
+    "compensator_memory_bytes",
+    "ModelCompressor",
+    "CompressionReport",
+    "build_weight_entries",
+    "profile_expert_frequencies",
+    "replace_linear",
+    "prune_experts_by_frequency",
+    "ExpertPruningReport",
+    "RankPolicy",
+    "UniformRank",
+    "DenseRank",
+    "SparseRank",
+    "KurtosisRank",
+    "FrequencyRank",
+    "CompositeRankPolicy",
+    "WeightEntry",
+    "total_compensator_memory",
+    "uniform_rank_for_budget",
+    "build_strategy",
+    "scale_rank",
+    "available_strategies",
+    "PAPER_STRATEGIES",
+    "StrategySpec",
+]

@@ -1,0 +1,351 @@
+"""Model-level compression driver.
+
+:class:`ModelCompressor` walks a :class:`~repro.models.transformer.MoETransformer`,
+quantizes every quantizable weight with the selected method (RTN / HQQ / GPTQ /
+MiLo), and swaps each full-precision :class:`~repro.models.linear.Linear` for
+its deployment form (:class:`~repro.models.linear.QuantizedLinear` or
+:class:`~repro.models.linear.CompensatedLinear`).  It returns the modified
+model together with a :class:`CompressionReport` containing the memory
+footprint, wall-clock quantization time, and per-matrix diagnostics (ranks,
+error histories) that the analysis benches consume.
+
+The driver also owns the two auxiliary passes some methods need:
+
+* **expert-frequency profiling** (for the Frequency rank policy): a short
+  forward pass over profiling tokens, reading the routers' activation counts;
+* **calibration capture** (for GPTQ): recording per-layer inputs, which is
+  the expensive, bias-introducing step MiLo avoids by design.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..models.linear import CompensatedLinear, Linear, QuantizedLinear
+from ..models.module import Module
+from ..models.transformer import MoETransformer
+from ..quant.calibration import capture_layer_inputs
+from ..quant.gptq import GPTQQuantizer
+from ..quant.hqq import HQQConfig, HQQQuantizer
+from ..quant.rtn import RTNQuantizer
+from ..quant.timing import QuantTimer
+from .milo import MiLoConfig, MiLoMatrixOptimizer
+from .rank_policy import RankPolicy, UniformRank, WeightEntry
+
+__all__ = [
+    "CompressionReport",
+    "ModelCompressor",
+    "build_weight_entries",
+    "profile_expert_frequencies",
+    "replace_linear",
+]
+
+_LAYER_RE = re.compile(r"layer_(\d+)\.")
+_EXPERT_RE = re.compile(r"\.expert_(\d+)\.")
+
+
+def replace_linear(model: Module, module_path: str, new_module: Module) -> None:
+    """Replace the submodule at ``module_path`` (e.g. ``layer_0.attn.q_proj``)."""
+    if "." in module_path:
+        parent_path, attr = module_path.rsplit(".", 1)
+        parent = model.get_submodule(parent_path)
+    else:
+        parent, attr = model, module_path
+    if attr not in parent._modules:
+        raise KeyError(f"{module_path!r} is not a registered submodule")
+    setattr(parent, attr, new_module)
+
+
+def profile_expert_frequencies(
+    model: MoETransformer, tokens: np.ndarray
+) -> dict[int, np.ndarray]:
+    """Run ``tokens`` through the model and return normalized per-layer expert frequencies.
+
+    The router counts are reset before and after profiling so repeated calls
+    are independent; the returned arrays sum to 1 within each MoE layer.
+    """
+    model.reset_expert_counts()
+    model.forward(np.asarray(tokens))
+    counts = model.expert_activation_counts()
+    model.reset_expert_counts()
+    freqs: dict[int, np.ndarray] = {}
+    for layer_idx, layer_counts in counts.items():
+        total = layer_counts.sum()
+        freqs[layer_idx] = (
+            layer_counts / total if total > 0 else np.full_like(layer_counts, 1.0, dtype=float)
+        )
+    return freqs
+
+
+def build_weight_entries(
+    model: MoETransformer,
+    expert_frequencies: dict[int, np.ndarray] | None = None,
+) -> list[WeightEntry]:
+    """Build the rank-policy weight inventory for every quantizable matrix."""
+    entries: list[WeightEntry] = []
+    for param_path, kind, linear in model.iter_quantizable():
+        layer_match = _LAYER_RE.search(param_path)
+        expert_match = _EXPERT_RE.search(param_path)
+        layer_index = int(layer_match.group(1)) if layer_match else -1
+        expert_index = int(expert_match.group(1)) if expert_match else -1
+        frequency = 0.0
+        if expert_index >= 0 and expert_frequencies and layer_index in expert_frequencies:
+            layer_freqs = expert_frequencies[layer_index]
+            if expert_index < len(layer_freqs):
+                frequency = float(layer_freqs[expert_index])
+        entries.append(
+            WeightEntry(
+                name=param_path,
+                kind=kind,
+                shape=linear.weight.shape,
+                weight=linear.weight.data,
+                layer_index=layer_index,
+                expert_index=expert_index,
+                expert_frequency=frequency,
+            )
+        )
+    return entries
+
+
+@dataclass
+class CompressionReport:
+    """Summary of one compression run."""
+
+    method: str
+    bits: int
+    group_size: int
+    model_name: str
+    memory_bytes: float
+    fp16_memory_bytes: float
+    quant_time_s: float
+    stage_times: dict[str, float] = field(default_factory=dict)
+    ranks: dict[str, int] = field(default_factory=dict)
+    layer_stats: dict[str, dict[str, Any]] = field(default_factory=dict)
+    compensator_bytes: float = 0.0
+
+    @property
+    def memory_gb(self) -> float:
+        return self.memory_bytes / (1024**3)
+
+    @property
+    def compression_ratio(self) -> float:
+        """Compressed size as a fraction of the FP16 footprint."""
+        return self.memory_bytes / self.fp16_memory_bytes if self.fp16_memory_bytes else 1.0
+
+    @property
+    def average_rank(self) -> float:
+        return float(np.mean(list(self.ranks.values()))) if self.ranks else 0.0
+
+
+class ModelCompressor:
+    """Quantize an MoE model end to end with a chosen method.
+
+    Parameters
+    ----------
+    method:
+        ``"rtn"``, ``"hqq"``, ``"gptq"``, or ``"milo"``.
+    bits:
+        Weight bit width (3 for the paper's main setting, 4 for the INT4
+        comparisons).
+    group_size:
+        Quantization group size (64 everywhere in the paper).
+    rank_policy:
+        Rank policy for MiLo; ignored by the baselines.  Defaults to
+        ``UniformRank(0)`` (i.e. plain iterative HQQ) if not given.
+    milo_config:
+        Full MiLo configuration; ``bits``/``group_size`` above take
+        precedence over the ones inside.
+    calibration_tokens / profiling_tokens:
+        Token batches used for GPTQ calibration and expert-frequency
+        profiling respectively.
+    """
+
+    def __init__(
+        self,
+        method: str = "milo",
+        bits: int = 3,
+        group_size: int = 64,
+        rank_policy: RankPolicy | None = None,
+        milo_config: MiLoConfig | None = None,
+        calibration_tokens: np.ndarray | None = None,
+        profiling_tokens: np.ndarray | None = None,
+        compensator_bits: int | None = 3,
+    ) -> None:
+        method = method.lower()
+        if method not in ("rtn", "hqq", "gptq", "milo"):
+            raise ValueError(f"unknown compression method {method!r}")
+        self.method = method
+        self.bits = bits
+        self.group_size = group_size
+        self.rank_policy = rank_policy or UniformRank(0)
+        self.calibration_tokens = calibration_tokens
+        self.profiling_tokens = profiling_tokens
+        self.compensator_bits = compensator_bits
+        base = milo_config or MiLoConfig()
+        self.milo_config = MiLoConfig(
+            bits=bits,
+            group_size=group_size,
+            max_iterations=base.max_iterations,
+            stop_tol=base.stop_tol,
+            window=base.window,
+            divergence_patience=base.divergence_patience,
+            compensator_bits=compensator_bits,
+            compensator_group_size=base.compensator_group_size,
+            hqq=base.hqq,
+        )
+
+    # -- public API -------------------------------------------------------------
+    def compress(self, model: MoETransformer) -> tuple[MoETransformer, CompressionReport]:
+        """Quantize ``model`` in place and return it with a report."""
+        timer = QuantTimer()
+        fp16_bytes = model.memory_bytes()
+
+        expert_frequencies: dict[int, np.ndarray] | None = None
+        if self.method == "milo" and self._policy_needs_frequencies():
+            with timer.stage("frequency-profiling"):
+                tokens = self._default_tokens(model) if self.profiling_tokens is None else self.profiling_tokens
+                expert_frequencies = profile_expert_frequencies(model, tokens)
+
+        entries = build_weight_entries(model, expert_frequencies)
+        ranks = {e.name: 0 for e in entries}
+        if self.method == "milo":
+            with timer.stage("rank-assignment"):
+                ranks = self.rank_policy.assign(entries)
+
+        calibration: dict[str, np.ndarray] = {}
+        if self.method == "gptq":
+            with timer.stage("calibration"):
+                calibration = self._collect_calibration(model, entries)
+
+        layer_stats: dict[str, dict[str, Any]] = {}
+        compensator_bytes = 0.0
+        with timer.stage("quantization"):
+            for entry in entries:
+                module_path = entry.name.rsplit(".weight", 1)[0]
+                linear = model.get_submodule(module_path)
+                if not isinstance(linear, Linear):
+                    continue
+                new_module, stats, comp_bytes = self._quantize_one(
+                    entry, linear, ranks.get(entry.name, 0), calibration.get(module_path)
+                )
+                replace_linear(model, module_path, new_module)
+                layer_stats[entry.name] = stats
+                compensator_bytes += comp_bytes
+
+        report = CompressionReport(
+            method=self.method,
+            bits=self.bits,
+            group_size=self.group_size,
+            model_name=model.config.name,
+            memory_bytes=model.memory_bytes(),
+            fp16_memory_bytes=fp16_bytes,
+            quant_time_s=timer.total,
+            stage_times=timer.as_dict(),
+            ranks=ranks,
+            layer_stats=layer_stats,
+            compensator_bytes=compensator_bytes,
+        )
+        return model, report
+
+    # -- internals --------------------------------------------------------------
+    def _policy_needs_frequencies(self) -> bool:
+        from .rank_policy import CompositeRankPolicy, FrequencyRank
+
+        policy = self.rank_policy
+        if isinstance(policy, FrequencyRank):
+            return True
+        if isinstance(policy, CompositeRankPolicy):
+            return any(isinstance(p, FrequencyRank) for p in policy.policies)
+        return False
+
+    @staticmethod
+    def _default_tokens(model: MoETransformer, batch: int = 4, seq: int = 32) -> np.ndarray:
+        rng = np.random.default_rng(0)
+        return rng.integers(0, model.config.vocab_size, size=(batch, seq))
+
+    def _collect_calibration(
+        self, model: MoETransformer, entries: list[WeightEntry]
+    ) -> dict[str, np.ndarray]:
+        tokens = (
+            self._default_tokens(model, batch=8, seq=32)
+            if self.calibration_tokens is None
+            else self.calibration_tokens
+        )
+        module_paths = [e.name.rsplit(".weight", 1)[0] for e in entries]
+        with capture_layer_inputs(model, module_paths) as catcher:
+            model.forward(np.asarray(tokens))
+        captured: dict[str, np.ndarray] = {}
+        for path in module_paths:
+            inputs = catcher.inputs_for(path)
+            if inputs is not None:
+                captured[path] = inputs
+        return captured
+
+    def _quantize_one(
+        self,
+        entry: WeightEntry,
+        linear: Linear,
+        rank: int,
+        calibration_inputs: np.ndarray | None,
+    ) -> tuple[Module, dict[str, Any], float]:
+        weight = linear.weight.data
+        bias = linear.bias_values
+        out_features, in_features = weight.shape
+
+        if self.method == "rtn":
+            qm = RTNQuantizer(self.bits, self.group_size).quantize(weight)
+            module = QuantizedLinear(
+                in_features, out_features, qm.dequantize(),
+                bits=self.bits, group_size=self.group_size, symmetric=False, bias=bias,
+            )
+            return module, dict(qm.stats), 0.0
+
+        if self.method == "hqq":
+            qm = HQQQuantizer(HQQConfig(bits=self.bits, group_size=self.group_size)).quantize(weight)
+            module = QuantizedLinear(
+                in_features, out_features, qm.dequantize(),
+                bits=self.bits, group_size=self.group_size, symmetric=False, bias=bias,
+            )
+            return module, dict(qm.stats), 0.0
+
+        if self.method == "gptq":
+            qm = GPTQQuantizer(self.bits, self.group_size).quantize(
+                weight, calibration_inputs=calibration_inputs
+            )
+            module = QuantizedLinear(
+                in_features, out_features, qm.dequantize(),
+                bits=self.bits, group_size=self.group_size, symmetric=False, bias=bias,
+            )
+            return module, dict(qm.stats), 0.0
+
+        # MiLo
+        optimizer = MiLoMatrixOptimizer(self.milo_config)
+        result = optimizer.optimize(weight, rank)
+        U_dep, V_dep = result.compensator.deployment_factors()
+        comp_bits = self.compensator_bits if self.compensator_bits is not None else 16
+        module = CompensatedLinear(
+            in_features,
+            out_features,
+            result.dequantized_base(),
+            U=U_dep,
+            V=V_dep,
+            bits=self.bits,
+            group_size=self.group_size,
+            compensator_bits=comp_bits,
+            compensator_group_size=self.milo_config.compensator_group_size,
+            symmetric=False,
+            bias=bias,
+        )
+        stats = {
+            "method": "milo",
+            "rank": result.rank,
+            "iterations": result.iterations,
+            "stop_reason": result.stop_reason,
+            "error_history": list(result.error_history),
+            "final_error": result.final_error(),
+        }
+        return module, stats, result.compensator.memory_bytes()

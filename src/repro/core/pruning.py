@@ -1,0 +1,124 @@
+"""Expert pruning — the complementary MoE-compression direction the paper
+leaves as future work ("combining MiLo with other MoE compression techniques,
+such as pruning and distillation", §5).
+
+The same router-frequency signal MiLo's Frequency-{r} policy consumes can be
+used to *drop* the least-activated experts entirely: tokens that would have
+been routed to a pruned expert are re-routed among the survivors.  This
+module implements frequency-based expert pruning so it can be composed with
+(before) MiLo quantization, plus the memory accounting needed to study the
+pruning-vs-quantization trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..models.moe import MoEFeedForward
+from ..models.transformer import MoETransformer
+from .pipeline import profile_expert_frequencies
+
+__all__ = ["ExpertPruningReport", "prune_experts_by_frequency"]
+
+
+@dataclass
+class ExpertPruningReport:
+    """Summary of one expert-pruning pass."""
+
+    keep_per_layer: dict[int, list[int]] = field(default_factory=dict)
+    pruned_per_layer: dict[int, list[int]] = field(default_factory=dict)
+    memory_before_bytes: float = 0.0
+    memory_after_bytes: float = 0.0
+
+    @property
+    def num_pruned(self) -> int:
+        return sum(len(v) for v in self.pruned_per_layer.values())
+
+    @property
+    def memory_reduction(self) -> float:
+        """Fraction of the original footprint removed by pruning."""
+        if self.memory_before_bytes == 0:
+            return 0.0
+        return 1.0 - self.memory_after_bytes / self.memory_before_bytes
+
+
+def _prune_layer(ffn: MoEFeedForward, keep: list[int]) -> None:
+    """Restrict one MoE layer to the experts in ``keep`` (indices re-mapped)."""
+    keep = sorted(keep)
+    index_map = {old: new for new, old in enumerate(keep)}
+
+    # Rebuild the expert list and re-register the kept experts.
+    kept_experts = [ffn.experts[i] for i in keep]
+    for name in list(ffn._modules):
+        if name.startswith("expert_") and not name.startswith("shared_expert_"):
+            del ffn._modules[name]
+    ffn.experts = kept_experts
+    for new_idx, expert in enumerate(kept_experts):
+        ffn.register_module(f"expert_{new_idx}", expert)
+
+    # Shrink the router: keep only the surviving experts' gate rows and biases.
+    router = ffn.router
+    router.gate.weight.data = router.gate.weight.data[keep].copy()
+    router.gate.out_features = len(keep)
+    router.popularity_bias = router.popularity_bias[keep].copy()
+    router.activation_counts = router.activation_counts[keep].copy()
+    router.num_experts = len(keep)
+    router.k = min(router.k, len(keep))
+    ffn.config = ffn.config  # unchanged; layer-level num_experts now differs from config
+
+    # Sanity: the remap covers every kept expert exactly once.
+    assert len(index_map) == len(keep)
+
+
+def prune_experts_by_frequency(
+    model: MoETransformer,
+    keep_ratio: float = 0.75,
+    profiling_tokens: np.ndarray | None = None,
+    min_keep: int | None = None,
+) -> tuple[MoETransformer, ExpertPruningReport]:
+    """Drop the least-activated experts of every MoE layer, in place.
+
+    Parameters
+    ----------
+    model:
+        The model to prune (modified in place and returned).
+    keep_ratio:
+        Fraction of experts to keep per layer (rounded up).
+    profiling_tokens:
+        Token batch used to measure activation frequencies; a synthetic batch
+        is drawn if omitted.
+    min_keep:
+        Lower bound on the number of surviving experts per layer; defaults to
+        the routing top-k so every token can still be served.
+    """
+    if not 0.0 < keep_ratio <= 1.0:
+        raise ValueError("keep_ratio must lie in (0, 1]")
+    if profiling_tokens is None:
+        rng = np.random.default_rng(0)
+        profiling_tokens = rng.integers(0, model.config.vocab_size, size=(8, 32))
+
+    report = ExpertPruningReport(memory_before_bytes=model.memory_bytes())
+    frequencies = profile_expert_frequencies(model, profiling_tokens)
+    floor = min_keep if min_keep is not None else model.config.experts_per_token
+
+    for layer_idx, layer in enumerate(model.layers):
+        ffn = layer.ffn
+        if not isinstance(ffn, MoEFeedForward):
+            continue
+        freq = frequencies.get(layer_idx)
+        if freq is None:
+            continue
+        num_experts = len(ffn.experts)
+        num_keep = max(floor, int(np.ceil(keep_ratio * num_experts)))
+        num_keep = min(num_keep, num_experts)
+        keep = list(np.argsort(-freq)[:num_keep])
+        pruned = sorted(set(range(num_experts)) - set(keep))
+        if pruned:
+            _prune_layer(ffn, keep)
+        report.keep_per_layer[layer_idx] = sorted(keep)
+        report.pruned_per_layer[layer_idx] = pruned
+
+    report.memory_after_bytes = model.memory_bytes()
+    return model, report

@@ -1,0 +1,294 @@
+"""Adaptive rank-selection policies for the mixture of low-rank compensators.
+
+The paper's key algorithmic insight (§3.2.5) is that a *uniform* rank wastes
+memory: dense (always-activated) layers are far more rank-sensitive than
+sparsely-activated experts, high-kurtosis weights lose more information under
+extreme quantization, and frequently-routed experts matter more than rarely
+routed ones.  MiLo therefore assigns ranks with a policy evaluated over the
+model's weight inventory.
+
+Policies implemented (paper names in braces):
+
+* :class:`UniformRank`   — {Uniform-r}: the same rank everywhere.
+* :class:`DenseRank`     — {Dense-r}: rank ``r`` for dense layers (attention,
+  shared experts, dense FFN), 0 for routed experts.
+* :class:`SparseRank`    — {Sparse-r}: rank ``r`` for routed experts only.
+* :class:`KurtosisRank`  — {Kurtosis-r}: ranks proportional to each weight's
+  excess kurtosis, normalized so the *average* rank over the policy's scope
+  equals ``r``.
+* :class:`FrequencyRank` — {Frequency-r}: ranks proportional to each expert's
+  routing frequency, average controlled to ``r``.
+* :class:`CompositeRankPolicy` — sum of policies, e.g. Dense-512 + Kurtosis-16
+  (the paper's MiLo-s1 for Mixtral).
+
+Each policy maps a list of :class:`WeightEntry` descriptors to a
+``{parameter path: rank}`` dict, so it is independent of any particular model
+implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..models.init import excess_kurtosis
+from ..models.transformer import LayerKind
+from .compensator import compensator_memory_bytes
+
+__all__ = [
+    "WeightEntry",
+    "RankPolicy",
+    "UniformRank",
+    "DenseRank",
+    "SparseRank",
+    "KurtosisRank",
+    "FrequencyRank",
+    "CompositeRankPolicy",
+    "total_compensator_memory",
+    "uniform_rank_for_budget",
+]
+
+
+@dataclass
+class WeightEntry:
+    """Descriptor of one quantizable weight matrix.
+
+    Attributes
+    ----------
+    name:
+        Dotted parameter path (e.g. ``"layer_0.attn.q_proj.weight"``).
+    kind:
+        One of :class:`~repro.models.transformer.LayerKind` values.
+    shape:
+        ``(out_features, in_features)``.
+    weight:
+        The weight values (used by the Kurtosis policy); optional.
+    layer_index:
+        Transformer layer index, or -1 if not applicable.
+    expert_index:
+        Routed-expert index within its layer, or -1 for non-expert weights.
+    expert_frequency:
+        Relative activation frequency of the owning expert (normalized within
+        its layer); 0 for non-expert weights.
+    """
+
+    name: str
+    kind: str
+    shape: tuple[int, int]
+    weight: np.ndarray | None = None
+    layer_index: int = -1
+    expert_index: int = -1
+    expert_frequency: float = 0.0
+    _kurtosis: float | None = field(default=None, repr=False)
+
+    @property
+    def is_dense(self) -> bool:
+        return self.kind in LayerKind.DENSE_KINDS
+
+    @property
+    def is_expert(self) -> bool:
+        return self.kind == LayerKind.EXPERT
+
+    @property
+    def max_rank(self) -> int:
+        return min(self.shape)
+
+    def kurtosis(self) -> float:
+        if self._kurtosis is None:
+            if self.weight is None:
+                raise ValueError(f"entry {self.name} has no weight data for kurtosis")
+            self._kurtosis = excess_kurtosis(self.weight)
+        return self._kurtosis
+
+
+def _clip_ranks(entries: Sequence[WeightEntry], ranks: dict[str, int]) -> dict[str, int]:
+    """Clip every assigned rank to the matrix's maximum possible rank."""
+    by_name = {e.name: e for e in entries}
+    return {name: int(min(max(r, 0), by_name[name].max_rank)) for name, r in ranks.items()}
+
+
+class RankPolicy:
+    """Base class; subclasses implement :meth:`_assign`."""
+
+    #: Scope of the policy: "all", "dense", or "sparse" (routed experts).
+    scope: str = "all"
+
+    def describe(self) -> str:  # pragma: no cover - overridden
+        return type(self).__name__
+
+    def _in_scope(self, entry: WeightEntry) -> bool:
+        if self.scope == "all":
+            return True
+        if self.scope == "dense":
+            return entry.is_dense
+        if self.scope == "sparse":
+            return entry.is_expert
+        raise ValueError(f"unknown scope {self.scope!r}")
+
+    def _assign(self, entries: Sequence[WeightEntry]) -> dict[str, int]:  # pragma: no cover
+        raise NotImplementedError
+
+    def assign(self, entries: Sequence[WeightEntry]) -> dict[str, int]:
+        """Return a ``{name: rank}`` dict covering every entry (0 when out of scope)."""
+        ranks = {e.name: 0 for e in entries}
+        ranks.update(self._assign([e for e in entries if self._in_scope(e)]))
+        return _clip_ranks(entries, ranks)
+
+
+class UniformRank(RankPolicy):
+    """The same rank for every weight in scope (paper Uniform-{r})."""
+
+    def __init__(self, rank: int, scope: str = "all") -> None:
+        if rank < 0:
+            raise ValueError("rank must be non-negative")
+        self.rank = int(rank)
+        self.scope = scope
+
+    def describe(self) -> str:
+        return f"Uniform-{self.rank}" if self.scope == "all" else f"Uniform-{self.rank}({self.scope})"
+
+    def _assign(self, entries: Sequence[WeightEntry]) -> dict[str, int]:
+        return {e.name: self.rank for e in entries}
+
+
+class DenseRank(UniformRank):
+    """Rank only for dense (always-activated) layers (paper Dense-{r})."""
+
+    def __init__(self, rank: int) -> None:
+        super().__init__(rank, scope="dense")
+
+    def describe(self) -> str:
+        return f"Dense-{self.rank}"
+
+
+class SparseRank(UniformRank):
+    """Rank only for sparsely-activated routed experts (paper Sparse-{r})."""
+
+    def __init__(self, rank: int) -> None:
+        super().__init__(rank, scope="sparse")
+
+    def describe(self) -> str:
+        return f"Sparse-{self.rank}"
+
+
+class _ProportionalRank(RankPolicy):
+    """Shared machinery for score-proportional policies with a controlled average."""
+
+    def __init__(self, average_rank: int, scope: str) -> None:
+        if average_rank < 0:
+            raise ValueError("average_rank must be non-negative")
+        self.average_rank = int(average_rank)
+        self.scope = scope
+
+    def _scores(self, entries: Sequence[WeightEntry]) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def _assign(self, entries: Sequence[WeightEntry]) -> dict[str, int]:
+        if not entries or self.average_rank == 0:
+            return {e.name: 0 for e in entries}
+        scores = self._scores(entries).astype(np.float64)
+        # Shift scores to be non-negative (kurtosis can be negative) and avoid
+        # an all-zero allocation when every score is identical.
+        scores = scores - scores.min()
+        if scores.sum() <= 0:
+            scores = np.ones(len(entries))
+        budget = self.average_rank * len(entries)
+        raw = budget * scores / scores.sum()
+        ranks = np.floor(raw).astype(int)
+        # Distribute the remaining budget to the largest fractional parts so
+        # the total (and hence the average/memory) is preserved exactly.
+        remainder = int(budget - ranks.sum())
+        if remainder > 0:
+            order = np.argsort(-(raw - ranks))
+            ranks[order[:remainder]] += 1
+        return {e.name: int(r) for e, r in zip(entries, ranks)}
+
+
+class KurtosisRank(_ProportionalRank):
+    """Ranks proportional to weight kurtosis (paper Kurtosis-{r})."""
+
+    def __init__(self, average_rank: int, scope: str = "sparse") -> None:
+        super().__init__(average_rank, scope)
+
+    def describe(self) -> str:
+        return f"Kurtosis-{self.average_rank}"
+
+    def _scores(self, entries: Sequence[WeightEntry]) -> np.ndarray:
+        return np.array([e.kurtosis() for e in entries])
+
+
+class FrequencyRank(_ProportionalRank):
+    """Ranks proportional to expert routing frequency (paper Frequency-{r})."""
+
+    def __init__(self, average_rank: int, scope: str = "sparse") -> None:
+        super().__init__(average_rank, scope)
+
+    def describe(self) -> str:
+        return f"Frequency-{self.average_rank}"
+
+    def _scores(self, entries: Sequence[WeightEntry]) -> np.ndarray:
+        return np.array([e.expert_frequency for e in entries])
+
+
+class CompositeRankPolicy(RankPolicy):
+    """Sum of several policies (e.g. Dense-512 + Kurtosis-16)."""
+
+    def __init__(self, policies: Iterable[RankPolicy]) -> None:
+        self.policies = list(policies)
+        if not self.policies:
+            raise ValueError("CompositeRankPolicy needs at least one policy")
+
+    def describe(self) -> str:
+        return " + ".join(p.describe() for p in self.policies)
+
+    def assign(self, entries: Sequence[WeightEntry]) -> dict[str, int]:
+        combined = {e.name: 0 for e in entries}
+        for policy in self.policies:
+            for name, rank in policy.assign(entries).items():
+                combined[name] += rank
+        return _clip_ranks(entries, combined)
+
+
+# ---------------------------------------------------------------------------
+# Memory accounting helpers used by the memory-constrained comparisons
+# (Table 4 left block fixes a 200 MB compensator budget across strategies).
+# ---------------------------------------------------------------------------
+def total_compensator_memory(
+    entries: Sequence[WeightEntry],
+    ranks: dict[str, int],
+    bits: int = 3,
+    group_size: int = 64,
+) -> float:
+    """Total deployment memory (bytes) of the compensators implied by ``ranks``."""
+    total = 0.0
+    for entry in entries:
+        total += compensator_memory_bytes(entry.shape, ranks.get(entry.name, 0), bits, group_size)
+    return total
+
+
+def uniform_rank_for_budget(
+    entries: Sequence[WeightEntry],
+    budget_bytes: float,
+    bits: int = 3,
+    group_size: int = 64,
+    scope: str = "all",
+) -> int:
+    """Largest uniform rank whose compensators fit within ``budget_bytes``.
+
+    This is how the paper picks e.g. Uniform-28 vs Dense-512 vs Sparse-32 so
+    that all three strategies consume the same 200 MB budget.
+    """
+    if budget_bytes <= 0:
+        return 0
+    rank = 0
+    while True:
+        candidate = rank + 1
+        policy = UniformRank(candidate, scope=scope)
+        ranks = policy.assign(entries)
+        if total_compensator_memory(entries, ranks, bits, group_size) > budget_bytes:
+            return rank
+        rank = candidate
+        if all(rank >= e.max_rank for e in entries if policy._in_scope(e)):
+            return rank

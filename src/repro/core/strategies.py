@@ -1,0 +1,112 @@
+"""Named MiLo rank strategies (paper Table 5) and rank scaling for mini models.
+
+The paper evaluates two composite strategies per model:
+
+=============  =============================================
+Model          Strategy
+=============  =============================================
+Mixtral-8x7B   MiLo-s1 = Dense-512  + Kurtosis-16
+Mixtral-8x7B   MiLo-s2 = Dense-1024 + Kurtosis-32
+DeepSeek-MoE   MiLo-s1 = Dense-800
+DeepSeek-MoE   MiLo-s2 = Dense-1024 + Frequency-32
+=============  =============================================
+
+The rank numbers are calibrated to 4096-/2048-wide hidden dimensions.  The
+mini reproductions have much smaller hidden sizes, so :func:`scale_rank`
+converts a paper-scale rank to the equivalent *fraction of the hidden
+dimension* (never below 1), keeping the relative memory overhead and the
+dense-vs-sparse allocation the strategies encode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..models.config import MoEModelConfig
+from .rank_policy import (
+    CompositeRankPolicy,
+    DenseRank,
+    FrequencyRank,
+    KurtosisRank,
+    RankPolicy,
+)
+
+__all__ = ["StrategySpec", "PAPER_STRATEGIES", "scale_rank", "build_strategy", "available_strategies"]
+
+#: Hidden sizes of the full models each mini config stands in for.
+_REFERENCE_HIDDEN = {
+    "mixtral": 4096,
+    "deepseek": 2048,
+}
+
+
+@dataclass(frozen=True)
+class StrategySpec:
+    """Declarative description of a composite strategy at paper scale."""
+
+    name: str
+    model_family: str                    # "mixtral" or "deepseek"
+    dense_rank: int = 0
+    kurtosis_rank: int = 0
+    frequency_rank: int = 0
+
+    def describe(self) -> str:
+        parts = []
+        if self.dense_rank:
+            parts.append(f"Dense-{self.dense_rank}")
+        if self.kurtosis_rank:
+            parts.append(f"Kurtosis-{self.kurtosis_rank}")
+        if self.frequency_rank:
+            parts.append(f"Frequency-{self.frequency_rank}")
+        return " + ".join(parts) if parts else "no compensation"
+
+
+PAPER_STRATEGIES: dict[str, StrategySpec] = {
+    "mixtral-s1": StrategySpec("mixtral-s1", "mixtral", dense_rank=512, kurtosis_rank=16),
+    "mixtral-s2": StrategySpec("mixtral-s2", "mixtral", dense_rank=1024, kurtosis_rank=32),
+    "deepseek-s1": StrategySpec("deepseek-s1", "deepseek", dense_rank=800),
+    "deepseek-s2": StrategySpec("deepseek-s2", "deepseek", dense_rank=1024, frequency_rank=32),
+}
+
+
+def available_strategies() -> list[str]:
+    return sorted(PAPER_STRATEGIES)
+
+
+def scale_rank(paper_rank: int, config: MoEModelConfig, family: str) -> int:
+    """Convert a paper-scale rank into an equivalent rank for a mini model.
+
+    The conversion preserves the *fraction of the hidden dimension* the rank
+    represents (e.g. Dense-512 on a 4096-wide Mixtral is 1/8 of the hidden
+    size, which maps to rank 8 on a 64-wide mini model) and never drops a
+    non-zero paper rank below 1, so small sparse-layer ranks stay meaningful.
+    """
+    if paper_rank <= 0:
+        return 0
+    reference_hidden = _REFERENCE_HIDDEN.get(family, 4096)
+    scaled = int(round(paper_rank * config.hidden_size / reference_hidden))
+    return max(1, scaled)
+
+
+def build_strategy(name: str, config: MoEModelConfig) -> RankPolicy:
+    """Instantiate a named paper strategy scaled to a mini model config."""
+    try:
+        spec = PAPER_STRATEGIES[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown strategy {name!r}; available: {', '.join(available_strategies())}"
+        ) from exc
+    policies: list[RankPolicy] = []
+    if spec.dense_rank:
+        policies.append(DenseRank(scale_rank(spec.dense_rank, config, spec.model_family)))
+    if spec.kurtosis_rank:
+        policies.append(
+            KurtosisRank(scale_rank(spec.kurtosis_rank, config, spec.model_family), scope="sparse")
+        )
+    if spec.frequency_rank:
+        policies.append(
+            FrequencyRank(scale_rank(spec.frequency_rank, config, spec.model_family), scope="sparse")
+        )
+    if not policies:
+        raise ValueError(f"strategy {name!r} assigns no ranks")
+    return CompositeRankPolicy(policies)

@@ -1,0 +1,30 @@
+"""Synthetic data substrate: corpora and task suites built from the FP16 teacher."""
+
+from .corpus import TokenCorpus, generate_from_model, teacher_corpus, zipfian_corpus
+from .tasks import (
+    FEW_SHOT_TASKS,
+    TASK_SPECS,
+    ZERO_SHOT_TASKS,
+    Task,
+    TaskItem,
+    TaskSpec,
+    TaskSuite,
+    build_default_suite,
+    build_task,
+)
+
+__all__ = [
+    "TokenCorpus",
+    "teacher_corpus",
+    "zipfian_corpus",
+    "generate_from_model",
+    "Task",
+    "TaskItem",
+    "TaskSuite",
+    "TaskSpec",
+    "build_task",
+    "build_default_suite",
+    "TASK_SPECS",
+    "ZERO_SHOT_TASKS",
+    "FEW_SHOT_TASKS",
+]

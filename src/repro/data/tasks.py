@@ -1,0 +1,166 @@
+"""Synthetic task suites standing in for the public reasoning benchmarks.
+
+The paper evaluates six benchmarks: WikiText-2 (perplexity), PIQA, HellaSwag,
+Lambada (zero-shot), and MMLU, TriviaQA (5-shot).  What those accuracy
+numbers measure for a *compressed* model is agreement with the original
+model's behaviour on discrimination problems.  The synthetic counterparts are
+built directly from the FP16 teacher:
+
+* **Multiple-choice tasks** (``piqa-syn``, ``hellaswag-syn``, ``mmlu-syn``):
+  each item is a random context plus ``k`` single-token candidate answers
+  drawn from the teacher's *top predictions* at that context (so the
+  candidates are genuinely competitive), and the gold answer is the candidate
+  the teacher ranks highest.  The FP16 model scores 100% by construction;
+  a quantized model loses accuracy exactly where its logits are perturbed
+  enough to flip a close ranking.
+* **Cloze / open-ended tasks** (``lambada-syn``, ``triqa-syn``): the model
+  must reproduce the teacher's greedy prediction over the full vocabulary
+  (top-1 agreement), the hardest version of the same test.
+
+"Few-shot" tasks use longer contexts (standing in for in-context
+demonstrations), which stresses longer-range activations exactly as the
+paper's 5-shot settings do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..models.functional import top_k_indices
+from ..models.transformer import MoETransformer
+
+__all__ = [
+    "TaskItem",
+    "Task",
+    "TaskSpec",
+    "TaskSuite",
+    "build_task",
+    "build_default_suite",
+    "TASK_SPECS",
+    "ZERO_SHOT_TASKS",
+    "FEW_SHOT_TASKS",
+]
+
+
+@dataclass
+class TaskItem:
+    """One evaluation item."""
+
+    prefix: np.ndarray            # (prefix_len,) context token ids
+    candidates: list[int] | None  # candidate answer tokens (None for cloze tasks)
+    gold: int                     # index into candidates, or the gold token id for cloze
+
+
+@dataclass
+class Task:
+    """A named task with a fixed item format."""
+
+    name: str
+    kind: str                     # "multiple_choice" or "cloze"
+    num_shots: int
+    items: list[TaskItem] = field(default_factory=list)
+
+    @property
+    def prefix_len(self) -> int:
+        return int(self.items[0].prefix.shape[0]) if self.items else 0
+
+    def prefixes(self) -> np.ndarray:
+        """All item prefixes stacked into a (num_items, prefix_len) batch."""
+        return np.stack([item.prefix for item in self.items])
+
+
+@dataclass
+class TaskSuite:
+    """The collection of tasks evaluated in Table 3."""
+
+    tasks: dict[str, Task]
+
+    def __getitem__(self, name: str) -> Task:
+        return self.tasks[name]
+
+    def __iter__(self):
+        return iter(self.tasks.values())
+
+    def names(self) -> list[str]:
+        return list(self.tasks)
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """Generation recipe for one synthetic task."""
+
+    name: str
+    kind: str
+    num_candidates: int
+    prefix_len: int
+    num_shots: int
+    candidate_pool: int  # draw candidates from the teacher's top-`pool` tokens
+
+
+#: Recipes mirroring the difficulty profile of the paper's benchmarks: binary
+#: physical-commonsense (PIQA), 4-way completion (HellaSwag), open-vocabulary
+#: cloze (Lambada), 4-way few-shot knowledge (MMLU), few-shot open QA (TriQA).
+TASK_SPECS: dict[str, TaskSpec] = {
+    "piqa-syn": TaskSpec("piqa-syn", "multiple_choice", 2, 12, 0, 8),
+    "hellaswag-syn": TaskSpec("hellaswag-syn", "multiple_choice", 4, 16, 0, 12),
+    "lambada-syn": TaskSpec("lambada-syn", "cloze", 0, 20, 0, 0),
+    "mmlu-syn": TaskSpec("mmlu-syn", "multiple_choice", 4, 40, 5, 10),
+    "triqa-syn": TaskSpec("triqa-syn", "cloze", 0, 40, 5, 0),
+}
+
+#: Zero-shot tasks averaged in the "Avg" column of Table 3.
+ZERO_SHOT_TASKS = ("hellaswag-syn", "lambada-syn", "piqa-syn")
+FEW_SHOT_TASKS = ("mmlu-syn", "triqa-syn")
+
+
+def build_task(
+    teacher: MoETransformer,
+    spec: TaskSpec,
+    num_items: int = 128,
+    seed: int = 0,
+) -> Task:
+    """Generate a task from the teacher model.
+
+    Contexts are random token sequences; candidates (for multiple-choice
+    tasks) are sampled from the teacher's top-``candidate_pool`` next-token
+    predictions at each context, and the gold label is the teacher's highest
+    ranked candidate (or its greedy prediction for cloze tasks).
+    """
+    if num_items <= 0:
+        raise ValueError("num_items must be positive")
+    rng = np.random.default_rng(seed)
+    vocab = teacher.config.vocab_size
+    prefixes = rng.integers(0, vocab, size=(num_items, spec.prefix_len))
+    logits = teacher.forward(prefixes)[:, -1, :]  # (num_items, vocab)
+
+    items: list[TaskItem] = []
+    if spec.kind == "cloze":
+        golds = np.argmax(logits, axis=-1)
+        for i in range(num_items):
+            items.append(TaskItem(prefix=prefixes[i], candidates=None, gold=int(golds[i])))
+    else:
+        pool = max(spec.candidate_pool, spec.num_candidates)
+        top_pool = top_k_indices(logits, pool, axis=-1)  # descending teacher rank
+        for i in range(num_items):
+            # Always include the teacher's argmax, fill the rest from the pool.
+            others = rng.choice(pool - 1, size=spec.num_candidates - 1, replace=False) + 1
+            candidate_ids = [int(top_pool[i, 0])] + [int(top_pool[i, j]) for j in others]
+            order = rng.permutation(spec.num_candidates)
+            candidates = [candidate_ids[j] for j in order]
+            gold = int(np.where(order == 0)[0][0])
+            items.append(TaskItem(prefix=prefixes[i], candidates=candidates, gold=gold))
+    return Task(name=spec.name, kind=spec.kind, num_shots=spec.num_shots, items=items)
+
+
+def build_default_suite(
+    teacher: MoETransformer,
+    num_items: int = 128,
+    seed: int = 0,
+) -> TaskSuite:
+    """Build all five synthetic tasks of the Table 3 evaluation."""
+    tasks = {}
+    for i, (name, spec) in enumerate(TASK_SPECS.items()):
+        tasks[name] = build_task(teacher, spec, num_items=num_items, seed=seed + i)
+    return TaskSuite(tasks=tasks)

@@ -1,0 +1,19 @@
+"""Evaluation harness: perplexity, task accuracy, and paper-style result rows."""
+
+from .accuracy import evaluate_cloze, evaluate_multiple_choice, evaluate_task
+from .harness import EvaluationEnvironment, EvaluationHarness, EvaluationResult
+from .perplexity import perplexity, token_nll
+from .reporting import format_rows, format_table
+
+__all__ = [
+    "perplexity",
+    "token_nll",
+    "evaluate_task",
+    "evaluate_multiple_choice",
+    "evaluate_cloze",
+    "EvaluationEnvironment",
+    "EvaluationHarness",
+    "EvaluationResult",
+    "format_table",
+    "format_rows",
+]

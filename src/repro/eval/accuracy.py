@@ -1,0 +1,58 @@
+"""Task-accuracy evaluation (the zero-shot / few-shot columns of Table 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.tasks import Task
+from ..models.functional import log_softmax
+from ..models.transformer import MoETransformer
+
+__all__ = ["evaluate_task", "evaluate_multiple_choice", "evaluate_cloze"]
+
+
+def evaluate_multiple_choice(model: MoETransformer, task: Task, batch_size: int = 64) -> float:
+    """Accuracy (%) on a multiple-choice task.
+
+    Each item is scored with one forward pass over its context; the candidate
+    with the highest next-token log-probability is the model's answer.
+    """
+    if task.kind != "multiple_choice":
+        raise ValueError(f"task {task.name} is not multiple choice")
+    prefixes = task.prefixes()
+    correct = 0
+    for start in range(0, len(task.items), batch_size):
+        batch_items = task.items[start : start + batch_size]
+        logits = model.forward(prefixes[start : start + batch_size])[:, -1, :]
+        logp = log_softmax(logits, axis=-1)
+        for row, item in zip(logp, batch_items):
+            assert item.candidates is not None
+            scores = [row[c] for c in item.candidates]
+            if int(np.argmax(scores)) == item.gold:
+                correct += 1
+    return 100.0 * correct / len(task.items)
+
+
+def evaluate_cloze(model: MoETransformer, task: Task, batch_size: int = 64) -> float:
+    """Top-1 agreement (%) with the gold token on a cloze / open-ended task."""
+    if task.kind != "cloze":
+        raise ValueError(f"task {task.name} is not a cloze task")
+    prefixes = task.prefixes()
+    correct = 0
+    for start in range(0, len(task.items), batch_size):
+        batch_items = task.items[start : start + batch_size]
+        logits = model.forward(prefixes[start : start + batch_size])[:, -1, :]
+        predictions = np.argmax(logits, axis=-1)
+        for pred, item in zip(predictions, batch_items):
+            if int(pred) == item.gold:
+                correct += 1
+    return 100.0 * correct / len(task.items)
+
+
+def evaluate_task(model: MoETransformer, task: Task, batch_size: int = 64) -> float:
+    """Dispatch on the task kind and return accuracy in percent."""
+    if task.kind == "multiple_choice":
+        return evaluate_multiple_choice(model, task, batch_size=batch_size)
+    if task.kind == "cloze":
+        return evaluate_cloze(model, task, batch_size=batch_size)
+    raise ValueError(f"unknown task kind {task.kind!r}")

@@ -1,0 +1,103 @@
+"""Evaluation harness: the reproduction's ``lm-evaluation-harness``.
+
+Given an evaluation environment (a teacher-consistent corpus and a task
+suite, both generated once from the FP16 model) and any number of compressed
+model variants, the harness produces Table-3-style rows: memory, WikiText-2
+perplexity, the three zero-shot tasks plus their average, and the two
+few-shot tasks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.corpus import TokenCorpus, teacher_corpus
+from ..data.tasks import FEW_SHOT_TASKS, ZERO_SHOT_TASKS, TaskSuite, build_default_suite
+from ..models.transformer import MoETransformer
+from .accuracy import evaluate_task
+from .perplexity import perplexity
+
+__all__ = ["EvaluationEnvironment", "EvaluationResult", "EvaluationHarness"]
+
+
+@dataclass
+class EvaluationEnvironment:
+    """The frozen evaluation data generated from the FP16 teacher."""
+
+    corpus: TokenCorpus
+    suite: TaskSuite
+
+    @classmethod
+    def from_teacher(
+        cls,
+        teacher: MoETransformer,
+        num_sequences: int = 16,
+        seq_len: int = 32,
+        num_task_items: int = 128,
+        seed: int = 0,
+    ) -> "EvaluationEnvironment":
+        corpus = teacher_corpus(
+            teacher, num_sequences=num_sequences, seq_len=seq_len, seed=seed
+        )
+        suite = build_default_suite(teacher, num_items=num_task_items, seed=seed)
+        return cls(corpus=corpus, suite=suite)
+
+
+@dataclass
+class EvaluationResult:
+    """One row of a Table-3-style comparison."""
+
+    label: str
+    memory_mb: float
+    wikitext2_ppl: float
+    task_scores: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def zero_shot_average(self) -> float:
+        scores = [self.task_scores[t] for t in ZERO_SHOT_TASKS if t in self.task_scores]
+        return float(np.mean(scores)) if scores else float("nan")
+
+    def as_row(self) -> dict[str, float | str]:
+        row: dict[str, float | str] = {
+            "method": self.label,
+            "memory_mb": round(self.memory_mb, 2),
+            "wikitext2_ppl": round(self.wikitext2_ppl, 4),
+        }
+        for task in (*ZERO_SHOT_TASKS, *FEW_SHOT_TASKS):
+            if task in self.task_scores:
+                row[task] = round(self.task_scores[task], 2)
+        row["zero_shot_avg"] = round(self.zero_shot_average, 2)
+        return row
+
+
+class EvaluationHarness:
+    """Evaluate compressed model variants against a frozen environment."""
+
+    def __init__(self, environment: EvaluationEnvironment) -> None:
+        self.environment = environment
+
+    def evaluate(
+        self,
+        model: MoETransformer,
+        label: str,
+        tasks: list[str] | None = None,
+        include_few_shot: bool = True,
+    ) -> EvaluationResult:
+        """Run perplexity plus the requested tasks on ``model``."""
+        env = self.environment
+        ppl = perplexity(model, env.corpus)
+        if tasks is None:
+            tasks = list(ZERO_SHOT_TASKS) + (list(FEW_SHOT_TASKS) if include_few_shot else [])
+        scores = {name: evaluate_task(model, env.suite[name]) for name in tasks}
+        return EvaluationResult(
+            label=label,
+            memory_mb=model.memory_bytes() / 2**20,
+            wikitext2_ppl=ppl,
+            task_scores=scores,
+        )
+
+    def compare(self, models: dict[str, MoETransformer], **kwargs) -> list[EvaluationResult]:
+        """Evaluate several variants and return their rows in insertion order."""
+        return [self.evaluate(model, label, **kwargs) for label, model in models.items()]

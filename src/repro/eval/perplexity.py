@@ -1,0 +1,53 @@
+"""Perplexity evaluation on a token corpus."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.corpus import TokenCorpus
+from ..models.functional import log_softmax
+from ..models.transformer import MoETransformer
+
+__all__ = ["perplexity", "token_nll"]
+
+
+def token_nll(model: MoETransformer, tokens: np.ndarray) -> np.ndarray:
+    """Per-token negative log-likelihood of next-token prediction.
+
+    Parameters
+    ----------
+    tokens:
+        ``(batch, seq_len)`` integer array; positions 1..T-1 are predicted
+        from their prefixes.
+
+    Returns
+    -------
+    Flat array of NLL values, one per predicted token.
+    """
+    tokens = np.asarray(tokens)
+    if tokens.ndim != 2 or tokens.shape[1] < 2:
+        raise ValueError("tokens must be (batch, seq_len >= 2)")
+    logits = model.forward(tokens[:, :-1])
+    logp = log_softmax(logits, axis=-1)
+    targets = tokens[:, 1:]
+    batch_idx, pos_idx = np.meshgrid(
+        np.arange(tokens.shape[0]), np.arange(tokens.shape[1] - 1), indexing="ij"
+    )
+    return -logp[batch_idx, pos_idx, targets].ravel()
+
+
+def perplexity(
+    model: MoETransformer,
+    corpus: TokenCorpus | np.ndarray,
+    batch_size: int = 16,
+) -> float:
+    """Corpus perplexity ``exp(mean NLL)`` (the WikiText-2 metric of the tables)."""
+    if isinstance(corpus, TokenCorpus):
+        batches = corpus.batches(batch_size)
+    else:
+        tokens = np.asarray(corpus)
+        batches = [tokens[i : i + batch_size] for i in range(0, tokens.shape[0], batch_size)]
+    nlls = [token_nll(model, batch) for batch in batches if batch.shape[0] > 0]
+    if not nlls:
+        raise ValueError("empty corpus")
+    return float(np.exp(np.mean(np.concatenate(nlls))))

@@ -1,0 +1,48 @@
+"""Plain-text table formatting for benchmark output.
+
+The benchmark harness prints the same rows/columns the paper's tables report;
+this module keeps the formatting in one place so every bench looks alike.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table", "format_rows"]
+
+
+def _format_value(value: Any, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    precision: int = 4,
+    title: str | None = None,
+) -> str:
+    """Render rows as a fixed-width text table."""
+    rendered = [[_format_value(v, precision) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_rows(rows: Sequence[dict[str, Any]], precision: int = 4, title: str | None = None) -> str:
+    """Render a list of dict rows (all sharing the same keys) as a table."""
+    if not rows:
+        return title or ""
+    headers = list(rows[0].keys())
+    data = [[row.get(h, "") for h in headers] for row in rows]
+    return format_table(headers, data, precision=precision, title=title)

@@ -1,0 +1,95 @@
+"""I2F (INT3 -> FP16) de-quantization via binary manipulation (paper §3.3, Fig. 6b).
+
+A naive per-element integer-to-float cast is slow on GPUs.  The MiLo kernel
+instead exploits the FP16 bit layout: for a small non-negative integer
+``e < 1024``, the half-precision number ``1024 + e`` has the fixed exponent
+pattern ``0x6400`` and its low mantissa bits are exactly ``e``.  So
+
+    OR the 3-bit code into an FP16 register pre-loaded with 0x6400
+    ==> the register now *is* the float ``1024 + e``
+    subtract 1024 (``__hsub2``)          -> asymmetric path gets ``e``
+    or fused-multiply-add (``__hfma2``)  -> symmetric path gets ``e - 4`` scaled
+
+two codes at a time per 32-bit register.  This module emulates the exact bit
+manipulation with numpy ``float16`` views, both to document the trick and so
+unit tests can verify it is numerically identical to a plain cast, and
+provides the full grouped de-quantization used by the functional packed GEMM.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .packing import PackedInt3Matrix, unpack_int3_matrix
+
+__all__ = [
+    "MAGIC_FP16_BIAS",
+    "i2f_binary_manipulation",
+    "dequantize_int3_codes",
+    "dequantize_packed_matrix",
+]
+
+#: FP16 bit pattern of 1024.0 — the exponent "magic" the codes are OR-ed into.
+MAGIC_FP16_BIAS = 0x6400
+
+
+def i2f_binary_manipulation(codes: np.ndarray) -> np.ndarray:
+    """Convert small integer codes to FP16 via the 1024-bias bit trick.
+
+    Exactly reproduces steps 1–3 of the paper's Fig. 6(b): OR each code into
+    the ``0x6400`` pattern, reinterpret as FP16 (giving ``1024 + e``), and
+    subtract 1024.  Works for any codes in ``[0, 1023]``; MiLo uses it for
+    3-bit codes.
+    """
+    codes = np.asarray(codes)
+    if codes.size and (codes.min() < 0 or codes.max() > 1023):
+        raise ValueError("codes must lie in [0, 1023] for the FP16 mantissa trick")
+    bits = (codes.astype(np.uint16) | np.uint16(MAGIC_FP16_BIAS))
+    as_fp16 = bits.view(np.float16)  # equals 1024 + code exactly
+    return (as_fp16 - np.float16(1024.0)).astype(np.float64)
+
+
+def dequantize_int3_codes(
+    codes: np.ndarray,
+    scales: np.ndarray,
+    zeros: np.ndarray | None,
+    group_size: int,
+    symmetric: bool = False,
+) -> np.ndarray:
+    """De-quantize a ``(rows, cols)`` INT3 code matrix with per-group metadata.
+
+    Parameters
+    ----------
+    codes:
+        Integer codes in ``[0, 7]``.
+    scales / zeros:
+        Per-group parameters of shape ``(rows, cols / group_size)``.  For the
+        symmetric scheme ``zeros`` is ignored (the mid-code 4 is subtracted,
+        matching the kernel's ``__hsub2``/``__hfma2`` path).
+    """
+    codes = np.asarray(codes)
+    rows, cols = codes.shape
+    if cols % group_size != 0:
+        raise ValueError(f"columns ({cols}) must be a multiple of group_size ({group_size})")
+    values = i2f_binary_manipulation(codes).reshape(rows, cols // group_size, group_size)
+    scales = np.asarray(scales, dtype=np.float64).reshape(rows, cols // group_size, 1)
+    if symmetric:
+        dq = (values - 4.0) * scales
+    else:
+        if zeros is None:
+            raise ValueError("asymmetric de-quantization requires zero points")
+        zeros = np.asarray(zeros, dtype=np.float64).reshape(rows, cols // group_size, 1)
+        dq = (values - zeros) * scales
+    return dq.reshape(rows, cols)
+
+
+def dequantize_packed_matrix(
+    packed: PackedInt3Matrix,
+    scales: np.ndarray,
+    zeros: np.ndarray | None,
+    group_size: int,
+    symmetric: bool = False,
+) -> np.ndarray:
+    """Unpack a :class:`PackedInt3Matrix` and de-quantize it in one step."""
+    codes = unpack_int3_matrix(packed)
+    return dequantize_int3_codes(codes, scales, zeros, group_size, symmetric=symmetric)

@@ -1,0 +1,197 @@
+"""Functional packed-GEMM implementations (the kernel's *numerics*).
+
+These routines compute exactly what the CUDA kernels compute — a W3A16 /
+W4A16 mixed-precision GEMM ``y[m, n] = x[m, k] @ W_dq[k, n]`` where the
+weight is stored packed and de-quantized group-wise on the fly — so the
+Appendix D correctness suite (functional, error-handling, and boundary tests)
+can be reproduced bit-for-bit against an FP reference.  Performance is
+modeled separately in :mod:`repro.kernels.simulators`.
+
+Weights here follow the *kernel* convention ``W[k, n]`` (reduction dimension
+first), matching the GEMM shape tables in the paper's Appendix C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .dequant import dequantize_int3_codes
+from .packing import (
+    PackedInt3Matrix,
+    pack_int3_matrix,
+    pack_int4_matrix,
+    unpack_int4_matrix,
+)
+from .tiles import TileShape, choose_tile_shape, validate_kernel_config
+
+__all__ = [
+    "QuantizedGemmWeight",
+    "quantize_for_kernel",
+    "packed_gemm_w3a16",
+    "packed_gemm_w4a16",
+    "reference_gemm",
+]
+
+
+@dataclass
+class QuantizedGemmWeight:
+    """A kernel-ready quantized weight: packed codes + group metadata.
+
+    ``scales`` / ``zeros`` have shape ``(n, k / group_size)`` — one entry per
+    output column per reduction group, the layout the fused kernel streams
+    alongside the packed weights.
+    """
+
+    packed: PackedInt3Matrix | np.ndarray
+    scales: np.ndarray
+    zeros: np.ndarray | None
+    bits: int
+    group_size: int
+    symmetric: bool
+    shape: tuple[int, int]  # (k, n)
+
+    @property
+    def k(self) -> int:
+        return self.shape[0]
+
+    @property
+    def n(self) -> int:
+        return self.shape[1]
+
+
+def quantize_for_kernel(
+    weight_kn: np.ndarray,
+    bits: int = 3,
+    group_size: int = 64,
+    symmetric: bool = True,
+) -> QuantizedGemmWeight:
+    """Quantize a ``(k, n)`` weight into the kernel's packed storage format."""
+    weight_kn = np.asarray(weight_kn, dtype=np.float64)
+    if weight_kn.ndim != 2:
+        raise ValueError(f"expected a 2-D weight, got {weight_kn.shape}")
+    k, n = weight_kn.shape
+    if k % group_size != 0:
+        raise ValueError(f"reduction dim ({k}) must be a multiple of group_size ({group_size})")
+    if bits not in (3, 4):
+        raise ValueError("kernel packing supports 3- or 4-bit weights")
+
+    qmax = 2**bits - 1
+    # Group along the reduction dimension: view as (n, k/g, g) with the
+    # weight transposed to (n, k) so each output column owns its groups.
+    w_nk = weight_kn.T.reshape(n, k // group_size, group_size)
+    if symmetric:
+        absmax = np.max(np.abs(w_nk), axis=2, keepdims=True)
+        scales = 2.0 * absmax / qmax
+        scales = np.where(scales > 0, scales, 1.0)
+        mid = (qmax + 1) / 2.0
+        codes = np.clip(np.round(w_nk / scales + mid), 0, qmax)
+        zeros = None
+    else:
+        gmin = w_nk.min(axis=2, keepdims=True)
+        gmax = w_nk.max(axis=2, keepdims=True)
+        scales = (gmax - gmin) / qmax
+        scales = np.where(scales > 0, scales, 1.0)
+        zeros = -gmin / scales
+        codes = np.clip(np.round(w_nk / scales + zeros), 0, qmax)
+
+    codes_2d = codes.reshape(n, k).astype(np.int64)
+    if bits == 3:
+        packed: PackedInt3Matrix | np.ndarray = pack_int3_matrix(codes_2d)
+    else:
+        packed = pack_int4_matrix(codes_2d)
+    return QuantizedGemmWeight(
+        packed=packed,
+        scales=scales.reshape(n, k // group_size),
+        zeros=None if zeros is None else zeros.reshape(n, k // group_size),
+        bits=bits,
+        group_size=group_size,
+        symmetric=symmetric,
+        shape=(k, n),
+    )
+
+
+def _dequantize_kernel_weight(qw: QuantizedGemmWeight) -> np.ndarray:
+    """Reconstruct the dense ``(k, n)`` weight from a kernel-format weight."""
+    if qw.bits == 3:
+        assert isinstance(qw.packed, PackedInt3Matrix)
+        codes_nk = _unpack3(qw)
+        dq_nk = dequantize_int3_codes(
+            codes_nk, qw.scales, qw.zeros, qw.group_size, symmetric=qw.symmetric
+        )
+    else:
+        codes = unpack_int4_matrix(np.asarray(qw.packed), qw.k)
+        values = codes.astype(np.float64).reshape(qw.n, qw.k // qw.group_size, qw.group_size)
+        scales = qw.scales.reshape(qw.n, -1, 1)
+        if qw.symmetric:
+            dq = (values - (2**qw.bits) / 2.0) * scales
+        else:
+            zeros = qw.zeros.reshape(qw.n, -1, 1)
+            dq = (values - zeros) * scales
+        dq_nk = dq.reshape(qw.n, qw.k)
+    return dq_nk.T
+
+
+def _unpack3(qw: QuantizedGemmWeight) -> np.ndarray:
+    from .packing import unpack_int3_matrix
+
+    assert isinstance(qw.packed, PackedInt3Matrix)
+    return unpack_int3_matrix(qw.packed)
+
+
+def reference_gemm(x: np.ndarray, weight_kn: np.ndarray) -> np.ndarray:
+    """Full-precision reference ``x[m, k] @ W[k, n]``."""
+    return np.asarray(x, dtype=np.float64) @ np.asarray(weight_kn, dtype=np.float64)
+
+
+def packed_gemm_w3a16(
+    x: np.ndarray,
+    qw: QuantizedGemmWeight,
+    tile_shape: TileShape | tuple[int, int] | None = None,
+    validate: bool = True,
+) -> np.ndarray:
+    """W3A16 GEMM: FP16 activations times a packed INT3 weight.
+
+    The computation is organized in ``(tile_k, tile_n)`` thread-block tiles
+    with per-tile partial sums, mirroring the CUDA kernel's structure
+    (including the batch-padding to multiples of 16 required by the tensor
+    cores), then the partials are reduced — which is the global-reduction
+    step whose cost the tile tuner minimizes.
+    """
+    if qw.bits != 3:
+        raise ValueError("packed_gemm_w3a16 requires a 3-bit weight")
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2 or x.shape[1] != qw.k:
+        raise ValueError(f"activation shape {x.shape} incompatible with weight k={qw.k}")
+    if tile_shape is None:
+        tile_shape = choose_tile_shape(qw.k, qw.n)
+    if validate:
+        tile_shape = validate_kernel_config(qw.k, qw.n, qw.group_size, tile_shape)
+    elif isinstance(tile_shape, tuple):
+        tile_shape = TileShape(*tile_shape)
+
+    m = x.shape[0]
+    # Tensor cores operate on 16x8x16 fragments: pad the batch to 16.
+    padded_m = -(-m // 16) * 16
+    if padded_m != m:
+        x = np.concatenate([x, np.zeros((padded_m - m, qw.k))], axis=0)
+
+    w_dense = _dequantize_kernel_weight(qw)  # (k, n)
+    out = np.zeros((padded_m, qw.n))
+    for k0 in range(0, qw.k, tile_shape.tile_k):
+        k1 = min(k0 + tile_shape.tile_k, qw.k)
+        for n0 in range(0, qw.n, tile_shape.tile_n):
+            n1 = min(n0 + tile_shape.tile_n, qw.n)
+            out[:, n0:n1] += x[:, k0:k1] @ w_dense[k0:k1, n0:n1]
+    return out[:m]
+
+
+def packed_gemm_w4a16(x: np.ndarray, qw: QuantizedGemmWeight) -> np.ndarray:
+    """W4A16 GEMM (MARLIN-style storage) for the baseline comparisons."""
+    if qw.bits != 4:
+        raise ValueError("packed_gemm_w4a16 requires a 4-bit weight")
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2 or x.shape[1] != qw.k:
+        raise ValueError(f"activation shape {x.shape} incompatible with weight k={qw.k}")
+    return x @ _dequantize_kernel_weight(qw)

@@ -1,0 +1,192 @@
+"""Zero-bit-waste INT3 weight packing (paper §3.3, Fig. 6a).
+
+INT3 is awkward for hardware because 3 does not divide 32.  Packing ten 3-bit
+values per INT32 wastes 2 bits; MiLo instead packs **32 weights into exactly
+three INT32 words** (96 bits), wasting nothing:
+
+* word ``w`` (w = 0, 1, 2) stores weights ``e[8w] .. e[8w+7]`` in its low
+  24 bits (weight ``j`` of the word occupies bits ``[3j, 3j+3)``);
+* the top 8 bits of word ``w`` store bit ``w`` of the *last* eight weights
+  ``e[24] .. e[31]`` (one bit per weight), so the three words' spare bytes
+  together reconstruct them.
+
+This is the same zero-waste budget and "remainder bits recombined across
+words" idea as the paper's Fig. 6(a); the exact bit interleaving differs (the
+CUDA kernel interleaves for register-level pair extraction, which has no
+analogue in numpy) but the storage size, group structure and round-trip
+semantics are identical.
+
+The packed matrix is additionally split into a *main* array holding the first
+two words of every group and a *rest* array holding the third word,
+reproducing the paper's alignment-driven two-matrix layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "WEIGHTS_PER_GROUP",
+    "WORDS_PER_GROUP",
+    "pack_int3_groups",
+    "unpack_int3_groups",
+    "PackedInt3Matrix",
+    "pack_int3_matrix",
+    "unpack_int3_matrix",
+    "pack_int4_matrix",
+    "unpack_int4_matrix",
+]
+
+#: Number of 3-bit weights packed together (32 weights -> 3 x INT32).
+WEIGHTS_PER_GROUP = 32
+#: Number of INT32 words per packing group.
+WORDS_PER_GROUP = 3
+
+
+def pack_int3_groups(codes: np.ndarray) -> np.ndarray:
+    """Pack INT3 codes into uint32 words, 32 codes per 3 words.
+
+    Parameters
+    ----------
+    codes:
+        Integer array with values in ``[0, 7]`` whose last dimension is a
+        multiple of 32.
+
+    Returns
+    -------
+    ``uint32`` array with the last dimension shrunk by a factor of 32/3.
+    """
+    codes = np.asarray(codes)
+    if codes.size == 0:
+        raise ValueError("cannot pack an empty code array")
+    if codes.min() < 0 or codes.max() > 7:
+        raise ValueError("INT3 codes must lie in [0, 7]")
+    if codes.shape[-1] % WEIGHTS_PER_GROUP != 0:
+        raise ValueError(
+            f"last dimension ({codes.shape[-1]}) must be a multiple of {WEIGHTS_PER_GROUP}"
+        )
+    c = codes.astype(np.uint32).reshape(*codes.shape[:-1], -1, WEIGHTS_PER_GROUP)
+    words = np.zeros(c.shape[:-1] + (WORDS_PER_GROUP,), dtype=np.uint32)
+    # Low 24 bits of word w: weights e[8w + j], j in 0..7.
+    for w in range(WORDS_PER_GROUP):
+        for j in range(8):
+            words[..., w] |= c[..., 8 * w + j] << np.uint32(3 * j)
+    # Top 8 bits of word w: bit w of weights e[24 + k], k in 0..7.
+    for w in range(WORDS_PER_GROUP):
+        for k in range(8):
+            bit = (c[..., 24 + k] >> np.uint32(w)) & np.uint32(1)
+            words[..., w] |= bit << np.uint32(24 + k)
+    return words.reshape(*codes.shape[:-1], -1)
+
+
+def unpack_int3_groups(words: np.ndarray, num_codes: int | None = None) -> np.ndarray:
+    """Inverse of :func:`pack_int3_groups`."""
+    words = np.asarray(words, dtype=np.uint32)
+    if words.shape[-1] % WORDS_PER_GROUP != 0:
+        raise ValueError(
+            f"last dimension ({words.shape[-1]}) must be a multiple of {WORDS_PER_GROUP}"
+        )
+    w = words.reshape(*words.shape[:-1], -1, WORDS_PER_GROUP)
+    codes = np.zeros(w.shape[:-1] + (WEIGHTS_PER_GROUP,), dtype=np.uint32)
+    for word_idx in range(WORDS_PER_GROUP):
+        for j in range(8):
+            codes[..., 8 * word_idx + j] = (w[..., word_idx] >> np.uint32(3 * j)) & np.uint32(0x7)
+    for k in range(8):
+        value = np.zeros(w.shape[:-1], dtype=np.uint32)
+        for word_idx in range(WORDS_PER_GROUP):
+            bit = (w[..., word_idx] >> np.uint32(24 + k)) & np.uint32(1)
+            value |= bit << np.uint32(word_idx)
+        codes[..., 24 + k] = value
+    out = codes.reshape(*words.shape[:-1], -1).astype(np.int64)
+    if num_codes is not None:
+        out = out[..., :num_codes]
+    return out
+
+
+@dataclass
+class PackedInt3Matrix:
+    """A 2-D INT3 code matrix in the MiLo packed storage layout.
+
+    Attributes
+    ----------
+    main:
+        The first two INT32 words of every 32-weight packing group,
+        shape ``(rows, 2 * groups_per_row)``.
+    rest:
+        The third INT32 word of every group, shape ``(rows, groups_per_row)``.
+    shape:
+        Original ``(rows, cols)`` of the unpacked code matrix.
+    """
+
+    main: np.ndarray
+    rest: np.ndarray
+    shape: tuple[int, int]
+
+    @property
+    def packed_bytes(self) -> int:
+        return int(self.main.nbytes + self.rest.nbytes)
+
+    @property
+    def ideal_bytes(self) -> float:
+        """3 bits per weight with zero waste (excluding row padding)."""
+        return self.shape[0] * self.shape[1] * 3 / 8
+
+
+def pack_int3_matrix(codes: np.ndarray) -> PackedInt3Matrix:
+    """Pack a ``(rows, cols)`` INT3 code matrix into the split main/rest layout."""
+    codes = np.asarray(codes)
+    if codes.ndim != 2:
+        raise ValueError(f"expected a 2-D code matrix, got shape {codes.shape}")
+    rows, cols = codes.shape
+    pad = (-cols) % WEIGHTS_PER_GROUP
+    if pad:
+        codes = np.concatenate([codes, np.zeros((rows, pad), dtype=codes.dtype)], axis=1)
+    words = pack_int3_groups(codes)  # (rows, 3 * groups)
+    words = words.reshape(rows, -1, WORDS_PER_GROUP)
+    main = words[:, :, :2].reshape(rows, -1).copy()
+    rest = words[:, :, 2].copy()
+    return PackedInt3Matrix(main=main, rest=rest, shape=(rows, cols))
+
+
+def unpack_int3_matrix(packed: PackedInt3Matrix) -> np.ndarray:
+    """Inverse of :func:`pack_int3_matrix`."""
+    rows, cols = packed.shape
+    groups = packed.rest.shape[1]
+    words = np.zeros((rows, groups, WORDS_PER_GROUP), dtype=np.uint32)
+    words[:, :, :2] = packed.main.reshape(rows, groups, 2)
+    words[:, :, 2] = packed.rest
+    codes = unpack_int3_groups(words.reshape(rows, -1))
+    return codes[:, :cols]
+
+
+# ---------------------------------------------------------------------------
+# INT4 packing (MARLIN-style baseline): 8 codes per INT32, no remainder bits.
+# ---------------------------------------------------------------------------
+def pack_int4_matrix(codes: np.ndarray) -> np.ndarray:
+    """Pack a ``(rows, cols)`` INT4 code matrix, 8 codes per uint32."""
+    codes = np.asarray(codes)
+    if codes.ndim != 2:
+        raise ValueError(f"expected a 2-D code matrix, got shape {codes.shape}")
+    if codes.size and (codes.min() < 0 or codes.max() > 15):
+        raise ValueError("INT4 codes must lie in [0, 15]")
+    rows, cols = codes.shape
+    pad = (-cols) % 8
+    if pad:
+        codes = np.concatenate([codes, np.zeros((rows, pad), dtype=codes.dtype)], axis=1)
+    c = codes.astype(np.uint32).reshape(rows, -1, 8)
+    words = np.zeros((rows, c.shape[1]), dtype=np.uint32)
+    for j in range(8):
+        words |= c[:, :, j] << np.uint32(4 * j)
+    return words
+
+
+def unpack_int4_matrix(words: np.ndarray, cols: int) -> np.ndarray:
+    """Inverse of :func:`pack_int4_matrix` for the original column count."""
+    words = np.asarray(words, dtype=np.uint32)
+    rows = words.shape[0]
+    codes = np.zeros((rows, words.shape[1], 8), dtype=np.uint32)
+    for j in range(8):
+        codes[:, :, j] = (words >> np.uint32(4 * j)) & np.uint32(0xF)
+    return codes.reshape(rows, -1)[:, :cols].astype(np.int64)

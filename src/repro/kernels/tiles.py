@@ -1,0 +1,126 @@
+"""Thread-block tile shapes and the MoE-specific tile tuner (paper §3.3).
+
+MiLo's kernel processes the weight matrix in thread-block tiles of shape
+``(tile_k, tile_n)`` over the reduction dimension ``k`` and the output
+dimension ``n``.  Large MoE layers such as Mixtral's 4096x14336 experts
+suffer from global-reduction synchronization between thread blocks along the
+``k`` dimension; choosing a taller/wider tile trades that synchronization
+against occupancy.  The paper restricts the tile menu to (256, 64),
+(128, 128) and (64, 256) and picks per GEMM shape.
+
+The same validity rules the CUDA kernel enforces (Appendix D "Error Handling
+Tests") are enforced here:
+
+* the quantization group size must be 64;
+* the weight shape ``(k, n)`` must be a multiple of the tile shape;
+* the tile shape must be one of the three supported configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TileShape", "SUPPORTED_TILE_SHAPES", "validate_kernel_config", "choose_tile_shape", "KernelConfigError"]
+
+
+class KernelConfigError(ValueError):
+    """Raised for kernel configurations the CUDA implementation would reject."""
+
+
+@dataclass(frozen=True)
+class TileShape:
+    """A thread-block tile: ``k`` is the reduction dim, ``n`` the output dim."""
+
+    tile_k: int
+    tile_n: int
+
+    def as_tuple(self) -> tuple[int, int]:
+        return (self.tile_k, self.tile_n)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"({self.tile_k}, {self.tile_n})"
+
+
+SUPPORTED_TILE_SHAPES: tuple[TileShape, ...] = (
+    TileShape(256, 64),
+    TileShape(128, 128),
+    TileShape(64, 256),
+)
+
+#: The only group size the MiLo kernel supports (Appendix D).
+REQUIRED_GROUP_SIZE = 64
+
+#: Tiles are grouped 4 per pipeline stage along the reduction dimension.
+PIPELINE_TILES_PER_STAGE = 4
+
+
+def validate_kernel_config(
+    k: int, n: int, group_size: int, tile_shape: TileShape | tuple[int, int]
+) -> TileShape:
+    """Validate a (k, n, group size, tile shape) kernel configuration.
+
+    Raises :class:`KernelConfigError` for any configuration the real kernel
+    rejects, mirroring the artifact's error-handling tests.
+    """
+    if isinstance(tile_shape, tuple):
+        tile_shape = TileShape(*tile_shape)
+    if group_size != REQUIRED_GROUP_SIZE:
+        raise KernelConfigError(
+            f"the MiLo kernel requires group_size={REQUIRED_GROUP_SIZE}, got {group_size}"
+        )
+    if tile_shape not in SUPPORTED_TILE_SHAPES:
+        raise KernelConfigError(
+            f"tile shape {tile_shape} unsupported; choose one of "
+            f"{[t.as_tuple() for t in SUPPORTED_TILE_SHAPES]}"
+        )
+    if k <= 0 or n <= 0:
+        raise KernelConfigError(f"invalid GEMM shape k={k}, n={n}")
+    if k % tile_shape.tile_k != 0 or n % tile_shape.tile_n != 0:
+        raise KernelConfigError(
+            f"weight shape ({k}, {n}) must be a multiple of tile shape {tile_shape}"
+        )
+    return tile_shape
+
+
+def global_reduction_splits(k: int, n: int, tile_shape: TileShape, num_sms: int = 108) -> int:
+    """Number of thread-block partitions along the reduction dimension (split-K).
+
+    A GEMM with many output-column tiles (large ``n``) fills every SM without
+    splitting the reduction; a GEMM with few column tiles (small ``n``, e.g.
+    DeepSeek-MoE's 2048-wide down projection) must split ``k`` across thread
+    blocks to stay occupied, and every extra split costs a global reduction.
+    Splits are bounded by the number of 4-tile pipeline stages available along
+    ``k`` (:data:`PIPELINE_TILES_PER_STAGE`).
+    """
+    col_tiles = max(1, -(-n // tile_shape.tile_n))
+    k_tiles = max(1, -(-k // tile_shape.tile_k))
+    max_splits = max(1, -(-k_tiles // PIPELINE_TILES_PER_STAGE))
+    needed = max(1, -(-num_sms // col_tiles))
+    return min(needed, max_splits)
+
+
+def choose_tile_shape(k: int, n: int, allow_padding: bool = True, num_sms: int = 108) -> TileShape:
+    """Pick the supported tile shape minimizing global-reduction synchronization.
+
+    Among tiles that evenly divide ``(k, n)`` (or all tiles, when
+    ``allow_padding``), prefer the one with the fewest reduction splits,
+    breaking ties toward less output padding and then toward the squarer
+    (128, 128) tile which has the best occupancy on mid-sized matrices.
+    """
+    candidates = [
+        t for t in SUPPORTED_TILE_SHAPES if k % t.tile_k == 0 and n % t.tile_n == 0
+    ]
+    if not candidates:
+        if not allow_padding:
+            raise KernelConfigError(f"no supported tile shape divides ({k}, {n})")
+        candidates = list(SUPPORTED_TILE_SHAPES)
+
+    def sort_key(t: TileShape) -> tuple:
+        splits = global_reduction_splits(k, n, t, num_sms=num_sms)
+        # Wasted work from padding n up to a tile multiple.
+        padded_n = -(-n // t.tile_n) * t.tile_n
+        waste = padded_n - n
+        squareness = abs(t.tile_k - t.tile_n)
+        return (splits, waste, squareness)
+
+    return min(candidates, key=sort_key)

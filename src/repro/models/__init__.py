@@ -1,0 +1,72 @@
+"""MoE transformer model substrate (numpy, CPU-only).
+
+Public surface:
+
+* :class:`~repro.models.transformer.MoETransformer` and
+  :func:`~repro.models.registry.build_model` — instantiate synthetic MoE
+  checkpoints whose weight statistics match the paper's observations.
+* :class:`~repro.models.linear.Linear`,
+  :class:`~repro.models.linear.QuantizedLinear`,
+  :class:`~repro.models.linear.CompensatedLinear` — the three deployment
+  states of a weight matrix.
+* :func:`~repro.models.transformer.classify_parameter` /
+  :class:`~repro.models.transformer.LayerKind` — dense vs. sparse layer
+  classification used by quantization drivers and rank policies.
+"""
+
+from .config import MoEModelConfig
+from .functional import cross_entropy, log_softmax, silu, softmax
+from .init import excess_kurtosis, gaussian_weight, heavy_tailed_weight, light_tailed_weight
+from .linear import CompensatedLinear, Linear, QuantizedLinear
+from .module import Module
+from .moe import DenseFeedForward, FineGrainedMoEFeedForward, MoEFeedForward, SwiGLUExpert
+from .norm import RMSNorm
+from .parameter import Parameter, bits_per_element, tensor_bytes
+from .registry import (
+    FULL_MODEL_SPECS,
+    MODEL_CONFIGS,
+    REFERENCE_FFN_SHAPES,
+    FullModelSpec,
+    available_models,
+    build_model,
+    get_config,
+)
+from .router import RoutingResult, TopKRouter
+from .transformer import LayerKind, MoETransformer, TransformerBlock, classify_parameter
+
+__all__ = [
+    "MoEModelConfig",
+    "MoETransformer",
+    "TransformerBlock",
+    "Module",
+    "Parameter",
+    "Linear",
+    "QuantizedLinear",
+    "CompensatedLinear",
+    "RMSNorm",
+    "TopKRouter",
+    "RoutingResult",
+    "MoEFeedForward",
+    "FineGrainedMoEFeedForward",
+    "DenseFeedForward",
+    "SwiGLUExpert",
+    "LayerKind",
+    "classify_parameter",
+    "build_model",
+    "get_config",
+    "available_models",
+    "MODEL_CONFIGS",
+    "FULL_MODEL_SPECS",
+    "REFERENCE_FFN_SHAPES",
+    "FullModelSpec",
+    "excess_kurtosis",
+    "heavy_tailed_weight",
+    "light_tailed_weight",
+    "gaussian_weight",
+    "softmax",
+    "log_softmax",
+    "silu",
+    "cross_entropy",
+    "bits_per_element",
+    "tensor_bytes",
+]

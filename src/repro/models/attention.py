@@ -1,0 +1,91 @@
+"""Multi-head self-attention with grouped-query support and RoPE.
+
+These are the *dense* layers of the MoE models — activated for every token —
+whose heavy-tailed weight distributions (paper §3.1.1) make them the most
+rank-sensitive targets for MiLo's compensators.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .config import MoEModelConfig
+from .functional import softmax
+from .init import heavy_tailed_weight
+from .linear import Linear
+from .module import Module
+from .rope import RotaryEmbedding, apply_rotary
+
+__all__ = ["MultiHeadAttention"]
+
+
+class MultiHeadAttention(Module):
+    """Causal multi-head self-attention.
+
+    Parameters
+    ----------
+    config:
+        Model configuration providing hidden size, head counts, and the
+        distributional calibration of the synthetic checkpoint.
+    rng:
+        Generator used to draw this layer's weights; passing the model-level
+        generator keeps every layer's weights distinct but reproducible.
+    """
+
+    def __init__(self, config: MoEModelConfig, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.config = config
+        h = config.hidden_size
+        kv_dim = config.num_kv_heads * config.head_dim
+
+        def _dense(shape: tuple[int, int]) -> np.ndarray:
+            return heavy_tailed_weight(
+                shape,
+                std=config.init_std,
+                outlier_fraction=config.attention_outlier_fraction,
+                outlier_scale=config.attention_outlier_scale,
+                rng=rng,
+            )
+
+        self.q_proj = Linear(h, h, weight=_dense((h, h)))
+        self.k_proj = Linear(h, kv_dim, weight=_dense((kv_dim, h)))
+        self.v_proj = Linear(h, kv_dim, weight=_dense((kv_dim, h)))
+        self.o_proj = Linear(h, h, weight=_dense((h, h)))
+        self.rope = RotaryEmbedding(
+            config.head_dim, base=config.rope_base, max_positions=config.max_positions
+        )
+
+    def _split_heads(self, x: np.ndarray, num_heads: int) -> np.ndarray:
+        b, t, _ = x.shape
+        return x.reshape(b, t, num_heads, self.config.head_dim).transpose(0, 2, 1, 3)
+
+    def forward(self, hidden: np.ndarray) -> np.ndarray:
+        """Apply causal self-attention to ``hidden`` of shape ``(B, T, H)``."""
+        hidden = np.asarray(hidden, dtype=np.float64)
+        if hidden.ndim != 3:
+            raise ValueError(f"expected (batch, seq, hidden), got {hidden.shape}")
+        b, t, _ = hidden.shape
+        cfg = self.config
+
+        q = self._split_heads(self.q_proj(hidden), cfg.num_heads)
+        k = self._split_heads(self.k_proj(hidden), cfg.num_kv_heads)
+        v = self._split_heads(self.v_proj(hidden), cfg.num_kv_heads)
+
+        cos, sin = self.rope.tables(t)
+        q = apply_rotary(q, cos, sin)
+        k = apply_rotary(k, cos, sin)
+
+        # Grouped-query attention: repeat KV heads to match query heads.
+        repeat = cfg.num_heads // cfg.num_kv_heads
+        if repeat > 1:
+            k = np.repeat(k, repeat, axis=1)
+            v = np.repeat(v, repeat, axis=1)
+
+        scale = 1.0 / np.sqrt(cfg.head_dim)
+        scores = np.einsum("bhqd,bhkd->bhqk", q, k) * scale
+        causal_mask = np.triu(np.full((t, t), -1e30), k=1)
+        scores = scores + causal_mask
+        attn = softmax(scores, axis=-1)
+        context = np.einsum("bhqk,bhkd->bhqd", attn, v)
+        context = context.transpose(0, 2, 1, 3).reshape(b, t, cfg.hidden_size)
+        return self.o_proj(context)

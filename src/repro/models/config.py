@@ -1,0 +1,81 @@
+"""Model architecture configurations.
+
+Two families are modeled, matching the paper's evaluation targets:
+
+* **Mixtral-style** — coarse-grained MoE: a handful of large experts, top-2
+  routing, no shared experts; the only dense (always-activated) weights are
+  the attention projections.
+* **DeepSeek-style** — fine-grained MoE: many small experts, top-k routing
+  with k around 6, plus *shared experts* and a dense FFN in the first layer
+  that are always activated.
+
+The registry (:mod:`repro.models.registry`) instantiates scaled-down versions
+of both, plus dense / other-MoE shapes used only for kernel benchmarks, and
+also records the *full-size* layer shapes from the paper's Appendix C so the
+kernel throughput experiments sweep the exact GEMM dimensions of Table 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["MoEModelConfig"]
+
+
+@dataclass
+class MoEModelConfig:
+    """Architecture hyper-parameters for an MoE decoder transformer."""
+
+    name: str
+    vocab_size: int = 512
+    hidden_size: int = 64
+    intermediate_size: int = 144
+    num_layers: int = 2
+    num_heads: int = 4
+    num_kv_heads: int = 4
+    num_experts: int = 8
+    experts_per_token: int = 2
+    # DeepSeek-style extensions
+    num_shared_experts: int = 0
+    first_layer_dense: bool = False
+    dense_intermediate_size: int | None = None
+    # Routing imbalance: 0 -> perfectly balanced router logit priors,
+    # larger values -> more skewed expert activation frequencies (DeepSeek-like).
+    router_imbalance: float = 0.0
+    max_positions: int = 256
+    rope_base: float = 10000.0
+    rms_eps: float = 1e-6
+    seed: int = 0
+    # Multiplier on the LM-head logits.  Real trained checkpoints produce
+    # confident (low-entropy) next-token distributions; a random-weight mini
+    # model does not, so the scale is raised until the synthetic teacher's
+    # predictive entropy is in the range of a trained LM.  Perplexity on the
+    # teacher-consistent corpus is then sensitive to quantization error.
+    logit_scale: float = 1.0
+    # Distributional calibration of the synthetic checkpoint (see models.init).
+    attention_outlier_fraction: float = 0.01
+    attention_outlier_scale: float = 3.5
+    init_std: float = 0.02
+    # Metadata about the *full-size* model this mini config stands in for.
+    reference_params_billions: float | None = None
+    reference_fp16_gb: float | None = None
+    reference_ffn_shapes: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.hidden_size % self.num_heads != 0:
+            raise ValueError("hidden_size must be divisible by num_heads")
+        if self.num_heads % self.num_kv_heads != 0:
+            raise ValueError("num_heads must be divisible by num_kv_heads")
+        if self.experts_per_token > self.num_experts:
+            raise ValueError("experts_per_token cannot exceed num_experts")
+        if self.dense_intermediate_size is None:
+            self.dense_intermediate_size = self.intermediate_size
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden_size // self.num_heads
+
+    @property
+    def is_fine_grained(self) -> bool:
+        """Fine-grained MoE = many small experts (DeepSeek-style)."""
+        return self.num_experts >= 16

@@ -1,0 +1,97 @@
+"""Numerical primitives shared by the model substrate.
+
+All functions are vectorized numpy implementations operating on float64
+arrays.  They intentionally avoid any framework dependency so the whole
+reproduction runs on a CPU-only machine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "silu",
+    "gelu",
+    "cross_entropy",
+    "rms_norm",
+    "top_k_indices",
+    "one_hot",
+]
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    x = np.asarray(x, dtype=np.float64)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax along ``axis``."""
+    x = np.asarray(x, dtype=np.float64)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+
+
+def silu(x: np.ndarray) -> np.ndarray:
+    """SiLU / swish activation used by Mixtral- and DeepSeek-style experts."""
+    x = np.asarray(x, dtype=np.float64)
+    return x / (1.0 + np.exp(-x))
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """Tanh-approximation GELU."""
+    x = np.asarray(x, dtype=np.float64)
+    return 0.5 * x * (1.0 + np.tanh(np.sqrt(2.0 / np.pi) * (x + 0.044715 * x**3)))
+
+
+def cross_entropy(logits: np.ndarray, targets: np.ndarray) -> float:
+    """Mean token-level cross entropy.
+
+    Parameters
+    ----------
+    logits:
+        Array of shape ``(..., vocab)``.
+    targets:
+        Integer array broadcastable to ``logits.shape[:-1]``.
+    """
+    logp = log_softmax(logits, axis=-1)
+    flat_logp = logp.reshape(-1, logp.shape[-1])
+    flat_targets = np.asarray(targets).reshape(-1)
+    if flat_targets.shape[0] != flat_logp.shape[0]:
+        raise ValueError(
+            f"targets ({flat_targets.shape[0]}) do not match logits rows ({flat_logp.shape[0]})"
+        )
+    nll = -flat_logp[np.arange(flat_logp.shape[0]), flat_targets]
+    return float(np.mean(nll))
+
+
+def rms_norm(x: np.ndarray, weight: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Root-mean-square layer normalization (as used in Mixtral/DeepSeek)."""
+    x = np.asarray(x, dtype=np.float64)
+    variance = np.mean(x**2, axis=-1, keepdims=True)
+    return x / np.sqrt(variance + eps) * weight
+
+
+def top_k_indices(scores: np.ndarray, k: int, axis: int = -1) -> np.ndarray:
+    """Indices of the ``k`` largest entries along ``axis`` (descending order)."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if k > scores.shape[axis]:
+        raise ValueError(f"k={k} exceeds dimension {scores.shape[axis]}")
+    part = np.argpartition(-scores, k - 1, axis=axis)
+    topk = np.take(part, np.arange(k), axis=axis)
+    gathered = np.take_along_axis(scores, topk, axis=axis)
+    order = np.argsort(-gathered, axis=axis, kind="stable")
+    return np.take_along_axis(topk, order, axis=axis)
+
+
+def one_hot(indices: np.ndarray, depth: int) -> np.ndarray:
+    """One-hot encode an integer array to shape ``indices.shape + (depth,)``."""
+    indices = np.asarray(indices)
+    out = np.zeros(indices.shape + (depth,), dtype=np.float64)
+    np.put_along_axis(out, indices[..., None], 1.0, axis=-1)
+    return out

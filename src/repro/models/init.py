@@ -1,0 +1,129 @@
+"""Weight initializers that reproduce the paper's distributional observations.
+
+MiLo's adaptive rank policies are driven by two statistical properties of
+real MoE checkpoints (paper §3.1.1, Table 2, Fig. 2):
+
+* **Dense layers are heavy-tailed.**  Attention projections (and the shared /
+  dense FFN components of DeepSeek-MoE) have positive excess kurtosis, i.e.
+  pronounced channel-wise outliers.
+* **Sparse expert weights are platykurtic.**  Expert FFN weights have negative
+  excess kurtosis (lighter tails than a Gaussian).
+
+Since the original multi-billion-parameter checkpoints are unavailable in
+this environment, we *construct* weight matrices whose kurtosis matches the
+ranges the paper reports (Table 2: attention ≈ +1.6 for Mixtral, experts
+≈ -0.5 to -0.9), so every downstream analysis and policy sees the same
+signal it would see on the real models.
+
+The heavy-tailed generator mixes a Gaussian bulk with a small fraction of
+channel-structured outliers (outliers concentrated in a few input channels,
+as in Fig. 2a).  The light-tailed generator draws from a symmetric
+Beta-shaped distribution whose excess kurtosis is negative.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "heavy_tailed_weight",
+    "light_tailed_weight",
+    "gaussian_weight",
+    "excess_kurtosis",
+]
+
+
+def excess_kurtosis(w: np.ndarray) -> float:
+    """Excess kurtosis ``E[(x-mu)^4]/sigma^4 - 3`` of a weight matrix."""
+    x = np.asarray(w, dtype=np.float64).ravel()
+    mu = x.mean()
+    sigma2 = x.var()
+    if sigma2 == 0:
+        return 0.0
+    return float(np.mean((x - mu) ** 4) / sigma2**2 - 3.0)
+
+
+def gaussian_weight(
+    shape: tuple[int, int],
+    std: float = 0.02,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Plain Gaussian initialization (used for embeddings and router logits)."""
+    rng = rng or np.random.default_rng(0)
+    return rng.normal(0.0, std, size=shape)
+
+
+def heavy_tailed_weight(
+    shape: tuple[int, int],
+    std: float = 0.02,
+    outlier_fraction: float = 0.01,
+    outlier_scale: float = 3.5,
+    channel_structured: bool = True,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Heavy-tailed weights mimicking attention projections.
+
+    A Gaussian bulk plus a sparse set of large-magnitude outliers.  With
+    ``channel_structured=True`` the outliers are concentrated along a few
+    input channels, reproducing the channel-wise streaks visible in the
+    paper's Fig. 2(a).
+
+    The resulting excess kurtosis is strongly positive (typically between 1
+    and 15 depending on ``outlier_fraction`` / ``outlier_scale``).
+    """
+    rng = rng or np.random.default_rng(0)
+    out_features, in_features = shape
+    w = rng.normal(0.0, std, size=shape)
+
+    n_outliers = max(1, int(outlier_fraction * w.size))
+    if channel_structured:
+        # Pick a small number of "hot" input channels and put most outliers there.
+        n_channels = max(1, int(np.ceil(0.02 * in_features)))
+        hot_channels = rng.choice(in_features, size=n_channels, replace=False)
+        rows = rng.integers(0, out_features, size=n_outliers)
+        cols = rng.choice(hot_channels, size=n_outliers, replace=True)
+    else:
+        rows = rng.integers(0, out_features, size=n_outliers)
+        cols = rng.integers(0, in_features, size=n_outliers)
+    signs = rng.choice([-1.0, 1.0], size=n_outliers)
+    magnitudes = outlier_scale * std * (1.0 + rng.exponential(0.4, size=n_outliers))
+    w[rows, cols] += signs * magnitudes
+    return w
+
+
+def light_tailed_weight(
+    shape: tuple[int, int],
+    std: float = 0.02,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Light-tailed (platykurtic) weights mimicking sparse expert projections.
+
+    Samples a symmetric Beta(2, 2)-shaped variable rescaled to the requested
+    standard deviation; its excess kurtosis is -6/7 ≈ -0.857, in the range the
+    paper reports for expert weights (-0.53 for Mixtral, -0.89 for DeepSeek).
+    """
+    rng = rng or np.random.default_rng(0)
+    raw = rng.beta(2.0, 2.0, size=shape) - 0.5  # symmetric around zero, var = 1/20
+    return raw * (std / np.sqrt(1.0 / 20.0))
+
+
+def intermediate_tailed_weight(
+    shape: tuple[int, int],
+    std: float = 0.02,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Mildly leptokurtic weights for shared-expert / dense FFN layers.
+
+    The paper's Table 2 reports kurtosis ≈ +0.32 for DeepSeek shared experts —
+    between attention and sparse experts.  We mix a Gaussian bulk with a light
+    sprinkling of outliers to land in that range.
+    """
+    rng = rng or np.random.default_rng(0)
+    return heavy_tailed_weight(
+        shape,
+        std=std,
+        outlier_fraction=0.004,
+        outlier_scale=2.5,
+        channel_structured=False,
+        rng=rng,
+    )

@@ -1,0 +1,197 @@
+"""Linear layers: full precision, quantized, and quantized-plus-compensated.
+
+The three classes mirror the deployment states in the paper:
+
+* :class:`Linear` — the FP16 checkpoint weight (``W``).
+* :class:`QuantizedLinear` — a weight that has been replaced by its
+  de-quantized reconstruction ``Q^{-1}(Q(W))``, carrying the group-wise
+  scale/zero-point metadata so memory accounting reflects the packed INT-k
+  storage plus metadata.
+* :class:`CompensatedLinear` — the MiLo deployment form
+  ``W̃ = Q^{-1}(W_q) + Q^{-1}(U_q) Q^{-1}(V_q)``: a quantized base weight plus
+  a (possibly quantized) low-rank compensator evaluated as two skinny GEMMs.
+
+All layers compute ``y = x @ W.T + b`` with ``W`` of shape
+``(out_features, in_features)``, matching the HuggingFace convention used by
+Mixtral / DeepSeek checkpoints.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .module import Module
+from .parameter import FP16, LogicalDType, Parameter, tensor_bytes
+
+__all__ = ["Linear", "QuantizedLinear", "CompensatedLinear"]
+
+
+class Linear(Module):
+    """Full-precision linear layer ``y = x W^T + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        weight: Optional[np.ndarray] = None,
+        bias: Optional[np.ndarray] = None,
+        dtype: LogicalDType = FP16,
+    ) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        if weight is None:
+            weight = np.zeros((out_features, in_features))
+        if weight.shape != (out_features, in_features):
+            raise ValueError(
+                f"weight shape {weight.shape} != ({out_features}, {in_features})"
+            )
+        self.weight = Parameter(weight, dtype=dtype)
+        self.bias_values = None if bias is None else np.asarray(bias, dtype=np.float64)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        y = np.asarray(x, dtype=np.float64) @ self.weight.data.T
+        if self.bias_values is not None:
+            y = y + self.bias_values
+        return y
+
+    def effective_weight(self) -> np.ndarray:
+        """The dense weight this layer multiplies by (for analysis tooling)."""
+        return self.weight.data
+
+
+class QuantizedLinear(Module):
+    """Linear layer whose weight is a de-quantized INT-k reconstruction.
+
+    Parameters
+    ----------
+    dequantized_weight:
+        ``Q^{-1}(Q(W))`` — the reconstruction actually used in the forward
+        pass of a weight-only-quantized model.
+    bits:
+        Bit width of the stored quantized weight (e.g. 3 or 4).
+    group_size:
+        Quantization group size along the input dimension; determines how
+        many scale / zero-point entries are stored.
+    symmetric:
+        Symmetric quantization stores only scales; asymmetric stores scales
+        and zero points.  This affects :meth:`extra_memory_bytes`.
+    metadata_dtype_bits:
+        Width of each scale / zero-point entry (FP16 by default).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        dequantized_weight: np.ndarray,
+        bits: int,
+        group_size: int,
+        symmetric: bool = False,
+        bias: Optional[np.ndarray] = None,
+        metadata_dtype_bits: int = 16,
+    ) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.bits = bits
+        self.group_size = group_size
+        self.symmetric = symmetric
+        self.metadata_dtype_bits = metadata_dtype_bits
+        self.weight = Parameter(
+            dequantized_weight, dtype=LogicalDType(f"int{bits}", bits)
+        )
+        self.bias_values = None if bias is None else np.asarray(bias, dtype=np.float64)
+
+    def num_groups(self) -> int:
+        return self.out_features * int(np.ceil(self.in_features / self.group_size))
+
+    def extra_memory_bytes(self) -> float:
+        entries_per_group = 1 if self.symmetric else 2
+        return self.num_groups() * entries_per_group * self.metadata_dtype_bits / 8.0
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        y = np.asarray(x, dtype=np.float64) @ self.weight.data.T
+        if self.bias_values is not None:
+            y = y + self.bias_values
+        return y
+
+    def effective_weight(self) -> np.ndarray:
+        return self.weight.data
+
+
+class CompensatedLinear(QuantizedLinear):
+    """MiLo deployment layer: quantized base weight + low-rank compensator.
+
+    The forward pass evaluates the compensator as two skinny matmuls
+    (``(x V^T) U^T``), matching how a fused deployment kernel would apply it
+    without materializing the dense correction.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        dequantized_weight: np.ndarray,
+        U: np.ndarray,
+        V: np.ndarray,
+        bits: int,
+        group_size: int,
+        compensator_bits: int = 3,
+        compensator_group_size: int = 64,
+        symmetric: bool = False,
+        bias: Optional[np.ndarray] = None,
+        metadata_dtype_bits: int = 16,
+    ) -> None:
+        super().__init__(
+            in_features,
+            out_features,
+            dequantized_weight,
+            bits=bits,
+            group_size=group_size,
+            symmetric=symmetric,
+            bias=bias,
+            metadata_dtype_bits=metadata_dtype_bits,
+        )
+        U = np.asarray(U, dtype=np.float64)
+        V = np.asarray(V, dtype=np.float64)
+        if U.shape[0] != out_features or V.shape[1] != in_features:
+            raise ValueError(
+                f"compensator shapes {U.shape} x {V.shape} do not match weight "
+                f"({out_features}, {in_features})"
+            )
+        if U.shape[1] != V.shape[0]:
+            raise ValueError(f"rank mismatch between U {U.shape} and V {V.shape}")
+        self.rank = U.shape[1]
+        self.compensator_bits = compensator_bits
+        self.compensator_group_size = compensator_group_size
+        self.U = Parameter(U, dtype=LogicalDType(f"int{compensator_bits}", compensator_bits))
+        self.V = Parameter(V, dtype=LogicalDType(f"int{compensator_bits}", compensator_bits))
+
+    def extra_memory_bytes(self) -> float:
+        base = super().extra_memory_bytes()
+        if self.rank == 0:
+            return base
+        # Scales (and the symmetric scheme of Eq. 15 stores only scales) for
+        # the compensator groups.
+        comp_groups = (
+            self.U.size + self.V.size
+        ) / self.compensator_group_size
+        comp_meta = comp_groups * self.metadata_dtype_bits / 8.0
+        return base + comp_meta
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        y = x @ self.weight.data.T
+        if self.rank > 0:
+            y = y + (x @ self.V.data.T) @ self.U.data.T
+        if self.bias_values is not None:
+            y = y + self.bias_values
+        return y
+
+    def effective_weight(self) -> np.ndarray:
+        if self.rank == 0:
+            return self.weight.data
+        return self.weight.data + self.U.data @ self.V.data

@@ -1,0 +1,148 @@
+"""Minimal module system for the numpy model substrate.
+
+This mirrors the small subset of ``torch.nn.Module`` the reproduction needs:
+registration of parameters and submodules, recursive iteration with dotted
+names, and a uniform ``__call__ -> forward`` convention.  Keeping the surface
+tiny makes the quantization drivers in :mod:`repro.core` easy to reason about:
+they walk ``named_parameters()`` / ``named_modules()`` and swap weights in
+place.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+import numpy as np
+
+from .parameter import Parameter
+
+__all__ = ["Module"]
+
+
+class Module:
+    """Base class for all layers in the substrate."""
+
+    def __init__(self) -> None:
+        self._parameters: dict[str, Parameter] = {}
+        self._modules: dict[str, "Module"] = {}
+
+    # -- registration ---------------------------------------------------------
+    def register_parameter(self, name: str, param: Parameter) -> Parameter:
+        param.name = name
+        self._parameters[name] = param
+        return param
+
+    def register_module(self, name: str, module: "Module") -> "Module":
+        self._modules[name] = module
+        return module
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        if isinstance(value, Parameter):
+            if not hasattr(self, "_parameters"):
+                super().__setattr__("_parameters", {})
+            self._parameters[name] = value
+            value.name = name
+        elif isinstance(value, Module):
+            if not hasattr(self, "_modules"):
+                super().__setattr__("_modules", {})
+            self._modules[name] = value
+        super().__setattr__(name, value)
+
+    # -- iteration ------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}" if not prefix else f"{prefix}.{name}", param) if prefix else (name, param)
+        for mod_name, module in self._modules.items():
+            sub_prefix = f"{prefix}.{mod_name}" if prefix else mod_name
+            yield from module.named_parameters(sub_prefix)
+
+    def parameters(self) -> Iterator[Parameter]:
+        for _, p in self.named_parameters():
+            yield p
+
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        yield prefix, self
+        for mod_name, module in self._modules.items():
+            sub_prefix = f"{prefix}.{mod_name}" if prefix else mod_name
+            yield from module.named_modules(sub_prefix)
+
+    def modules(self) -> Iterator["Module"]:
+        for _, m in self.named_modules():
+            yield m
+
+    def get_submodule(self, path: str) -> "Module":
+        """Resolve a dotted path such as ``"layers.0.attn.q_proj"``."""
+        module: Module = self
+        if not path:
+            return module
+        for part in path.split("."):
+            if part in module._modules:
+                module = module._modules[part]
+            else:
+                raise KeyError(f"no submodule {part!r} in path {path!r}")
+        return module
+
+    def get_parameter(self, path: str) -> Parameter:
+        """Resolve a dotted parameter path such as ``"layers.0.attn.q_proj.weight"``."""
+        if "." in path:
+            mod_path, param_name = path.rsplit(".", 1)
+            try:
+                module = self.get_submodule(mod_path)
+            except KeyError:
+                module = self
+                param_name = path
+        else:
+            module, param_name = self, path
+        if param_name not in module._parameters:
+            raise KeyError(f"no parameter {path!r}")
+        return module._parameters[param_name]
+
+    # -- accounting -----------------------------------------------------------
+    def num_parameters(self) -> int:
+        return sum(p.numel() for p in self.parameters())
+
+    def memory_bytes(self) -> float:
+        """Total logical storage footprint in bytes.
+
+        Counts every parameter at its logical dtype plus any per-module extra
+        storage (quantization scales/zero-points, packed side tables, low-rank
+        compensators) reported by :meth:`extra_memory_bytes`.
+        """
+        total = sum(p.nbytes_logical() for p in self.parameters())
+        total += sum(module.extra_memory_bytes() for module in self.modules())
+        return total
+
+    def extra_memory_bytes(self) -> float:
+        """Extra storage not captured by parameters (e.g. quantization metadata).
+
+        Subclasses such as quantized linear layers override this to account
+        for scales, zero points and packed-weight side tables.
+        """
+        return 0.0
+
+    # -- forward --------------------------------------------------------------
+    def forward(self, *args: Any, **kwargs: Any) -> Any:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        return self.forward(*args, **kwargs)
+
+    # -- state dict -----------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise ValueError(
+                f"state dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}"
+            )
+        for name, values in state.items():
+            param = own[name]
+            if param.data.shape != np.asarray(values).shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: {param.data.shape} vs {np.asarray(values).shape}"
+                )
+            param.data = np.asarray(values, dtype=np.float64).copy()

@@ -1,0 +1,165 @@
+"""Mixture-of-Experts feed-forward layers.
+
+Two layer flavours are provided:
+
+* :class:`MoEFeedForward` — Mixtral-style sparse MoE: ``num_experts`` SwiGLU
+  experts, a top-k router, no always-on component.
+* :class:`FineGrainedMoEFeedForward` — DeepSeek-style MoE: many small routed
+  experts plus ``num_shared_experts`` shared experts that every token passes
+  through (the *dense* component the paper's Dense-{r} policy also covers).
+
+Both flavours expose ``iter_expert_linears()`` / ``iter_dense_linears()`` so
+quantization drivers and rank policies can distinguish sparsely-activated
+weights from dense ones without caring which model family they came from.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from .config import MoEModelConfig
+from .functional import silu
+from .init import intermediate_tailed_weight, light_tailed_weight
+from .linear import Linear
+from .module import Module
+from .router import TopKRouter
+
+__all__ = ["SwiGLUExpert", "MoEFeedForward", "FineGrainedMoEFeedForward", "DenseFeedForward"]
+
+
+class SwiGLUExpert(Module):
+    """A single SwiGLU expert: ``w2(silu(w1 x) * w3 x)``.
+
+    ``w1``/``w3`` are the gate/up projections ``(intermediate, hidden)`` and
+    ``w2`` is the down projection ``(hidden, intermediate)`` — the same three
+    matrices per expert as Mixtral and DeepSeek (Appendix C of the paper).
+    """
+
+    def __init__(
+        self,
+        hidden_size: int,
+        intermediate_size: int,
+        rng: np.random.Generator,
+        init_std: float = 0.02,
+        weight_init=light_tailed_weight,
+    ) -> None:
+        super().__init__()
+        self.hidden_size = hidden_size
+        self.intermediate_size = intermediate_size
+        self.w1 = Linear(
+            hidden_size, intermediate_size,
+            weight=weight_init((intermediate_size, hidden_size), std=init_std, rng=rng),
+        )
+        self.w2 = Linear(
+            intermediate_size, hidden_size,
+            weight=weight_init((hidden_size, intermediate_size), std=init_std, rng=rng),
+        )
+        self.w3 = Linear(
+            hidden_size, intermediate_size,
+            weight=weight_init((intermediate_size, hidden_size), std=init_std, rng=rng),
+        )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.w2(silu(self.w1(x)) * self.w3(x))
+
+
+class DenseFeedForward(SwiGLUExpert):
+    """A dense (always-activated) SwiGLU FFN, used for DeepSeek's first layer."""
+
+    def __init__(
+        self,
+        hidden_size: int,
+        intermediate_size: int,
+        rng: np.random.Generator,
+        init_std: float = 0.02,
+    ) -> None:
+        super().__init__(
+            hidden_size,
+            intermediate_size,
+            rng,
+            init_std=init_std,
+            weight_init=intermediate_tailed_weight,
+        )
+
+
+class MoEFeedForward(Module):
+    """Mixtral-style sparse MoE FFN with top-k routing."""
+
+    def __init__(self, config: MoEModelConfig, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.config = config
+        self.router = TopKRouter(
+            config.hidden_size,
+            config.num_experts,
+            config.experts_per_token,
+            imbalance=config.router_imbalance,
+            rng=rng,
+        )
+        self.experts = [
+            SwiGLUExpert(
+                config.hidden_size, config.intermediate_size, rng, init_std=config.init_std
+            )
+            for _ in range(config.num_experts)
+        ]
+        for i, expert in enumerate(self.experts):
+            self.register_module(f"expert_{i}", expert)
+
+    # -- introspection for quantization / rank policies -----------------------
+    def iter_expert_linears(self) -> Iterator[tuple[str, int, Linear]]:
+        """Yield ``(name, expert_index, linear)`` for every routed-expert weight."""
+        for i, expert in enumerate(self.experts):
+            for proj in ("w1", "w2", "w3"):
+                yield f"expert_{i}.{proj}", i, getattr(expert, proj)
+
+    def iter_dense_linears(self) -> Iterator[tuple[str, Linear]]:
+        """Yield always-activated linears inside the MoE block (none for Mixtral)."""
+        return iter(())
+
+    def forward(self, hidden: np.ndarray) -> np.ndarray:
+        """Apply the MoE FFN to ``hidden`` of shape ``(B, T, H)``."""
+        hidden = np.asarray(hidden, dtype=np.float64)
+        b, t, h = hidden.shape
+        flat = hidden.reshape(-1, h)
+        routing = self.router(flat)
+        out = np.zeros_like(flat)
+        for expert_idx, expert in enumerate(self.experts):
+            token_mask = routing.expert_indices == expert_idx  # (tokens, k)
+            token_rows, slot_cols = np.nonzero(token_mask)
+            if token_rows.size == 0:
+                continue
+            gate = routing.expert_weights[token_rows, slot_cols][:, None]
+            out[token_rows] += gate * expert(flat[token_rows])
+        return out.reshape(b, t, h)
+
+
+class FineGrainedMoEFeedForward(MoEFeedForward):
+    """DeepSeek-style MoE FFN: fine-grained routed experts + shared experts."""
+
+    def __init__(self, config: MoEModelConfig, rng: np.random.Generator) -> None:
+        super().__init__(config, rng)
+        self.shared_experts = [
+            SwiGLUExpert(
+                config.hidden_size,
+                config.intermediate_size,
+                rng,
+                init_std=config.init_std,
+                weight_init=intermediate_tailed_weight,
+            )
+            for _ in range(config.num_shared_experts)
+        ]
+        for i, expert in enumerate(self.shared_experts):
+            self.register_module(f"shared_expert_{i}", expert)
+
+    def iter_dense_linears(self) -> Iterator[tuple[str, Linear]]:
+        for i, expert in enumerate(self.shared_experts):
+            for proj in ("w1", "w2", "w3"):
+                yield f"shared_expert_{i}.{proj}", getattr(expert, proj)
+
+    def forward(self, hidden: np.ndarray) -> np.ndarray:
+        routed = super().forward(hidden)
+        shared = np.zeros_like(routed)
+        for expert in self.shared_experts:
+            shared = shared + expert(hidden)
+        return routed + shared

@@ -1,0 +1,24 @@
+"""Normalization layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .functional import rms_norm
+from .module import Module
+from .parameter import FP16, Parameter
+
+__all__ = ["RMSNorm"]
+
+
+class RMSNorm(Module):
+    """Root-mean-square normalization with a learned scale (Mixtral/DeepSeek style)."""
+
+    def __init__(self, hidden_size: int, eps: float = 1e-6) -> None:
+        super().__init__()
+        self.hidden_size = hidden_size
+        self.eps = eps
+        self.weight = Parameter(np.ones(hidden_size), dtype=FP16)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return rms_norm(x, self.weight.data, eps=self.eps)

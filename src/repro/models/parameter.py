@@ -1,0 +1,128 @@
+"""Parameter and dtype bookkeeping for the numpy model substrate.
+
+The reproduction stores model weights as plain ``numpy.ndarray`` objects
+wrapped in :class:`Parameter`, which additionally records a *logical* storage
+dtype.  The logical dtype is what a real deployment would keep the tensor in
+(``fp16``, ``int4``, ``int3`` ...) and is what all memory accounting in the
+paper's tables is based on, while the arithmetic in this substrate is done in
+float64/float32 for numerical clarity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["LogicalDType", "Parameter", "bits_per_element", "tensor_bytes"]
+
+
+@dataclass(frozen=True)
+class LogicalDType:
+    """A logical storage dtype with an explicit bit width.
+
+    Attributes
+    ----------
+    name:
+        Human readable name, e.g. ``"fp16"`` or ``"int3"``.
+    bits:
+        Number of bits one element occupies when stored (before packing
+        overhead, which is zero for the MiLo packing scheme).
+    """
+
+    name: str
+    bits: float
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+FP32 = LogicalDType("fp32", 32)
+FP16 = LogicalDType("fp16", 16)
+BF16 = LogicalDType("bf16", 16)
+INT8 = LogicalDType("int8", 8)
+INT4 = LogicalDType("int4", 4)
+INT3 = LogicalDType("int3", 3)
+INT2 = LogicalDType("int2", 2)
+
+_DTYPES = {d.name: d for d in (FP32, FP16, BF16, INT8, INT4, INT3, INT2)}
+
+
+def bits_per_element(dtype: str | LogicalDType) -> float:
+    """Return the storage width in bits of a logical dtype.
+
+    Parameters
+    ----------
+    dtype:
+        Either a :class:`LogicalDType` or its string name.
+    """
+    if isinstance(dtype, LogicalDType):
+        return dtype.bits
+    try:
+        return _DTYPES[dtype].bits
+    except KeyError as exc:  # pragma: no cover - defensive
+        raise ValueError(f"unknown logical dtype {dtype!r}") from exc
+
+
+def tensor_bytes(shape: tuple[int, ...], dtype: str | LogicalDType) -> float:
+    """Bytes needed to store a tensor of ``shape`` at logical ``dtype``."""
+    n = int(np.prod(shape)) if shape else 1
+    return n * bits_per_element(dtype) / 8.0
+
+
+class Parameter:
+    """A named weight tensor with a logical storage dtype.
+
+    Parameters
+    ----------
+    data:
+        The weight values.  Stored as ``float64`` internally for numerical
+        reproducibility of the quantization algorithms.
+    dtype:
+        Logical storage dtype used for memory accounting.  Defaults to fp16,
+        matching the half-precision checkpoints the paper starts from.
+    name:
+        Optional name; usually assigned by the owning :class:`Module`.
+    """
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        dtype: str | LogicalDType = FP16,
+        name: str = "",
+    ) -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.logical_dtype = dtype if isinstance(dtype, LogicalDType) else _DTYPES[dtype]
+        self.name = name
+
+    # -- basic tensor-ish API -------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    def numel(self) -> int:
+        return self.size
+
+    def nbytes_logical(self) -> float:
+        """Storage footprint in bytes at the logical dtype."""
+        return tensor_bytes(self.shape, self.logical_dtype)
+
+    def copy(self) -> "Parameter":
+        return Parameter(self.data.copy(), self.logical_dtype, self.name)
+
+    def __array__(self, dtype=None) -> np.ndarray:
+        return self.data if dtype is None else self.data.astype(dtype)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter(name={self.name!r}, shape={self.shape}, dtype={self.logical_dtype})"
+
+
+def iter_chunks(a: np.ndarray, chunk: int) -> Iterator[np.ndarray]:
+    """Yield contiguous row chunks of ``a`` of at most ``chunk`` rows."""
+    for start in range(0, a.shape[0], chunk):
+        yield a[start : start + chunk]

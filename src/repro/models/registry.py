@@ -1,0 +1,228 @@
+"""Model registry: mini reproductions of the paper's evaluation targets.
+
+Two kinds of information live here:
+
+1. **Mini model configs** that can actually be instantiated and run on CPU.
+   They preserve the architectural *structure* (coarse vs. fine-grained MoE,
+   shared experts, routing imbalance, dense first layer) and the weight
+   *statistics* (kurtosis contrast between dense and sparse layers) of the
+   full models, at a scale where quantization + evaluation complete in
+   seconds.
+
+2. **Full-size reference metadata** — parameter counts, FP16 footprints, and
+   the exact FFN GEMM shapes from the paper's Appendix C (Table 9) — used by
+   the kernel benchmarks (Fig. 9/10, Table 7) and the memory-accounting
+   checks (e.g. "Mixtral-8x7B needs ~90 GB in FP16 and therefore OOMs a
+   40 GB A100").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import MoEModelConfig
+from .transformer import MoETransformer
+
+__all__ = [
+    "MODEL_CONFIGS",
+    "REFERENCE_FFN_SHAPES",
+    "FullModelSpec",
+    "FULL_MODEL_SPECS",
+    "get_config",
+    "build_model",
+    "available_models",
+]
+
+# ---------------------------------------------------------------------------
+# Full-size GEMM shapes (paper Appendix C, Table 9).  (in_features, out_features)
+# per FFN projection, expressed as the (k, n) of the weight-only GEMM
+# x[m, k] @ W[k, n].
+# ---------------------------------------------------------------------------
+REFERENCE_FFN_SHAPES: dict[str, dict[str, tuple[int, int]]] = {
+    "deepseek-moe": {
+        "w1": (2048, 11008),
+        "w2": (11008, 2048),
+        "w3": (2048, 11008),
+    },
+    "arctic-moe": {
+        "w1": (7168, 4864),
+        "w2": (4864, 7168),
+        "w3": (7168, 4864),
+    },
+    "mixtral-8x7b": {
+        "w1": (4096, 14336),
+        "w2": (14336, 4096),
+        "w3": (4096, 14336),
+    },
+    "falcon-180b": {
+        "w1": (14848, 14848 * 5),
+        "w2": (14848 * 5, 14848),
+    },
+}
+
+
+@dataclass(frozen=True)
+class FullModelSpec:
+    """Reference metadata about a full-size model used in the paper."""
+
+    name: str
+    params_billions: float
+    fp16_gb: float
+    num_layers: int
+    hidden_size: int
+    intermediate_size: int
+    num_experts: int
+    experts_per_token: int
+    num_shared_experts: int = 0
+    notes: str = ""
+
+    @property
+    def ffn_shapes(self) -> dict[str, tuple[int, int]]:
+        return REFERENCE_FFN_SHAPES.get(self.name, {})
+
+
+FULL_MODEL_SPECS: dict[str, FullModelSpec] = {
+    "mixtral-8x7b": FullModelSpec(
+        name="mixtral-8x7b",
+        params_billions=46.7,
+        fp16_gb=90.0,
+        num_layers=32,
+        hidden_size=4096,
+        intermediate_size=14336,
+        num_experts=8,
+        experts_per_token=2,
+        notes="Coarse-grained MoE; ~90GB FP16, exceeds one A100.",
+    ),
+    "deepseek-moe": FullModelSpec(
+        name="deepseek-moe",
+        params_billions=16.4,
+        fp16_gb=31.0,
+        num_layers=28,
+        hidden_size=2048,
+        intermediate_size=1408,
+        num_experts=64,
+        experts_per_token=6,
+        num_shared_experts=2,
+        notes="Fine-grained MoE with shared experts and a dense first layer.",
+    ),
+    "arctic-moe": FullModelSpec(
+        name="arctic-moe",
+        params_billions=480.0,
+        fp16_gb=960.0,
+        num_layers=35,
+        hidden_size=7168,
+        intermediate_size=4864,
+        num_experts=128,
+        experts_per_token=2,
+        notes="Used only for kernel GEMM shape sweeps (Fig. 9).",
+    ),
+    "falcon-180b": FullModelSpec(
+        name="falcon-180b",
+        params_billions=180.0,
+        fp16_gb=360.0,
+        num_layers=80,
+        hidden_size=14848,
+        intermediate_size=14848 * 5,
+        num_experts=1,
+        experts_per_token=1,
+        notes="Dense model; used only for kernel GEMM shape sweeps (Fig. 9).",
+    ),
+}
+
+
+# ---------------------------------------------------------------------------
+# Mini model configurations (instantiable on CPU).
+# ---------------------------------------------------------------------------
+MODEL_CONFIGS: dict[str, MoEModelConfig] = {
+    # Mixtral-style: 8 big experts, top-2, no shared experts, balanced-ish router.
+    "mixtral-mini": MoEModelConfig(
+        name="mixtral-mini",
+        vocab_size=512,
+        hidden_size=64,
+        intermediate_size=144,
+        num_layers=3,
+        num_heads=4,
+        num_kv_heads=2,
+        num_experts=8,
+        experts_per_token=2,
+        router_imbalance=0.4,
+        logit_scale=30.0,
+        seed=1234,
+        reference_params_billions=46.7,
+        reference_fp16_gb=90.0,
+        reference_ffn_shapes=REFERENCE_FFN_SHAPES["mixtral-8x7b"],
+    ),
+    # DeepSeek-style: many small experts, top-6, 2 shared experts, dense first
+    # layer, strongly imbalanced router (paper Fig. 3 reports ~11.7x skew).
+    "deepseek-moe-mini": MoEModelConfig(
+        name="deepseek-moe-mini",
+        vocab_size=512,
+        hidden_size=64,
+        intermediate_size=48,
+        num_layers=3,
+        num_heads=4,
+        num_kv_heads=4,
+        num_experts=32,
+        experts_per_token=6,
+        num_shared_experts=2,
+        first_layer_dense=True,
+        dense_intermediate_size=144,
+        router_imbalance=1.6,
+        logit_scale=30.0,
+        seed=4321,
+        reference_params_billions=16.4,
+        reference_fp16_gb=31.0,
+        reference_ffn_shapes=REFERENCE_FFN_SHAPES["deepseek-moe"],
+    ),
+    # Tiny configs for fast unit tests.
+    "tiny-moe": MoEModelConfig(
+        name="tiny-moe",
+        vocab_size=64,
+        hidden_size=32,
+        intermediate_size=40,
+        num_layers=2,
+        num_heads=2,
+        num_kv_heads=2,
+        num_experts=4,
+        experts_per_token=2,
+        router_imbalance=0.5,
+        logit_scale=30.0,
+        seed=7,
+    ),
+    "tiny-finegrained": MoEModelConfig(
+        name="tiny-finegrained",
+        vocab_size=64,
+        hidden_size=32,
+        intermediate_size=24,
+        num_layers=2,
+        num_heads=2,
+        num_kv_heads=2,
+        num_experts=16,
+        experts_per_token=4,
+        num_shared_experts=1,
+        first_layer_dense=True,
+        router_imbalance=1.5,
+        logit_scale=30.0,
+        seed=11,
+    ),
+}
+
+
+def available_models() -> list[str]:
+    """Names of instantiable mini models."""
+    return sorted(MODEL_CONFIGS)
+
+
+def get_config(name: str) -> MoEModelConfig:
+    """Look up a mini model configuration by name."""
+    try:
+        return MODEL_CONFIGS[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown model {name!r}; available: {', '.join(available_models())}"
+        ) from exc
+
+
+def build_model(name: str) -> MoETransformer:
+    """Instantiate a mini model with its calibrated synthetic checkpoint."""
+    return MoETransformer(get_config(name))

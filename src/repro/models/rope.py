@@ -1,0 +1,57 @@
+"""Rotary positional embeddings (RoPE)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["RotaryEmbedding", "apply_rotary"]
+
+
+class RotaryEmbedding:
+    """Precomputes RoPE cos/sin tables for a given head dimension.
+
+    Parameters
+    ----------
+    head_dim:
+        Per-head dimension (must be even).
+    base:
+        Frequency base (10000 in Mixtral / DeepSeek).
+    max_positions:
+        Longest sequence the cache covers; extended lazily if exceeded.
+    """
+
+    def __init__(self, head_dim: int, base: float = 10000.0, max_positions: int = 512) -> None:
+        if head_dim % 2 != 0:
+            raise ValueError("head_dim must be even for rotary embeddings")
+        self.head_dim = head_dim
+        self.base = base
+        self._build(max_positions)
+
+    def _build(self, max_positions: int) -> None:
+        self.max_positions = max_positions
+        inv_freq = 1.0 / (
+            self.base ** (np.arange(0, self.head_dim, 2, dtype=np.float64) / self.head_dim)
+        )
+        t = np.arange(max_positions, dtype=np.float64)
+        freqs = np.outer(t, inv_freq)  # (T, head_dim/2)
+        self.cos = np.cos(freqs)
+        self.sin = np.sin(freqs)
+
+    def tables(self, seq_len: int) -> tuple[np.ndarray, np.ndarray]:
+        if seq_len > self.max_positions:
+            self._build(int(2 ** np.ceil(np.log2(seq_len))))
+        return self.cos[:seq_len], self.sin[:seq_len]
+
+
+def apply_rotary(x: np.ndarray, cos: np.ndarray, sin: np.ndarray) -> np.ndarray:
+    """Apply rotary embedding to ``x`` of shape ``(..., T, head_dim)``.
+
+    ``cos`` / ``sin`` have shape ``(T, head_dim/2)``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    x1 = x[..., 0::2]
+    x2 = x[..., 1::2]
+    out = np.empty_like(x)
+    out[..., 0::2] = x1 * cos - x2 * sin
+    out[..., 1::2] = x1 * sin + x2 * cos
+    return out

@@ -1,0 +1,178 @@
+"""Decoder-only MoE transformer.
+
+This is the substrate the whole reproduction runs on: quantization algorithms
+walk its layers, the evaluation harness computes perplexity and task scores
+from its logits, and the analysis tooling inspects its weights and router
+counts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from .attention import MultiHeadAttention
+from .config import MoEModelConfig
+from .functional import log_softmax
+from .init import gaussian_weight
+from .linear import Linear
+from .moe import DenseFeedForward, FineGrainedMoEFeedForward, MoEFeedForward
+from .module import Module
+from .norm import RMSNorm
+from .parameter import FP16, Parameter
+
+__all__ = ["TransformerBlock", "MoETransformer", "LayerKind", "classify_parameter"]
+
+
+class TransformerBlock(Module):
+    """Pre-norm block: attention + (MoE or dense) feed-forward with residuals."""
+
+    def __init__(self, config: MoEModelConfig, layer_index: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.layer_index = layer_index
+        self.input_norm = RMSNorm(config.hidden_size, eps=config.rms_eps)
+        self.attn = MultiHeadAttention(config, rng)
+        self.post_attn_norm = RMSNorm(config.hidden_size, eps=config.rms_eps)
+        if config.first_layer_dense and layer_index == 0:
+            self.ffn: Module = DenseFeedForward(
+                config.hidden_size, config.dense_intermediate_size, rng, init_std=config.init_std
+            )
+        elif config.num_shared_experts > 0:
+            self.ffn = FineGrainedMoEFeedForward(config, rng)
+        else:
+            self.ffn = MoEFeedForward(config, rng)
+
+    @property
+    def is_moe(self) -> bool:
+        return isinstance(self.ffn, MoEFeedForward)
+
+    def forward(self, hidden: np.ndarray) -> np.ndarray:
+        hidden = hidden + self.attn(self.input_norm(hidden))
+        hidden = hidden + self.ffn(self.post_attn_norm(hidden))
+        return hidden
+
+
+class LayerKind:
+    """Categories a weight matrix can belong to, per the paper's Table 2."""
+
+    ATTENTION = "attention"          # dense (D), attention projections
+    SHARED_EXPERT = "shared_expert"  # dense (D), DeepSeek shared experts / dense FFN
+    EXPERT = "expert"                # sparse (S), routed experts
+    OTHER = "other"                  # embeddings, norms, router gates, lm head
+
+    DENSE_KINDS = frozenset({ATTENTION, SHARED_EXPERT})
+    QUANTIZABLE_KINDS = frozenset({ATTENTION, SHARED_EXPERT, EXPERT})
+
+
+def classify_parameter(name: str) -> str:
+    """Classify a dotted parameter/module name into a :class:`LayerKind`.
+
+    The naming scheme is fixed by the substrate's modules:
+    ``layers.<i>.attn.{q,k,v,o}_proj.weight``,
+    ``layers.<i>.ffn.expert_<e>.w{1,2,3}.weight``,
+    ``layers.<i>.ffn.shared_expert_<e>.w{1,2,3}.weight``,
+    ``layers.<i>.ffn.w{1,2,3}.weight`` (dense first layer), plus embeddings,
+    norms, gate, and the LM head.
+    """
+    if ".attn." in name and name.endswith("weight") and "norm" not in name:
+        return LayerKind.ATTENTION
+    if ".ffn.shared_expert_" in name:
+        return LayerKind.SHARED_EXPERT
+    if ".ffn.expert_" in name:
+        return LayerKind.EXPERT
+    if ".ffn.w1." in name or ".ffn.w2." in name or ".ffn.w3." in name:
+        # Dense first-layer FFN in DeepSeek-style models.
+        return LayerKind.SHARED_EXPERT
+    return LayerKind.OTHER
+
+
+class MoETransformer(Module):
+    """Decoder-only MoE language model.
+
+    Parameters
+    ----------
+    config:
+        Architecture definition.  The constructor synthesizes a checkpoint
+        whose layer-wise weight statistics follow the calibration targets in
+        :mod:`repro.models.init`.
+    """
+
+    def __init__(self, config: MoEModelConfig) -> None:
+        super().__init__()
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        self.embedding = Parameter(
+            gaussian_weight((config.vocab_size, config.hidden_size), std=config.init_std, rng=rng),
+            dtype=FP16,
+        )
+        self.layers = [
+            TransformerBlock(config, layer_index=i, rng=rng) for i in range(config.num_layers)
+        ]
+        for i, layer in enumerate(self.layers):
+            self.register_module(f"layer_{i}", layer)
+        self.final_norm = RMSNorm(config.hidden_size, eps=config.rms_eps)
+        self.lm_head = Linear(
+            config.hidden_size,
+            config.vocab_size,
+            weight=gaussian_weight((config.vocab_size, config.hidden_size), std=config.init_std, rng=rng),
+        )
+
+    # -- forward ---------------------------------------------------------------
+    def forward(self, token_ids: np.ndarray) -> np.ndarray:
+        """Return logits of shape ``(B, T, vocab)`` for integer ``token_ids`` (B, T)."""
+        token_ids = np.asarray(token_ids)
+        if token_ids.ndim == 1:
+            token_ids = token_ids[None, :]
+        if token_ids.ndim != 2:
+            raise ValueError(f"token_ids must be (batch, seq), got {token_ids.shape}")
+        if token_ids.min() < 0 or token_ids.max() >= self.config.vocab_size:
+            raise ValueError("token id out of vocabulary range")
+        hidden = self.embedding.data[token_ids]
+        for layer in self.layers:
+            hidden = layer(hidden)
+        hidden = self.final_norm(hidden)
+        return self.lm_head(hidden) * self.config.logit_scale
+
+    def log_probs(self, token_ids: np.ndarray) -> np.ndarray:
+        """Log-probabilities over the vocabulary for each position."""
+        return log_softmax(self.forward(token_ids), axis=-1)
+
+    # -- structure introspection -------------------------------------------------
+    def iter_quantizable(self) -> Iterator[tuple[str, str, Linear]]:
+        """Yield ``(param_path, kind, linear)`` for every quantizable weight matrix.
+
+        Quantizable weights are the attention projections, routed expert
+        projections, and shared-expert / dense-FFN projections — i.e. the
+        weights that dominate model memory.  Embeddings, norms, the router
+        gate, and the LM head are left in FP16, matching the paper's
+        weight-only grouped quantization setting.
+        """
+        for mod_name, module in self.named_modules():
+            # Only plain Linear layers are quantization *sources*; already
+            # quantized layers (QuantizedLinear subclasses Module directly)
+            # and non-linear modules are skipped.
+            if type(module) is not Linear:
+                continue
+            param_path = f"{mod_name}.weight"
+            kind = classify_parameter(param_path)
+            if kind in LayerKind.QUANTIZABLE_KINDS:
+                yield param_path, kind, module
+
+    def expert_activation_counts(self) -> dict[int, np.ndarray]:
+        """Per-layer cumulative expert activation counts from the routers."""
+        counts: dict[int, np.ndarray] = {}
+        for i, layer in enumerate(self.layers):
+            ffn = layer.ffn
+            if isinstance(ffn, MoEFeedForward):
+                counts[i] = ffn.router.activation_counts.copy()
+        return counts
+
+    def reset_expert_counts(self) -> None:
+        for layer in self.layers:
+            if isinstance(layer.ffn, MoEFeedForward):
+                layer.ffn.router.reset_counts()
+
+    def weight_memory_gb(self) -> float:
+        """Logical weight footprint in GiB (what Tables 3 and 7 report)."""
+        return self.memory_bytes() / (1024**3)

@@ -1,0 +1,45 @@
+"""Quantization substrate: grids, RTN, HQQ, GPTQ, symmetric compensator quantization."""
+
+from .base import MatrixQuantizer, QuantizedMatrix
+from .calibration import ActivationCatcher, capture_layer_inputs
+from .gptq import GPTQQuantizer
+from .grid import (
+    GroupedWeight,
+    QuantGrid,
+    dequantize_with_grid,
+    fit_minmax_grid,
+    from_groups,
+    quantization_error,
+    quantize_with_grid,
+    to_groups,
+)
+from .hqq import HQQConfig, HQQQuantizer, shrink_lp
+from .rtn import RTNQuantizer
+from .symmetric import SymmetricQuantizedTensor, dequantize_symmetric, quantize_symmetric
+from .timing import PER_BILLION_SECONDS, QuantTimer, project_full_model_time
+
+__all__ = [
+    "QuantizedMatrix",
+    "MatrixQuantizer",
+    "RTNQuantizer",
+    "HQQQuantizer",
+    "HQQConfig",
+    "GPTQQuantizer",
+    "shrink_lp",
+    "QuantGrid",
+    "GroupedWeight",
+    "to_groups",
+    "from_groups",
+    "fit_minmax_grid",
+    "quantize_with_grid",
+    "dequantize_with_grid",
+    "quantization_error",
+    "quantize_symmetric",
+    "dequantize_symmetric",
+    "SymmetricQuantizedTensor",
+    "ActivationCatcher",
+    "capture_layer_inputs",
+    "QuantTimer",
+    "project_full_model_time",
+    "PER_BILLION_SECONDS",
+]

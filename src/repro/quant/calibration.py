@@ -1,0 +1,107 @@
+"""Calibration-data capture for calibration-based quantizers (GPTQ).
+
+GPTQ needs, for every linear layer, a sample of the inputs that layer sees so
+it can build the Hessian ``H = X^T X``.  This module provides a context
+manager that temporarily instruments selected :class:`~repro.models.linear.Linear`
+modules, runs the model on calibration token batches, and collects a bounded
+number of input rows per layer.
+
+The capture is what makes GPTQ slow and data-dependent — the two downsides
+the paper contrasts with MiLo's calibration-free design — so the reproduction
+keeps it as an explicit, measurable stage.
+"""
+
+from __future__ import annotations
+
+import types
+from contextlib import contextmanager
+from typing import Iterator
+
+import numpy as np
+
+from ..models.linear import Linear
+from ..models.module import Module
+
+__all__ = ["ActivationCatcher", "capture_layer_inputs"]
+
+
+class ActivationCatcher:
+    """Accumulates flattened input rows for a set of named linear layers."""
+
+    def __init__(self, max_rows_per_layer: int = 2048) -> None:
+        self.max_rows_per_layer = max_rows_per_layer
+        self._buffers: dict[str, list[np.ndarray]] = {}
+        self._counts: dict[str, int] = {}
+
+    def record(self, name: str, inputs: np.ndarray) -> None:
+        rows = np.asarray(inputs, dtype=np.float64).reshape(-1, inputs.shape[-1])
+        seen = self._counts.get(name, 0)
+        budget = self.max_rows_per_layer - seen
+        if budget <= 0:
+            return
+        rows = rows[:budget]
+        self._buffers.setdefault(name, []).append(rows)
+        self._counts[name] = seen + rows.shape[0]
+
+    def inputs_for(self, name: str) -> np.ndarray | None:
+        """Stacked calibration inputs for a layer, or ``None`` if never activated.
+
+        Sparsely-routed experts may see no tokens at all during calibration —
+        exactly the calibration-bias failure mode the paper calls out.
+        """
+        chunks = self._buffers.get(name)
+        if not chunks:
+            return None
+        return np.concatenate(chunks, axis=0)
+
+    def captured_layers(self) -> list[str]:
+        return sorted(self._buffers)
+
+    def total_rows(self) -> int:
+        return sum(self._counts.values())
+
+
+@contextmanager
+def capture_layer_inputs(
+    model: Module,
+    layer_names: list[str] | None = None,
+    max_rows_per_layer: int = 2048,
+) -> Iterator[ActivationCatcher]:
+    """Instrument ``model`` so that forward passes record linear-layer inputs.
+
+    Parameters
+    ----------
+    model:
+        Any module tree containing :class:`Linear` layers.
+    layer_names:
+        Dotted module names to capture (default: every plain ``Linear``).
+    catcher yielded:
+        Call the model inside the ``with`` block, then query the catcher.
+    """
+    catcher = ActivationCatcher(max_rows_per_layer=max_rows_per_layer)
+    wanted = set(layer_names) if layer_names is not None else None
+    patched: list[tuple[Linear, object]] = []
+
+    for mod_name, module in model.named_modules():
+        if type(module) is not Linear:
+            continue
+        if wanted is not None and mod_name not in wanted:
+            continue
+
+        original_forward = module.forward
+
+        def make_wrapper(name: str, fwd):
+            def wrapper(self, x):
+                catcher.record(name, x)
+                return fwd(x)
+
+            return wrapper
+
+        module.forward = types.MethodType(make_wrapper(mod_name, original_forward), module)
+        patched.append((module, original_forward))
+
+    try:
+        yield catcher
+    finally:
+        for module, original_forward in patched:
+            module.forward = original_forward

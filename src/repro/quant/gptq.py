@@ -1,0 +1,144 @@
+"""GPTQ baseline: Hessian-guided post-training quantization.
+
+GPTQ (Frantar et al., 2022) quantizes a weight matrix one column at a time
+and redistributes each column's rounding error onto the not-yet-quantized
+columns, weighted by the inverse Hessian of the layer's calibration inputs
+(``H = X^T X + lambda I``).  It is the strongest calibration-*based* baseline
+in the paper (Tables 1 and 3) and also the slowest, because it requires
+running the model on calibration data and a per-column update loop.
+
+The implementation follows the reference algorithm with group-wise grids:
+when a new group of ``group_size`` columns starts, the min/max grid for that
+group is fitted from the *current* (error-compensated) weight values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import QuantizedMatrix
+from .grid import QuantGrid, fit_minmax_grid
+
+__all__ = ["GPTQQuantizer"]
+
+
+class GPTQQuantizer:
+    """Column-wise GPTQ with optional calibration activations."""
+
+    name = "gptq"
+    calibration_free = False
+
+    def __init__(
+        self,
+        bits: int = 3,
+        group_size: int = 64,
+        percdamp: float = 0.01,
+        symmetric: bool = False,
+    ) -> None:
+        if group_size <= 0:
+            raise ValueError("group_size must be positive")
+        self.bits = bits
+        self.group_size = group_size
+        self.percdamp = percdamp
+        self.symmetric = symmetric
+
+    # -- Hessian ---------------------------------------------------------------
+    def build_hessian(self, calibration_inputs: np.ndarray | None, in_features: int) -> np.ndarray:
+        """Build the (damped) Hessian from calibration inputs.
+
+        Without calibration data GPTQ degenerates to an identity Hessian,
+        which makes the column updates a no-op (equivalent to RTN); the
+        driver treats that as "this expert saw no calibration tokens".
+        """
+        if calibration_inputs is None or len(calibration_inputs) == 0:
+            return np.eye(in_features)
+        X = np.asarray(calibration_inputs, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != in_features:
+            raise ValueError(
+                f"calibration inputs must be (rows, {in_features}), got {X.shape}"
+            )
+        H = X.T @ X * (2.0 / X.shape[0])
+        damp = self.percdamp * float(np.mean(np.diag(H)))
+        damp = max(damp, 1e-8)
+        H = H + damp * np.eye(in_features)
+        return H
+
+    # -- main algorithm ----------------------------------------------------------
+    def quantize(
+        self,
+        weight: np.ndarray,
+        calibration_inputs: np.ndarray | None = None,
+    ) -> QuantizedMatrix:
+        """Quantize ``weight`` of shape ``(out, in)`` guided by calibration inputs."""
+        W = np.asarray(weight, dtype=np.float64).copy()
+        out_features, in_features = W.shape
+        qmax = 2**self.bits - 1
+
+        H = self.build_hessian(calibration_inputs, in_features)
+        # Dead columns (never-activated input channels) get a unit diagonal so
+        # the Cholesky stays well-posed; their weights are zeroed as in the
+        # reference implementation.
+        dead = np.diag(H) <= 0
+        if np.any(dead):
+            H[dead, dead] = 1.0
+            W[:, dead] = 0.0
+
+        # Inverse Hessian via Cholesky, as in the reference implementation.
+        try:
+            Hinv = np.linalg.inv(H)
+            L = np.linalg.cholesky(Hinv)
+            Hinv_u = L.T  # upper triangular factor; Hinv = L L^T
+        except np.linalg.LinAlgError:
+            # Severely ill-conditioned calibration; fall back to the diagonal.
+            Hinv_u = np.diag(1.0 / np.sqrt(np.maximum(np.diag(H), 1e-8)))
+
+        n_groups_per_row = int(np.ceil(in_features / self.group_size))
+        codes = np.zeros_like(W)
+        scales = np.zeros((out_features, n_groups_per_row))
+        zeros = np.zeros((out_features, n_groups_per_row))
+
+        group_grid: QuantGrid | None = None
+        for col in range(in_features):
+            group_idx = col // self.group_size
+            if col % self.group_size == 0:
+                group_cols = W[:, col : col + self.group_size]
+                group_grid = fit_minmax_grid(group_cols, self.bits, symmetric=self.symmetric)
+                scales[:, group_idx] = group_grid.scale[:, 0]
+                zeros[:, group_idx] = group_grid.zero[:, 0]
+
+            assert group_grid is not None
+            s = group_grid.scale[:, 0]
+            z = group_grid.zero[:, 0]
+            w_col = W[:, col]
+            q_col = np.clip(np.round(w_col / s + z), 0, qmax)
+            codes[:, col] = q_col
+            dq_col = s * (q_col - z)
+
+            d = Hinv_u[col, col]
+            if d <= 0:
+                continue
+            err = (w_col - dq_col) / d
+            if col + 1 < in_features:
+                W[:, col + 1 :] -= np.outer(err, Hinv_u[col, col + 1 :])
+
+        # Repackage into the shared grouped layout: group index runs
+        # row-major as (row, column-block), matching grid.to_groups.
+        pad = (-in_features) % self.group_size
+        if pad:
+            codes = np.concatenate([codes, np.zeros((out_features, pad))], axis=1)
+        grouped_codes = codes.reshape(out_features * n_groups_per_row, self.group_size)
+        grid = QuantGrid(
+            scale=scales.reshape(-1, 1),
+            zero=zeros.reshape(-1, 1),
+            bits=self.bits,
+            symmetric=self.symmetric,
+        )
+        n_calib = 0 if calibration_inputs is None else int(np.asarray(calibration_inputs).shape[0])
+        return QuantizedMatrix(
+            codes=grouped_codes,
+            grid=grid,
+            original_shape=(out_features, in_features),
+            group_size=self.group_size,
+            pad=pad,
+            stats={"method": self.name, "calibration_rows": n_calib},
+        )

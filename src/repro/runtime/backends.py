@@ -1,0 +1,229 @@
+"""End-to-end inference backends (paper Table 7).
+
+A backend combines three ingredients:
+
+* a **memory check** — the full-size model's deployment footprint against the
+  device's VRAM (the PyTorch FP16 backend OOMs on a 40 GB A100 because
+  Mixtral-8x7B needs ~90 GB);
+* a **kernel simulator** — which packed-GEMM kernel executes the linear
+  layers and at what cost;
+* an **MoE execution model** — which experts are activated for a batch and
+  how many tokens each one processes, plus the per-layer non-GEMM work
+  (norms, router, attention score/score-value products, KV handling) and the
+  per-step framework overhead.
+
+``step_latency`` returns the latency of one decoding step of the full-size
+model; the Table 7 bench compares backends and batch sizes with it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..kernels.device import A100_40GB, DeviceSpec
+from ..kernels.simulators import (
+    FP16KernelSim,
+    GemmShape,
+    GPTQ3bitKernelSim,
+    KernelSimulator,
+    MarlinKernelSim,
+    MiLoKernelSim,
+    UnsupportedBatchError,
+)
+from ..models.registry import FULL_MODEL_SPECS, FullModelSpec
+from .memory import fp16_model_memory_gb, quantized_model_memory_gb
+
+__all__ = [
+    "OutOfMemoryError",
+    "BackendResult",
+    "InferenceBackend",
+    "PyTorchFP16Backend",
+    "GPTQ3bitBackend",
+    "MarlinBackend",
+    "MiLoBackend",
+    "default_backend_lineup",
+]
+
+
+class OutOfMemoryError(RuntimeError):
+    """Raised when a backend's weights do not fit in device memory."""
+
+
+@dataclass
+class BackendResult:
+    """Latency breakdown of one decoding step."""
+
+    backend: str
+    batch_size: int
+    gemm_time: float
+    overhead_time: float
+    memory_gb: float
+
+    @property
+    def total(self) -> float:
+        return self.gemm_time + self.overhead_time
+
+
+@dataclass
+class InferenceBackend:
+    """Base backend: FP16 weights on the modeled A100."""
+
+    name: str = "pytorch-fp16"
+    kernel: KernelSimulator = field(default_factory=FP16KernelSim)
+    weight_bits: int = 16
+    asymmetric: bool = True
+    compensator_gb: float = 0.0
+    device: DeviceSpec = A100_40GB
+    #: Non-GEMM time per transformer layer per step (norms, router, attention
+    #: softmax/score products, KV-cache handling, kernel launches).
+    per_layer_overhead: float = 40e-6
+    #: Fixed per-step framework overhead (Python dispatch, sampling, etc.).
+    per_step_overhead: float = 2e-3
+
+    # -- memory ------------------------------------------------------------------
+    def model_memory_gb(self, spec: FullModelSpec) -> float:
+        if self.weight_bits >= 16:
+            return fp16_model_memory_gb(spec)
+        return (
+            quantized_model_memory_gb(
+                spec,
+                bits=self.weight_bits,
+                group_size=self.kernel.group_size,
+                asymmetric=self.asymmetric,
+            )
+            + self.compensator_gb
+        )
+
+    def check_memory(self, spec: FullModelSpec) -> float:
+        required = self.model_memory_gb(spec)
+        if required > self.device.memory_gb:
+            raise OutOfMemoryError(
+                f"{self.name}: {spec.name} needs {required:.1f} GB but "
+                f"{self.device.name} has {self.device.memory_gb:.0f} GB"
+            )
+        return required
+
+    # -- MoE execution model -------------------------------------------------------
+    @staticmethod
+    def _expert_load(spec: FullModelSpec, batch: int) -> tuple[int, int]:
+        """(number of activated experts, tokens per activated expert) for one step."""
+        routed_tokens = batch * spec.experts_per_token
+        active = min(spec.num_experts, routed_tokens)
+        tokens_per_expert = max(1, routed_tokens // active)
+        return active, tokens_per_expert
+
+    def _attention_gemms(self, spec: FullModelSpec, batch: int) -> list[GemmShape]:
+        h = spec.hidden_size
+        return [GemmShape(m=batch, k=h, n=h) for _ in range(4)]
+
+    def _expert_gemms(self, spec: FullModelSpec, tokens: int) -> list[GemmShape]:
+        shapes = spec.ffn_shapes
+        if not shapes:
+            h, i = spec.hidden_size, spec.intermediate_size
+            shapes = {"w1": (h, i), "w2": (i, h), "w3": (h, i)}
+        return [GemmShape(m=tokens, k=k, n=n) for k, n in shapes.values()]
+
+    # -- latency -------------------------------------------------------------------
+    def step_latency(self, spec: FullModelSpec, batch_size: int) -> BackendResult:
+        """Latency of one decoding step for ``batch_size`` concurrent sequences."""
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        memory_gb = self.check_memory(spec)
+        if not self.kernel.supports_batch(batch_size):
+            raise UnsupportedBatchError(
+                f"{self.name} does not support batch size {batch_size}"
+            )
+
+        active_experts, tokens_per_expert = self._expert_load(spec, batch_size)
+        gemm_time = 0.0
+        for shape in self._attention_gemms(spec, batch_size):
+            gemm_time += self.kernel.gemm_cost(shape).total
+        expert_time = 0.0
+        for shape in self._expert_gemms(spec, tokens_per_expert):
+            expert_time += self.kernel.gemm_cost(shape).total
+        gemm_time += active_experts * expert_time
+        if spec.num_shared_experts:
+            for shape in self._expert_gemms(spec, batch_size):
+                gemm_time += spec.num_shared_experts * self.kernel.gemm_cost(shape).total
+        gemm_time *= spec.num_layers
+
+        overhead = spec.num_layers * self.per_layer_overhead + self.per_step_overhead
+        return BackendResult(
+            backend=self.name,
+            batch_size=batch_size,
+            gemm_time=gemm_time,
+            overhead_time=overhead,
+            memory_gb=memory_gb,
+        )
+
+
+class PyTorchFP16Backend(InferenceBackend):
+    """Un-quantized reference backend; OOMs for models larger than the device."""
+
+    def __init__(self, device: DeviceSpec = A100_40GB) -> None:
+        super().__init__(
+            name="pytorch-fp16", kernel=FP16KernelSim(device), weight_bits=16, device=device
+        )
+
+
+class GPTQ3bitBackend(InferenceBackend):
+    """GPTQ's W3A16 GeMV backend: batch size 1 only, per-channel asymmetric."""
+
+    def __init__(self, device: DeviceSpec = A100_40GB) -> None:
+        super().__init__(
+            name="gptq3bit",
+            kernel=GPTQ3bitKernelSim(device),
+            weight_bits=3,
+            asymmetric=True,
+            device=device,
+        )
+
+
+class MarlinBackend(InferenceBackend):
+    """MARLIN W4A16 backend (symmetric per-channel / group-128 quantization).
+
+    When serving the MiLo-quantized (asymmetric) checkpoint, the zero-point
+    correction cannot be fused into MARLIN's kernel and costs an extra pass —
+    why the paper's measured end-to-end gap (1.2–1.26x) exceeds the pure GEMM
+    throughput gap.
+    """
+
+    def __init__(self, serve_asymmetric_model: bool = True, device: DeviceSpec = A100_40GB) -> None:
+        super().__init__(
+            name="marlin",
+            kernel=MarlinKernelSim(handle_asymmetric_model=serve_asymmetric_model, device=device),
+            weight_bits=4,
+            asymmetric=False,
+            device=device,
+        )
+
+
+class MiLoBackend(InferenceBackend):
+    """The paper's W3A16 backend (asymmetric, group size 64, fused kernel)."""
+
+    def __init__(
+        self,
+        compensator_gb: float = 0.0,
+        symmetric: bool = False,
+        device: DeviceSpec = A100_40GB,
+    ) -> None:
+        super().__init__(
+            name="milo",
+            kernel=MiLoKernelSim(symmetric=symmetric, device=device),
+            weight_bits=3,
+            asymmetric=not symmetric,
+            compensator_gb=compensator_gb,
+            device=device,
+        )
+
+
+def default_backend_lineup(spec_name: str = "mixtral-8x7b") -> dict[str, InferenceBackend]:
+    """The Table 7 backend line-up for a given full-size model."""
+    if spec_name not in FULL_MODEL_SPECS:
+        raise KeyError(f"unknown full model spec {spec_name!r}")
+    return {
+        "PyTorch": PyTorchFP16Backend(),
+        "GPTQ3bit Backend": GPTQ3bitBackend(),
+        "MARLIN Backend": MarlinBackend(serve_asymmetric_model=True),
+        "MiLo Backend": MiLoBackend(),
+    }

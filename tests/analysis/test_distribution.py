@@ -1,0 +1,65 @@
+"""Tests for the information-loss / distribution analysis (paper Figs. 2, 4, 5)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    histogram_overlap,
+    information_loss_report,
+    kurtosis_error_correlation,
+    sample_layer_weights,
+)
+from repro.models.init import heavy_tailed_weight
+
+
+class TestHistogramOverlap:
+    def test_identical_distributions_overlap_fully(self):
+        x = np.random.default_rng(0).normal(size=1000)
+        assert histogram_overlap(x, x.copy()) == pytest.approx(1.0)
+
+    def test_disjoint_distributions_overlap_zero(self):
+        a = np.zeros(100) + 0.1
+        b = np.zeros(100) + 10.0
+        assert histogram_overlap(a, b, bins=16) < 0.1
+
+    def test_bounded_between_zero_and_one(self):
+        rng = np.random.default_rng(1)
+        overlap = histogram_overlap(rng.normal(size=500), rng.normal(size=500) * 0.5)
+        assert 0.0 <= overlap <= 1.0
+
+
+class TestWeightSampling:
+    def test_fig2_sample_shapes_and_kinds(self, mixtral_mini):
+        attn = sample_layer_weights(mixtral_mini, "layer_0.attn.q_proj", max_rows=16, max_cols=16)
+        expert = sample_layer_weights(mixtral_mini, "layer_0.ffn.expert_0.w1", max_rows=16, max_cols=16)
+        assert attn.kind == "attention" and expert.kind == "expert"
+        assert attn.fp16.shape == (16, 16)
+        assert attn.int3.shape == attn.fp16.shape == attn.int4.shape
+
+    def test_int4_sample_closer_to_fp16_than_int3(self, mixtral_mini):
+        sample = sample_layer_weights(mixtral_mini, "layer_0.attn.q_proj")
+        err3 = np.linalg.norm(sample.fp16 - sample.int3)
+        err4 = np.linalg.norm(sample.fp16 - sample.int4)
+        assert err4 < err3
+
+
+class TestInformationLoss:
+    def test_fig4_ordering_int3_lorc_recovers_most(self):
+        """INT3 < INT4 <= INT3+LoRC in distribution overlap for heavy-tailed weights."""
+        weight = heavy_tailed_weight((64, 128), rng=np.random.default_rng(2))
+        report = information_loss_report(weight, rank=16)
+        assert report["int3"] < report["int4"]
+        assert report["int3+lorc"] > report["int3"]
+        assert report["int3+lorc"] >= report["int4"] - 0.05
+
+
+class TestKurtosisErrorCorrelation:
+    def test_fig5_positive_correlation(self, mixtral_mini):
+        kurts, errors, corr = kurtosis_error_correlation(mixtral_mini, bits=3)
+        assert len(kurts) == len(errors) == len(list(mixtral_mini.iter_quantizable()))
+        assert corr > 0.3
+
+    def test_layer_filter(self, mixtral_mini):
+        kurts, errors, _ = kurtosis_error_correlation(mixtral_mini, bits=3, layer_index=0)
+        per_layer = len(list(mixtral_mini.iter_quantizable())) // mixtral_mini.config.num_layers
+        assert len(kurts) == per_layer

@@ -1,0 +1,53 @@
+"""Tests for expert activation-frequency profiling (paper Fig. 3)."""
+
+import numpy as np
+
+from repro.analysis import profile_expert_frequency
+from repro.models import build_model
+
+
+class TestProfiling:
+    def test_heatmap_shape(self):
+        model = build_model("tiny-moe")
+        profile = profile_expert_frequency(model, num_tokens=512, seed=0)
+        heatmap = profile.heatmap()
+        assert heatmap.shape == (model.config.num_layers, model.config.num_experts)
+        assert np.allclose(heatmap.sum(axis=1), 1.0)
+
+    def test_counts_reset_after_profiling(self):
+        model = build_model("tiny-moe")
+        profile_expert_frequency(model, num_tokens=256)
+        assert all(c.sum() == 0 for c in model.expert_activation_counts().values())
+
+    def test_accepts_explicit_tokens(self):
+        model = build_model("tiny-moe")
+        tokens = np.random.default_rng(0).integers(0, 64, size=(4, 16))
+        profile = profile_expert_frequency(model, tokens=tokens)
+        total = sum(c.sum() for c in profile.counts.values())
+        assert total == 4 * 16 * model.config.experts_per_token * model.config.num_layers
+
+    def test_dense_first_layer_excluded(self):
+        model = build_model("tiny-finegrained")
+        profile = profile_expert_frequency(model, num_tokens=256)
+        assert 0 not in profile.frequencies
+
+
+class TestImbalanceShape:
+    def test_fine_grained_model_more_imbalanced_than_coarse(self):
+        """Fig. 3: DeepSeek-style fine-grained experts show much stronger skew."""
+        mixtral = profile_expert_frequency(build_model("mixtral-mini"), num_tokens=2048, seed=1)
+        deepseek = profile_expert_frequency(build_model("deepseek-moe-mini"), num_tokens=2048, seed=1)
+        assert deepseek.coefficient_of_variation() > mixtral.coefficient_of_variation()
+
+    def test_deepseek_imbalance_ratio_is_large(self):
+        """The paper reports an ~11.7x max/min activation ratio for DeepSeek-MoE."""
+        profile = profile_expert_frequency(build_model("deepseek-moe-mini"), num_tokens=4096, seed=2)
+        assert profile.imbalance_ratio() > 5.0
+
+    def test_empty_profile_degenerates_gracefully(self):
+        from repro.analysis.expert_frequency import ExpertFrequencyProfile
+
+        empty = ExpertFrequencyProfile(model_name="none", counts={}, frequencies={})
+        assert empty.imbalance_ratio() == 1.0
+        assert empty.coefficient_of_variation() == 0.0
+        assert empty.heatmap().shape == (0, 0)

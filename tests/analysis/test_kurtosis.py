@@ -1,0 +1,31 @@
+"""Tests for the kurtosis analysis (paper Table 2, Kurtosis row)."""
+
+import numpy as np
+
+from repro.analysis import kurtosis_by_kind, model_kurtosis_records
+from repro.models.transformer import LayerKind
+
+
+class TestKurtosisRecords:
+    def test_one_record_per_quantizable_matrix(self, tiny_moe):
+        records = model_kurtosis_records(tiny_moe)
+        assert len(records) == len(list(tiny_moe.iter_quantizable()))
+
+    def test_records_have_finite_kurtosis(self, tiny_moe):
+        for record in model_kurtosis_records(tiny_moe):
+            assert np.isfinite(record.kurtosis)
+
+
+class TestTable2Shape:
+    def test_mixtral_attention_more_heavy_tailed_than_experts(self, mixtral_mini):
+        by_kind = kurtosis_by_kind(mixtral_mini)
+        assert by_kind[LayerKind.ATTENTION] > 0
+        assert by_kind[LayerKind.EXPERT] < 0
+        assert by_kind[LayerKind.ATTENTION] > by_kind[LayerKind.EXPERT]
+
+    def test_deepseek_ordering_attention_shared_expert(self, deepseek_mini):
+        """Table 2 (DeepSeek): attention and shared experts > routed experts."""
+        by_kind = kurtosis_by_kind(deepseek_mini)
+        assert by_kind[LayerKind.ATTENTION] > by_kind[LayerKind.EXPERT]
+        assert by_kind[LayerKind.SHARED_EXPERT] > by_kind[LayerKind.EXPERT]
+        assert by_kind[LayerKind.EXPERT] < 0

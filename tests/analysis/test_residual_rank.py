@@ -1,0 +1,59 @@
+"""Tests for the residual-rank analysis (paper Table 2, Res. Rank row)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import model_residual_ranks, residual_rank, residual_rank_by_kind
+
+
+class TestResidualRankMetric:
+    def test_zero_matrix_has_rank_zero(self):
+        assert residual_rank(np.zeros((8, 8))) == 0
+
+    def test_identity_has_no_small_singular_values(self):
+        assert residual_rank(np.eye(16), tau=0.5) == 0
+
+    def test_one_dominant_direction(self):
+        rng = np.random.default_rng(0)
+        matrix = 100.0 * np.outer(rng.normal(size=32), rng.normal(size=32))
+        matrix += 0.001 * rng.normal(size=(32, 32))
+        # All but the dominant singular value fall below tau * sigma_max.
+        assert residual_rank(matrix, tau=0.5) == 31
+
+    def test_tau_monotonicity(self):
+        rng = np.random.default_rng(1)
+        matrix = rng.normal(size=(32, 32))
+        assert residual_rank(matrix, tau=0.2) <= residual_rank(matrix, tau=0.8)
+
+    def test_invalid_tau_rejected(self):
+        with pytest.raises(ValueError):
+            residual_rank(np.eye(4), tau=0.0)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            residual_rank(np.zeros(8))
+
+
+class TestModelResidualRanks:
+    def test_records_cover_all_quantizable(self, tiny_moe):
+        records = model_residual_ranks(tiny_moe, bits=3)
+        assert len(records) == len(list(tiny_moe.iter_quantizable()))
+        for record in records:
+            assert 0 <= record.rank <= min(record.shape)
+            assert record.relative_error > 0
+
+    def test_by_kind_summary(self, tiny_moe):
+        by_kind = residual_rank_by_kind(tiny_moe, bits=3)
+        assert set(by_kind) <= {"attention", "expert", "shared_expert"}
+        assert all(v >= 0 for v in by_kind.values())
+
+    def test_unsupported_method_rejected(self, tiny_moe):
+        with pytest.raises(ValueError):
+            model_residual_ranks(tiny_moe, method="awq")
+
+    def test_attention_residual_error_larger_than_expert(self, mixtral_mini):
+        """Heavy-tailed attention weights lose more to INT3 than expert weights (Fig. 5)."""
+        records = model_residual_ranks(mixtral_mini, bits=3)
+        attention = [r.relative_error for r in records if r.kind == "attention"]
+        experts = [r.relative_error for r in records if r.kind == "expert"]
+        assert np.mean(attention) > np.mean(experts)

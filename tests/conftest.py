@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite.
+
+Model construction is deterministic (seeded), so session-scoped fixtures are
+safe as long as tests do not mutate the shared instances; tests that compress
+or otherwise modify a model build their own instance via ``build_model``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import build_model
+
+
+@pytest.fixture(scope="session")
+def tiny_moe():
+    """Small Mixtral-style model shared by read-only tests."""
+    return build_model("tiny-moe")
+
+
+@pytest.fixture(scope="session")
+def tiny_finegrained():
+    """Small DeepSeek-style model (fine-grained experts + shared experts)."""
+    return build_model("tiny-finegrained")
+
+
+@pytest.fixture(scope="session")
+def mixtral_mini():
+    """Mixtral-style mini model used by heavier integration tests."""
+    return build_model("mixtral-mini")
+
+
+@pytest.fixture(scope="session")
+def deepseek_mini():
+    """DeepSeek-style mini model used by heavier integration tests."""
+    return build_model("deepseek-moe-mini")
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,162 @@
+"""Tests for the model-level compression driver."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DenseRank,
+    FrequencyRank,
+    ModelCompressor,
+    UniformRank,
+    build_weight_entries,
+    profile_expert_frequencies,
+    replace_linear,
+)
+from repro.models import CompensatedLinear, Linear, QuantizedLinear, build_model
+
+
+class TestHelpers:
+    def test_replace_linear_swaps_module(self):
+        model = build_model("tiny-moe")
+        new = Linear(
+            model.config.hidden_size, model.config.hidden_size,
+            weight=np.zeros((model.config.hidden_size, model.config.hidden_size)),
+        )
+        replace_linear(model, "layer_0.attn.q_proj", new)
+        assert model.get_submodule("layer_0.attn.q_proj") is new
+
+    def test_replace_linear_bad_path_raises(self):
+        model = build_model("tiny-moe")
+        with pytest.raises(KeyError):
+            replace_linear(model, "layer_0.attn.missing", Linear(4, 4))
+
+    def test_profile_expert_frequencies_normalized(self):
+        model = build_model("tiny-moe")
+        tokens = np.random.default_rng(0).integers(0, 64, size=(4, 16))
+        freqs = profile_expert_frequencies(model, tokens)
+        assert set(freqs) == {0, 1}
+        for f in freqs.values():
+            assert f.sum() == pytest.approx(1.0)
+        # Profiling must not leave router counts behind.
+        assert all(c.sum() == 0 for c in model.expert_activation_counts().values())
+
+    def test_build_weight_entries_metadata(self):
+        model = build_model("tiny-moe")
+        tokens = np.random.default_rng(1).integers(0, 64, size=(4, 16))
+        freqs = profile_expert_frequencies(model, tokens)
+        entries = build_weight_entries(model, freqs)
+        assert len(entries) == len(list(model.iter_quantizable()))
+        expert_entries = [e for e in entries if e.is_expert]
+        assert all(e.expert_index >= 0 for e in expert_entries)
+        assert all(e.layer_index >= 0 for e in entries)
+        assert any(e.expert_frequency > 0 for e in expert_entries)
+
+
+class TestBaselineCompression:
+    @pytest.mark.parametrize("method,expected_cls", [
+        ("rtn", QuantizedLinear),
+        ("hqq", QuantizedLinear),
+        ("gptq", QuantizedLinear),
+    ])
+    def test_baselines_replace_with_quantized_linear(self, method, expected_cls):
+        model = build_model("tiny-moe")
+        model, report = ModelCompressor(method=method, bits=3).compress(model)
+        layer = model.get_submodule("layer_0.attn.q_proj")
+        assert isinstance(layer, expected_cls)
+        assert not isinstance(layer, CompensatedLinear)
+        assert report.method == method
+
+    def test_memory_reduced_by_roughly_bit_ratio(self):
+        model = build_model("tiny-moe")
+        model, report = ModelCompressor(method="rtn", bits=3).compress(model)
+        assert report.memory_bytes < report.fp16_memory_bytes
+        # Quantizable weights dominate, so the ratio should be well below 0.5.
+        assert report.compression_ratio < 0.45
+
+    def test_forward_still_works_after_compression(self):
+        model = build_model("tiny-moe")
+        model, _ = ModelCompressor(method="rtn", bits=3).compress(model)
+        logits = model.forward(np.random.default_rng(0).integers(0, 64, size=(2, 6)))
+        assert logits.shape == (2, 6, 64)
+        assert np.isfinite(logits).all()
+
+    def test_int4_output_closer_to_fp16_than_int3(self):
+        teacher = build_model("tiny-moe")
+        tokens = np.random.default_rng(1).integers(0, 64, size=(2, 8))
+        reference = teacher.forward(tokens)
+        out = {}
+        for bits in (3, 4):
+            model = build_model("tiny-moe")
+            model, _ = ModelCompressor(method="rtn", bits=bits).compress(model)
+            out[bits] = np.linalg.norm(model.forward(tokens) - reference)
+        assert out[4] < out[3]
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            ModelCompressor(method="awq")
+
+    def test_quant_time_recorded(self):
+        model = build_model("tiny-moe")
+        _, report = ModelCompressor(method="hqq", bits=3).compress(model)
+        assert report.quant_time_s > 0
+        assert "quantization" in report.stage_times
+
+
+class TestMiLoCompression:
+    def test_compensated_linear_used_where_rank_positive(self):
+        model = build_model("tiny-moe")
+        model, report = ModelCompressor(
+            method="milo", bits=3, rank_policy=DenseRank(4)
+        ).compress(model)
+        attn = model.get_submodule("layer_0.attn.q_proj")
+        expert = model.get_submodule("layer_0.ffn.expert_0.w1")
+        assert isinstance(attn, CompensatedLinear) and attn.rank == 4
+        assert isinstance(expert, CompensatedLinear) and expert.rank == 0
+        assert report.compensator_bytes > 0
+
+    def test_rank_report_matches_policy(self):
+        model = build_model("tiny-moe")
+        model, report = ModelCompressor(
+            method="milo", bits=3, rank_policy=UniformRank(2)
+        ).compress(model)
+        assert set(report.ranks.values()) == {2}
+        assert report.average_rank == pytest.approx(2.0)
+
+    def test_frequency_policy_triggers_profiling(self):
+        model = build_model("tiny-moe")
+        model, report = ModelCompressor(
+            method="milo", bits=3, rank_policy=FrequencyRank(1)
+        ).compress(model)
+        assert "frequency-profiling" in report.stage_times
+
+    def test_layer_stats_include_error_history(self):
+        model = build_model("tiny-moe")
+        _, report = ModelCompressor(method="milo", bits=3, rank_policy=DenseRank(2)).compress(model)
+        stats = report.layer_stats["layer_0.attn.q_proj.weight"]
+        assert stats["rank"] == 2
+        assert len(stats["error_history"]) == stats["iterations"]
+
+    def test_milo_memory_slightly_above_plain_quantization(self):
+        plain = build_model("tiny-moe")
+        _, plain_report = ModelCompressor(method="hqq", bits=3).compress(plain)
+        milo = build_model("tiny-moe")
+        _, milo_report = ModelCompressor(method="milo", bits=3, rank_policy=DenseRank(4)).compress(milo)
+        assert milo_report.memory_bytes > plain_report.memory_bytes
+        # ... but only slightly (compensators are tiny relative to the model).
+        assert milo_report.memory_bytes < 1.25 * plain_report.memory_bytes
+
+    def test_milo_closer_to_fp16_outputs_than_hqq(self):
+        teacher = build_model("tiny-moe")
+        tokens = np.random.default_rng(2).integers(0, 64, size=(2, 10))
+        reference = teacher.forward(tokens)
+
+        hqq_model = build_model("tiny-moe")
+        hqq_model, _ = ModelCompressor(method="hqq", bits=3).compress(hqq_model)
+        milo_model = build_model("tiny-moe")
+        milo_model, _ = ModelCompressor(
+            method="milo", bits=3, rank_policy=DenseRank(8)
+        ).compress(milo_model)
+
+        err_hqq = np.linalg.norm(hqq_model.forward(tokens) - reference)
+        err_milo = np.linalg.norm(milo_model.forward(tokens) - reference)
+        assert err_milo < err_hqq

@@ -1,0 +1,78 @@
+"""Tests for expert pruning (the paper's future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ModelCompressor, UniformRank, prune_experts_by_frequency
+from repro.eval import perplexity
+from repro.data import teacher_corpus
+from repro.models import build_model
+from repro.models.moe import MoEFeedForward
+
+
+class TestPruning:
+    def test_prunes_least_frequent_experts(self):
+        model = build_model("tiny-moe")
+        model, report = prune_experts_by_frequency(model, keep_ratio=0.5)
+        assert report.num_pruned > 0
+        for layer_idx, kept in report.keep_per_layer.items():
+            pruned = report.pruned_per_layer[layer_idx]
+            assert len(kept) + len(pruned) == model.config.num_experts
+            assert set(kept).isdisjoint(pruned)
+
+    def test_memory_shrinks(self):
+        model = build_model("tiny-moe")
+        model, report = prune_experts_by_frequency(model, keep_ratio=0.5)
+        assert report.memory_after_bytes < report.memory_before_bytes
+        assert 0.0 < report.memory_reduction < 1.0
+
+    def test_forward_still_works_and_routes_to_survivors(self):
+        model = build_model("tiny-moe")
+        model, report = prune_experts_by_frequency(model, keep_ratio=0.5)
+        tokens = np.random.default_rng(0).integers(0, 64, size=(2, 12))
+        logits = model.forward(tokens)
+        assert np.isfinite(logits).all()
+        for layer in model.layers:
+            if isinstance(layer.ffn, MoEFeedForward):
+                assert layer.ffn.router.num_experts == len(layer.ffn.experts)
+                assert layer.ffn.router.k <= layer.ffn.router.num_experts
+
+    def test_keep_ratio_one_is_a_noop(self):
+        model = build_model("tiny-moe")
+        before = model.memory_bytes()
+        model, report = prune_experts_by_frequency(model, keep_ratio=1.0)
+        assert report.num_pruned == 0
+        assert model.memory_bytes() == before
+
+    def test_min_keep_respects_topk(self):
+        model = build_model("tiny-finegrained")
+        model, report = prune_experts_by_frequency(model, keep_ratio=0.05)
+        for kept in report.keep_per_layer.values():
+            assert len(kept) >= model.config.experts_per_token
+
+    def test_invalid_keep_ratio(self):
+        with pytest.raises(ValueError):
+            prune_experts_by_frequency(build_model("tiny-moe"), keep_ratio=0.0)
+
+    def test_quality_degrades_gracefully(self):
+        """Pruning hurts less than it saves memory for a moderately pruned model."""
+        teacher = build_model("tiny-finegrained")
+        corpus = teacher_corpus(teacher, num_sequences=8, seq_len=16, seed=0)
+        base_ppl = perplexity(teacher, corpus)
+        pruned = build_model("tiny-finegrained")
+        pruned, report = prune_experts_by_frequency(pruned, keep_ratio=0.75)
+        pruned_ppl = perplexity(pruned, corpus)
+        assert pruned_ppl >= base_ppl
+        assert pruned_ppl < base_ppl * 3.0
+        assert report.memory_reduction > 0.05
+
+    def test_composes_with_milo_quantization(self):
+        """Pruning then MiLo quantization — the combination the paper proposes."""
+        model = build_model("tiny-finegrained")
+        model, prune_report = prune_experts_by_frequency(model, keep_ratio=0.75)
+        model, quant_report = ModelCompressor(
+            method="milo", bits=3, rank_policy=UniformRank(1)
+        ).compress(model)
+        assert quant_report.memory_bytes < prune_report.memory_before_bytes
+        tokens = np.random.default_rng(1).integers(0, 64, size=(1, 10))
+        assert np.isfinite(model.forward(tokens)).all()

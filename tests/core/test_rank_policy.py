@@ -1,0 +1,204 @@
+"""Tests for the adaptive rank-selection policies."""
+
+import numpy as np
+import pytest
+
+from repro.core.rank_policy import (
+    CompositeRankPolicy,
+    DenseRank,
+    FrequencyRank,
+    KurtosisRank,
+    SparseRank,
+    UniformRank,
+    WeightEntry,
+    total_compensator_memory,
+    uniform_rank_for_budget,
+)
+from repro.models.init import heavy_tailed_weight, light_tailed_weight
+from repro.models.transformer import LayerKind
+
+
+def make_entries():
+    """A small synthetic inventory: 2 attention, 1 shared expert, 4 experts."""
+    rng = np.random.default_rng(0)
+    entries = []
+    for i in range(2):
+        entries.append(
+            WeightEntry(
+                name=f"layer_{i}.attn.q_proj.weight",
+                kind=LayerKind.ATTENTION,
+                shape=(32, 32),
+                weight=heavy_tailed_weight((32, 32), rng=rng),
+                layer_index=i,
+            )
+        )
+    entries.append(
+        WeightEntry(
+            name="layer_0.ffn.shared_expert_0.w1.weight",
+            kind=LayerKind.SHARED_EXPERT,
+            shape=(24, 32),
+            weight=heavy_tailed_weight((24, 32), outlier_fraction=0.004, rng=rng),
+            layer_index=0,
+        )
+    )
+    freqs = [0.5, 0.3, 0.15, 0.05]
+    for e in range(4):
+        entries.append(
+            WeightEntry(
+                name=f"layer_0.ffn.expert_{e}.w1.weight",
+                kind=LayerKind.EXPERT,
+                shape=(24, 32),
+                weight=light_tailed_weight((24, 32), rng=rng),
+                layer_index=0,
+                expert_index=e,
+                expert_frequency=freqs[e],
+            )
+        )
+    return entries
+
+
+class TestUniformDenseSparse:
+    def test_uniform_assigns_same_rank_everywhere(self):
+        entries = make_entries()
+        ranks = UniformRank(4).assign(entries)
+        assert set(ranks.values()) == {4}
+
+    def test_dense_assigns_only_to_dense_layers(self):
+        entries = make_entries()
+        ranks = DenseRank(8).assign(entries)
+        for entry in entries:
+            expected = 8 if entry.kind in LayerKind.DENSE_KINDS else 0
+            assert ranks[entry.name] == expected
+
+    def test_sparse_assigns_only_to_experts(self):
+        entries = make_entries()
+        ranks = SparseRank(6).assign(entries)
+        for entry in entries:
+            expected = 6 if entry.kind == LayerKind.EXPERT else 0
+            assert ranks[entry.name] == expected
+
+    def test_ranks_clipped_to_matrix_dimension(self):
+        entries = make_entries()
+        ranks = UniformRank(1000).assign(entries)
+        for entry in entries:
+            assert ranks[entry.name] == min(entry.shape)
+
+    def test_negative_rank_rejected(self):
+        with pytest.raises(ValueError):
+            UniformRank(-1)
+
+    def test_describe(self):
+        assert DenseRank(512).describe() == "Dense-512"
+        assert SparseRank(32).describe() == "Sparse-32"
+        assert UniformRank(28).describe() == "Uniform-28"
+
+
+class TestProportionalPolicies:
+    def test_frequency_gives_more_rank_to_hot_experts(self):
+        entries = make_entries()
+        ranks = FrequencyRank(4).assign(entries)
+        expert_ranks = [ranks[e.name] for e in entries if e.is_expert]
+        freqs = [e.expert_frequency for e in entries if e.is_expert]
+        assert expert_ranks[int(np.argmax(freqs))] >= max(expert_ranks)
+        assert expert_ranks[int(np.argmin(freqs))] <= min(expert_ranks)
+
+    def test_frequency_preserves_average_budget(self):
+        entries = make_entries()
+        ranks = FrequencyRank(4).assign(entries)
+        expert_ranks = [ranks[e.name] for e in entries if e.is_expert]
+        assert sum(expert_ranks) == 4 * len(expert_ranks)
+
+    def test_frequency_ignores_dense_layers(self):
+        entries = make_entries()
+        ranks = FrequencyRank(4).assign(entries)
+        assert all(ranks[e.name] == 0 for e in entries if not e.is_expert)
+
+    def test_kurtosis_gives_more_rank_to_heavy_tails(self):
+        entries = make_entries()
+        ranks = KurtosisRank(4, scope="all").assign(entries)
+        attention_rank = np.mean([ranks[e.name] for e in entries if e.kind == LayerKind.ATTENTION])
+        expert_rank = np.mean([ranks[e.name] for e in entries if e.is_expert])
+        assert attention_rank > expert_rank
+
+    def test_kurtosis_scope_defaults_to_sparse(self):
+        entries = make_entries()
+        ranks = KurtosisRank(2).assign(entries)
+        assert all(ranks[e.name] == 0 for e in entries if not e.is_expert)
+
+    def test_zero_average_rank_assigns_nothing(self):
+        entries = make_entries()
+        assert set(FrequencyRank(0).assign(entries).values()) == {0}
+
+    def test_identical_scores_fall_back_to_uniform(self):
+        entries = make_entries()
+        for e in entries:
+            e.expert_frequency = 0.25
+        ranks = FrequencyRank(3).assign(entries)
+        expert_ranks = [ranks[e.name] for e in entries if e.is_expert]
+        assert max(expert_ranks) - min(expert_ranks) <= 1
+
+
+class TestComposite:
+    def test_sums_component_policies(self):
+        entries = make_entries()
+        composite = CompositeRankPolicy([DenseRank(8), SparseRank(2)])
+        ranks = composite.assign(entries)
+        for entry in entries:
+            expected = 8 if entry.is_dense else 2
+            assert ranks[entry.name] == expected
+
+    def test_empty_composite_rejected(self):
+        with pytest.raises(ValueError):
+            CompositeRankPolicy([])
+
+    def test_describe_joins_components(self):
+        composite = CompositeRankPolicy([DenseRank(512), KurtosisRank(16)])
+        assert composite.describe() == "Dense-512 + Kurtosis-16"
+
+
+class TestMemoryHelpers:
+    def test_total_memory_counts_only_assigned_ranks(self):
+        entries = make_entries()
+        ranks = DenseRank(4).assign(entries)
+        total = total_compensator_memory(entries, ranks, bits=3, group_size=64)
+        dense_entries = [e for e in entries if e.is_dense]
+        assert total > 0
+        sparse_only = total_compensator_memory(
+            entries, {e.name: 0 for e in entries}, bits=3, group_size=64
+        )
+        assert sparse_only == 0
+
+    def test_uniform_rank_for_budget_monotone(self):
+        entries = make_entries()
+        small = uniform_rank_for_budget(entries, 2_000, bits=3)
+        large = uniform_rank_for_budget(entries, 50_000, bits=3)
+        assert large >= small
+
+    def test_uniform_rank_for_budget_respects_budget(self):
+        entries = make_entries()
+        budget = 2_500
+        rank = uniform_rank_for_budget(entries, budget, bits=3)
+        used = total_compensator_memory(entries, UniformRank(rank).assign(entries), bits=3)
+        assert used <= budget
+        over = total_compensator_memory(entries, UniformRank(rank + 1).assign(entries), bits=3)
+        max_possible = max(e.max_rank for e in entries)
+        assert over > budget or rank >= max_possible
+
+    def test_zero_budget_gives_zero_rank(self):
+        assert uniform_rank_for_budget(make_entries(), 0) == 0
+
+
+class TestWeightEntry:
+    def test_kurtosis_requires_weight(self):
+        entry = WeightEntry(name="x", kind=LayerKind.EXPERT, shape=(4, 4), weight=None)
+        with pytest.raises(ValueError):
+            entry.kurtosis()
+
+    def test_kurtosis_cached(self):
+        entry = WeightEntry(
+            name="x", kind=LayerKind.EXPERT, shape=(32, 32),
+            weight=np.random.default_rng(0).normal(size=(32, 32)),
+        )
+        first = entry.kurtosis()
+        entry.weight = None
+        assert entry.kurtosis() == first

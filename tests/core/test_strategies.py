@@ -1,0 +1,77 @@
+"""Tests for the named paper strategies (Table 5) and rank scaling."""
+
+import pytest
+
+from repro.core.rank_policy import CompositeRankPolicy, DenseRank, FrequencyRank, KurtosisRank
+from repro.core.strategies import (
+    PAPER_STRATEGIES,
+    available_strategies,
+    build_strategy,
+    scale_rank,
+)
+from repro.models import get_config
+
+
+class TestPaperStrategyTable:
+    def test_table5_definitions(self):
+        """The strategy definitions must match the paper's Table 5 exactly."""
+        assert PAPER_STRATEGIES["mixtral-s1"].dense_rank == 512
+        assert PAPER_STRATEGIES["mixtral-s1"].kurtosis_rank == 16
+        assert PAPER_STRATEGIES["mixtral-s2"].dense_rank == 1024
+        assert PAPER_STRATEGIES["mixtral-s2"].kurtosis_rank == 32
+        assert PAPER_STRATEGIES["deepseek-s1"].dense_rank == 800
+        assert PAPER_STRATEGIES["deepseek-s1"].kurtosis_rank == 0
+        assert PAPER_STRATEGIES["deepseek-s2"].dense_rank == 1024
+        assert PAPER_STRATEGIES["deepseek-s2"].frequency_rank == 32
+
+    def test_describe(self):
+        assert PAPER_STRATEGIES["mixtral-s1"].describe() == "Dense-512 + Kurtosis-16"
+        assert PAPER_STRATEGIES["deepseek-s1"].describe() == "Dense-800"
+
+    def test_available(self):
+        assert set(available_strategies()) == {
+            "mixtral-s1", "mixtral-s2", "deepseek-s1", "deepseek-s2",
+        }
+
+
+class TestScaling:
+    def test_scale_preserves_hidden_fraction(self):
+        cfg = get_config("mixtral-mini")  # hidden 64 vs reference 4096
+        assert scale_rank(512, cfg, "mixtral") == 8
+        assert scale_rank(1024, cfg, "mixtral") == 16
+
+    def test_small_ranks_never_drop_to_zero(self):
+        cfg = get_config("mixtral-mini")
+        assert scale_rank(16, cfg, "mixtral") == 1
+
+    def test_zero_rank_stays_zero(self):
+        cfg = get_config("mixtral-mini")
+        assert scale_rank(0, cfg, "mixtral") == 0
+
+    def test_s2_scales_larger_than_s1(self):
+        cfg = get_config("deepseek-moe-mini")
+        assert scale_rank(1024, cfg, "deepseek") > scale_rank(800, cfg, "deepseek")
+
+
+class TestBuildStrategy:
+    def test_mixtral_s1_components(self):
+        cfg = get_config("mixtral-mini")
+        policy = build_strategy("mixtral-s1", cfg)
+        assert isinstance(policy, CompositeRankPolicy)
+        kinds = [type(p) for p in policy.policies]
+        assert DenseRank in kinds and KurtosisRank in kinds
+
+    def test_deepseek_s2_uses_frequency(self):
+        cfg = get_config("deepseek-moe-mini")
+        policy = build_strategy("deepseek-s2", cfg)
+        assert any(isinstance(p, FrequencyRank) for p in policy.policies)
+
+    def test_deepseek_s1_is_dense_only(self):
+        cfg = get_config("deepseek-moe-mini")
+        policy = build_strategy("deepseek-s1", cfg)
+        assert len(policy.policies) == 1
+        assert isinstance(policy.policies[0], DenseRank)
+
+    def test_unknown_strategy_raises(self):
+        with pytest.raises(KeyError):
+            build_strategy("mixtral-s9", get_config("mixtral-mini"))

@@ -1,0 +1,75 @@
+"""Tests for the synthetic corpora."""
+
+import numpy as np
+import pytest
+
+from repro.data import TokenCorpus, generate_from_model, teacher_corpus, zipfian_corpus
+from repro.eval import perplexity
+
+
+class TestTokenCorpus:
+    def test_batches_cover_all_sequences(self):
+        corpus = TokenCorpus("x", np.arange(40).reshape(10, 4) % 7, "zipfian")
+        batches = corpus.batches(3)
+        assert sum(b.shape[0] for b in batches) == 10
+        assert corpus.num_tokens == 40
+
+    def test_invalid_batch_size(self):
+        corpus = TokenCorpus("x", np.zeros((2, 4), dtype=int), "zipfian")
+        with pytest.raises(ValueError):
+            corpus.batches(0)
+
+
+class TestGeneration:
+    def test_shapes_and_vocabulary_range(self, tiny_moe):
+        tokens = generate_from_model(tiny_moe, num_sequences=4, seq_len=10, seed=0)
+        assert tokens.shape == (4, 10)
+        assert tokens.min() >= 0 and tokens.max() < tiny_moe.config.vocab_size
+
+    def test_deterministic_given_seed(self, tiny_moe):
+        a = generate_from_model(tiny_moe, 2, 8, seed=3)
+        b = generate_from_model(tiny_moe, 2, 8, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self, tiny_moe):
+        a = generate_from_model(tiny_moe, 2, 12, seed=1)
+        b = generate_from_model(tiny_moe, 2, 12, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_invalid_lengths_rejected(self, tiny_moe):
+        with pytest.raises(ValueError):
+            generate_from_model(tiny_moe, 1, 1)
+        with pytest.raises(ValueError):
+            generate_from_model(tiny_moe, 1, 8, temperature=0.0)
+
+    def test_teacher_corpus_gives_teacher_low_perplexity(self, tiny_moe):
+        """The FP16 teacher must beat random data on its own samples by a wide margin."""
+        corpus = teacher_corpus(tiny_moe, num_sequences=8, seq_len=16, seed=0)
+        random_tokens = np.random.default_rng(0).integers(
+            0, tiny_moe.config.vocab_size, size=(8, 16)
+        )
+        ppl_teacher_data = perplexity(tiny_moe, corpus)
+        ppl_random_data = perplexity(tiny_moe, random_tokens)
+        assert ppl_teacher_data < 0.5 * ppl_random_data
+
+
+class TestZipfianCorpus:
+    def test_shape_and_range(self):
+        corpus = zipfian_corpus(vocab_size=100, num_sequences=6, seq_len=20, seed=0)
+        assert corpus.tokens.shape == (6, 20)
+        assert corpus.tokens.max() < 100
+
+    def test_zipf_skew_present(self):
+        corpus = zipfian_corpus(vocab_size=50, num_sequences=64, seq_len=64, seed=1)
+        counts = np.bincount(corpus.tokens.ravel(), minlength=50)
+        top_share = np.sort(counts)[-5:].sum() / counts.sum()
+        assert top_share > 0.3  # a handful of tokens dominate
+
+    def test_independent_of_any_model(self):
+        a = zipfian_corpus(64, 4, 16, seed=5)
+        b = zipfian_corpus(64, 4, 16, seed=5)
+        assert np.array_equal(a.tokens, b.tokens)
+
+    def test_small_vocab_rejected(self):
+        with pytest.raises(ValueError):
+            zipfian_corpus(vocab_size=1)

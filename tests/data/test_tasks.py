@@ -1,0 +1,74 @@
+"""Tests for the synthetic task suites."""
+
+import numpy as np
+import pytest
+
+from repro.data import TASK_SPECS, build_default_suite, build_task
+from repro.data.tasks import FEW_SHOT_TASKS, ZERO_SHOT_TASKS
+from repro.eval import evaluate_task
+
+
+class TestTaskSpecs:
+    def test_all_six_benchmarks_represented(self):
+        # Five task suites + WikiText-2 perplexity cover the paper's six benchmarks.
+        assert set(TASK_SPECS) == {
+            "piqa-syn", "hellaswag-syn", "lambada-syn", "mmlu-syn", "triqa-syn",
+        }
+
+    def test_zero_and_few_shot_partition(self):
+        assert set(ZERO_SHOT_TASKS) | set(FEW_SHOT_TASKS) == set(TASK_SPECS)
+        assert not set(ZERO_SHOT_TASKS) & set(FEW_SHOT_TASKS)
+
+    def test_few_shot_tasks_have_longer_contexts(self):
+        zero_len = max(TASK_SPECS[t].prefix_len for t in ZERO_SHOT_TASKS)
+        few_len = min(TASK_SPECS[t].prefix_len for t in FEW_SHOT_TASKS)
+        assert few_len > zero_len
+
+    def test_choice_counts_match_real_benchmarks(self):
+        assert TASK_SPECS["piqa-syn"].num_candidates == 2
+        assert TASK_SPECS["hellaswag-syn"].num_candidates == 4
+        assert TASK_SPECS["mmlu-syn"].num_candidates == 4
+
+
+class TestBuildTask:
+    def test_multiple_choice_structure(self, tiny_moe):
+        task = build_task(tiny_moe, TASK_SPECS["hellaswag-syn"], num_items=16, seed=0)
+        assert len(task.items) == 16
+        for item in task.items:
+            assert len(item.candidates) == 4
+            assert 0 <= item.gold < 4
+            assert len(set(item.candidates)) == len(item.candidates)
+
+    def test_cloze_structure(self, tiny_moe):
+        task = build_task(tiny_moe, TASK_SPECS["lambada-syn"], num_items=8, seed=0)
+        for item in task.items:
+            assert item.candidates is None
+            assert 0 <= item.gold < tiny_moe.config.vocab_size
+
+    def test_teacher_scores_perfectly_on_its_own_tasks(self, tiny_moe):
+        for name in ("piqa-syn", "lambada-syn"):
+            task = build_task(tiny_moe, TASK_SPECS[name], num_items=24, seed=1)
+            assert evaluate_task(tiny_moe, task) == 100.0
+
+    def test_deterministic_given_seed(self, tiny_moe):
+        a = build_task(tiny_moe, TASK_SPECS["piqa-syn"], num_items=8, seed=2)
+        b = build_task(tiny_moe, TASK_SPECS["piqa-syn"], num_items=8, seed=2)
+        assert all(
+            np.array_equal(x.prefix, y.prefix) and x.candidates == y.candidates and x.gold == y.gold
+            for x, y in zip(a.items, b.items)
+        )
+
+    def test_invalid_item_count(self, tiny_moe):
+        with pytest.raises(ValueError):
+            build_task(tiny_moe, TASK_SPECS["piqa-syn"], num_items=0)
+
+    def test_prefixes_batch_shape(self, tiny_moe):
+        task = build_task(tiny_moe, TASK_SPECS["mmlu-syn"], num_items=12, seed=3)
+        assert task.prefixes().shape == (12, TASK_SPECS["mmlu-syn"].prefix_len)
+
+
+class TestDefaultSuite:
+    def test_contains_all_tasks(self, tiny_moe):
+        suite = build_default_suite(tiny_moe, num_items=8, seed=0)
+        assert set(suite.names()) == set(TASK_SPECS)
+        assert len(list(iter(suite))) == len(TASK_SPECS)

@@ -1,0 +1,53 @@
+"""Tests for task-accuracy evaluation."""
+
+import pytest
+
+from repro.core import ModelCompressor
+from repro.data import TASK_SPECS, build_task
+from repro.eval import evaluate_cloze, evaluate_multiple_choice, evaluate_task
+from repro.models import build_model
+
+
+class TestDispatch:
+    def test_multiple_choice_dispatch(self, tiny_moe):
+        task = build_task(tiny_moe, TASK_SPECS["piqa-syn"], num_items=12, seed=0)
+        assert evaluate_task(tiny_moe, task) == evaluate_multiple_choice(tiny_moe, task)
+
+    def test_cloze_dispatch(self, tiny_moe):
+        task = build_task(tiny_moe, TASK_SPECS["lambada-syn"], num_items=12, seed=0)
+        assert evaluate_task(tiny_moe, task) == evaluate_cloze(tiny_moe, task)
+
+    def test_kind_mismatch_rejected(self, tiny_moe):
+        mc = build_task(tiny_moe, TASK_SPECS["piqa-syn"], num_items=4, seed=0)
+        cloze = build_task(tiny_moe, TASK_SPECS["lambada-syn"], num_items=4, seed=0)
+        with pytest.raises(ValueError):
+            evaluate_cloze(tiny_moe, mc)
+        with pytest.raises(ValueError):
+            evaluate_multiple_choice(tiny_moe, cloze)
+
+
+class TestScores:
+    def test_teacher_is_perfect_on_own_tasks(self, tiny_moe):
+        for name in TASK_SPECS:
+            task = build_task(tiny_moe, TASK_SPECS[name], num_items=16, seed=1)
+            assert evaluate_task(tiny_moe, task) == 100.0
+
+    def test_scores_are_percentages(self, tiny_moe):
+        quantized = build_model("tiny-moe")
+        quantized, _ = ModelCompressor(method="rtn", bits=3).compress(quantized)
+        task = build_task(tiny_moe, TASK_SPECS["hellaswag-syn"], num_items=32, seed=2)
+        score = evaluate_task(quantized, task)
+        assert 0.0 <= score <= 100.0
+
+    def test_extreme_quantization_degrades_accuracy(self):
+        teacher = build_model("tiny-moe")
+        task = build_task(teacher, TASK_SPECS["lambada-syn"], num_items=64, seed=3)
+        quantized = build_model("tiny-moe")
+        quantized, _ = ModelCompressor(method="rtn", bits=2).compress(quantized)
+        assert evaluate_task(quantized, task) < 100.0
+
+    def test_batch_size_does_not_change_result(self, tiny_moe):
+        task = build_task(tiny_moe, TASK_SPECS["piqa-syn"], num_items=20, seed=4)
+        assert evaluate_multiple_choice(tiny_moe, task, batch_size=3) == evaluate_multiple_choice(
+            tiny_moe, task, batch_size=64
+        )

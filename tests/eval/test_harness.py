@@ -1,0 +1,77 @@
+"""Tests for the evaluation harness and result rows."""
+
+import numpy as np
+import pytest
+
+from repro.core import DenseRank, ModelCompressor
+from repro.eval import EvaluationEnvironment, EvaluationHarness
+from repro.models import build_model
+
+
+@pytest.fixture(scope="module")
+def environment():
+    teacher = build_model("tiny-moe")
+    return EvaluationEnvironment.from_teacher(
+        teacher, num_sequences=6, seq_len=16, num_task_items=32, seed=0
+    )
+
+
+@pytest.fixture(scope="module")
+def harness(environment):
+    return EvaluationHarness(environment)
+
+
+class TestEnvironment:
+    def test_contains_corpus_and_all_tasks(self, environment):
+        assert environment.corpus.num_sequences == 6
+        assert len(environment.suite.names()) == 5
+
+
+class TestHarness:
+    def test_fp16_row_is_perfect_on_tasks(self, harness):
+        teacher = build_model("tiny-moe")
+        result = harness.evaluate(teacher, "fp16")
+        assert result.zero_shot_average == 100.0
+        assert all(v == 100.0 for v in result.task_scores.values())
+        row = result.as_row()
+        assert row["method"] == "fp16"
+        assert "wikitext2_ppl" in row and "zero_shot_avg" in row
+
+    def test_quantized_row_degrades(self, harness):
+        teacher = build_model("tiny-moe")
+        fp16 = harness.evaluate(teacher, "fp16")
+        quantized = build_model("tiny-moe")
+        quantized, _ = ModelCompressor(method="rtn", bits=3).compress(quantized)
+        row = harness.evaluate(quantized, "rtn-int3")
+        assert row.wikitext2_ppl > fp16.wikitext2_ppl
+        assert row.zero_shot_average < 100.0
+        assert row.memory_mb < fp16.memory_mb
+
+    def test_task_subset_selection(self, harness):
+        teacher = build_model("tiny-moe")
+        result = harness.evaluate(teacher, "fp16", tasks=["piqa-syn"])
+        assert set(result.task_scores) == {"piqa-syn"}
+
+    def test_exclude_few_shot(self, harness):
+        teacher = build_model("tiny-moe")
+        result = harness.evaluate(teacher, "fp16", include_few_shot=False)
+        assert "mmlu-syn" not in result.task_scores
+        assert "triqa-syn" not in result.task_scores
+
+    def test_compare_preserves_order(self, harness):
+        models = {
+            "fp16": build_model("tiny-moe"),
+            "rtn": ModelCompressor(method="rtn", bits=3).compress(build_model("tiny-moe"))[0],
+        }
+        results = harness.compare(models, include_few_shot=False)
+        assert [r.label for r in results] == ["fp16", "rtn"]
+
+    def test_milo_improves_over_rtn(self, harness):
+        rtn = ModelCompressor(method="rtn", bits=3).compress(build_model("tiny-moe"))[0]
+        milo = ModelCompressor(method="milo", bits=3, rank_policy=DenseRank(8)).compress(
+            build_model("tiny-moe")
+        )[0]
+        rtn_row = harness.evaluate(rtn, "rtn", include_few_shot=False)
+        milo_row = harness.evaluate(milo, "milo", include_few_shot=False)
+        assert milo_row.wikitext2_ppl < rtn_row.wikitext2_ppl
+        assert milo_row.zero_shot_average >= rtn_row.zero_shot_average

@@ -1,0 +1,45 @@
+"""Tests for the perplexity evaluator."""
+
+import numpy as np
+import pytest
+
+from repro.core import ModelCompressor
+from repro.data import teacher_corpus
+from repro.eval import perplexity, token_nll
+from repro.models import build_model
+
+
+class TestTokenNLL:
+    def test_one_value_per_predicted_token(self, tiny_moe):
+        tokens = np.random.default_rng(0).integers(0, 64, size=(3, 10))
+        nll = token_nll(tiny_moe, tokens)
+        assert nll.shape == (3 * 9,)
+        assert np.all(nll >= 0)
+
+    def test_requires_at_least_two_positions(self, tiny_moe):
+        with pytest.raises(ValueError):
+            token_nll(tiny_moe, np.zeros((2, 1), dtype=int))
+
+
+class TestPerplexity:
+    def test_accepts_corpus_or_array(self, tiny_moe):
+        corpus = teacher_corpus(tiny_moe, num_sequences=4, seq_len=12, seed=0)
+        assert perplexity(tiny_moe, corpus) == pytest.approx(
+            perplexity(tiny_moe, corpus.tokens)
+        )
+
+    def test_bounded_by_vocab_size_for_uniform_model(self, tiny_moe):
+        corpus = teacher_corpus(tiny_moe, num_sequences=4, seq_len=12, seed=1)
+        assert 1.0 < perplexity(tiny_moe, corpus) < tiny_moe.config.vocab_size * 1.5
+
+    def test_empty_corpus_rejected(self, tiny_moe):
+        with pytest.raises(ValueError):
+            perplexity(tiny_moe, np.zeros((0, 8), dtype=int))
+
+    def test_quantization_increases_perplexity(self):
+        teacher = build_model("tiny-moe")
+        corpus = teacher_corpus(teacher, num_sequences=8, seq_len=16, seed=2)
+        baseline = perplexity(teacher, corpus)
+        quantized = build_model("tiny-moe")
+        quantized, _ = ModelCompressor(method="rtn", bits=3).compress(quantized)
+        assert perplexity(quantized, corpus) > baseline

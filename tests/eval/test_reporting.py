@@ -1,0 +1,30 @@
+"""Tests for the plain-text table formatter."""
+
+from repro.eval import format_rows, format_table
+
+
+class TestFormatTable:
+    def test_headers_and_rows_aligned(self):
+        text = format_table(["a", "bbb"], [[1, 2.34567], [10, 3.0]], precision=2)
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "2.35" in text
+        assert len(lines) == 4
+
+    def test_title_prepended(self):
+        text = format_table(["x"], [[1]], title="Table 1")
+        assert text.splitlines()[0] == "Table 1"
+
+    def test_string_cells_untouched(self):
+        text = format_table(["method"], [["milo-s1"]])
+        assert "milo-s1" in text
+
+
+class TestFormatRows:
+    def test_dict_rows(self):
+        rows = [{"method": "rtn", "ppl": 4.81}, {"method": "milo", "ppl": 4.03}]
+        text = format_rows(rows, precision=2)
+        assert "method" in text and "4.03" in text
+
+    def test_empty_rows_returns_title(self):
+        assert format_rows([], title="nothing") == "nothing"

@@ -1,0 +1,130 @@
+"""Integration tests: the full quantize -> deploy -> evaluate pipeline.
+
+These tests exercise the same paths as the benchmark harness but on the tiny
+models, asserting the *orderings* the paper reports rather than absolute
+numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ModelCompressor, build_strategy
+from repro.data import zipfian_corpus
+from repro.eval import EvaluationEnvironment, EvaluationHarness
+from repro.models import build_model
+
+
+@pytest.fixture(scope="module")
+def mixtral_env():
+    teacher = build_model("mixtral-mini")
+    env = EvaluationEnvironment.from_teacher(
+        teacher, num_sequences=16, seq_len=24, num_task_items=96, seed=0
+    )
+    return teacher, EvaluationHarness(env)
+
+
+def compress(model_name, method, bits, strategy=None, calibration=None):
+    model = build_model(model_name)
+    policy = build_strategy(strategy, model.config) if strategy else None
+    compressor = ModelCompressor(
+        method=method, bits=bits, rank_policy=policy, calibration_tokens=calibration
+    )
+    return compressor.compress(model)
+
+
+class TestTable1Shape:
+    """Existing methods (RTN / GPTQ) at INT4 vs INT3 — paper Table 1."""
+
+    def test_int3_hurts_much_more_than_int4(self, mixtral_env):
+        teacher, harness = mixtral_env
+        fp16_ppl = harness.evaluate(teacher, "fp16", tasks=[]).wikitext2_ppl
+        calib = zipfian_corpus(teacher.config.vocab_size, 16, 24, seed=9).tokens
+        ppl = {}
+        for bits in (3, 4):
+            model, _ = compress("mixtral-mini", "rtn", bits)
+            ppl[bits] = harness.evaluate(model, f"rtn{bits}", tasks=[]).wikitext2_ppl
+        assert fp16_ppl < ppl[4] < ppl[3]
+        # INT4 is a minor loss; INT3 is a major one.
+        assert (ppl[4] - fp16_ppl) < 0.5 * (ppl[3] - fp16_ppl)
+
+
+class TestTable3Shape:
+    """Main results ordering — paper Table 3."""
+
+    def test_milo_beats_calibration_free_baselines(self, mixtral_env):
+        teacher, harness = mixtral_env
+        results = {}
+        for label, method, strategy in [
+            ("rtn", "rtn", None),
+            ("hqq", "hqq", None),
+            ("milo-s1", "milo", "mixtral-s1"),
+            ("milo-s2", "milo", "mixtral-s2"),
+        ]:
+            model, report = compress("mixtral-mini", method, 3, strategy)
+            row = harness.evaluate(model, label, include_few_shot=False)
+            results[label] = (row, report)
+
+        milo_s1, milo_s2 = results["milo-s1"][0], results["milo-s2"][0]
+        rtn, hqq = results["rtn"][0], results["hqq"][0]
+
+        # Perplexity: MiLo recovers most of the INT3 loss.
+        assert milo_s1.wikitext2_ppl < rtn.wikitext2_ppl
+        assert milo_s1.wikitext2_ppl < hqq.wikitext2_ppl
+        assert milo_s2.wikitext2_ppl <= milo_s1.wikitext2_ppl * 1.05
+
+        # Zero-shot accuracy: MiLo wins as well.
+        assert milo_s1.zero_shot_average > rtn.zero_shot_average
+        assert milo_s1.zero_shot_average > hqq.zero_shot_average
+
+        # Memory: compensators add only a small overhead over plain INT3.
+        assert results["milo-s1"][1].memory_bytes < 1.1 * results["hqq"][1].memory_bytes
+        assert results["milo-s2"][1].memory_bytes >= results["milo-s1"][1].memory_bytes
+
+    def test_milo_recovers_majority_of_int3_quality_loss(self, mixtral_env):
+        """The paper reports recovering >87% of the Wikitext-2 perplexity loss."""
+        teacher, harness = mixtral_env
+        fp16_ppl = harness.evaluate(teacher, "fp16", tasks=[]).wikitext2_ppl
+        hqq_model, _ = compress("mixtral-mini", "hqq", 3)
+        hqq_ppl = harness.evaluate(hqq_model, "hqq", tasks=[]).wikitext2_ppl
+        milo_model, _ = compress("mixtral-mini", "milo", 3, "mixtral-s2")
+        milo_ppl = harness.evaluate(milo_model, "milo", tasks=[]).wikitext2_ppl
+        recovered = (hqq_ppl - milo_ppl) / (hqq_ppl - fp16_ppl)
+        assert recovered > 0.5
+
+
+class TestCalibrationFreeAdvantage:
+    def test_gptq_depends_on_calibration_data_milo_does_not(self, mixtral_env):
+        """Different calibration sets change GPTQ's output; MiLo is calibration-free."""
+        teacher, harness = mixtral_env
+        vocab = teacher.config.vocab_size
+        calib_a = zipfian_corpus(vocab, 16, 24, seed=1).tokens
+        calib_b = zipfian_corpus(vocab, 16, 24, seed=2).tokens
+
+        gptq_a, _ = compress("mixtral-mini", "gptq", 3, calibration=calib_a)
+        gptq_b, _ = compress("mixtral-mini", "gptq", 3, calibration=calib_b)
+        weight_a = gptq_a.get_submodule("layer_0.attn.q_proj").weight.data
+        weight_b = gptq_b.get_submodule("layer_0.attn.q_proj").weight.data
+        assert not np.allclose(weight_a, weight_b)
+
+        milo_a, _ = compress("mixtral-mini", "milo", 3, "mixtral-s1")
+        milo_b, _ = compress("mixtral-mini", "milo", 3, "mixtral-s1")
+        assert np.allclose(
+            milo_a.get_submodule("layer_0.attn.q_proj").weight.data,
+            milo_b.get_submodule("layer_0.attn.q_proj").weight.data,
+        )
+
+
+class TestDeepSeekPipeline:
+    def test_frequency_strategy_runs_end_to_end(self):
+        teacher = build_model("deepseek-moe-mini")
+        env = EvaluationEnvironment.from_teacher(
+            teacher, num_sequences=8, seq_len=20, num_task_items=48, seed=1
+        )
+        harness = EvaluationHarness(env)
+        hqq_model, _ = compress("deepseek-moe-mini", "hqq", 3)
+        milo_model, report = compress("deepseek-moe-mini", "milo", 3, "deepseek-s2")
+        assert "frequency-profiling" in report.stage_times
+        hqq_row = harness.evaluate(hqq_model, "hqq", include_few_shot=False)
+        milo_row = harness.evaluate(milo_model, "milo-s2", include_few_shot=False)
+        assert milo_row.wikitext2_ppl < hqq_row.wikitext2_ppl
+        assert milo_row.zero_shot_average > hqq_row.zero_shot_average

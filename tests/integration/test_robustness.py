@@ -1,0 +1,126 @@
+"""Robustness / failure-injection tests for the compression pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DenseRank,
+    MiLoConfig,
+    MiLoMatrixOptimizer,
+    ModelCompressor,
+    UniformRank,
+)
+from repro.models import MoEModelConfig, MoETransformer, build_model
+from repro.quant import GPTQQuantizer, HQQConfig, HQQQuantizer, RTNQuantizer
+
+
+class TestAwkwardShapes:
+    def test_group_size_larger_than_matrix(self):
+        """A group size exceeding in_features must still round-trip correctly."""
+        weight = np.random.default_rng(0).normal(size=(8, 10))
+        for quantizer in (RTNQuantizer(3, 64), HQQQuantizer(HQQConfig(bits=3, group_size=64))):
+            dq = quantizer.quantize(weight).dequantize()
+            assert dq.shape == weight.shape
+            assert np.isfinite(dq).all()
+
+    def test_milo_rank_exceeding_dimensions_is_clipped(self):
+        weight = np.random.default_rng(1).normal(size=(12, 20))
+        result = MiLoMatrixOptimizer(MiLoConfig(bits=3, max_iterations=3)).optimize(weight, rank=500)
+        assert result.compensator.rank <= 12
+        assert np.isfinite(result.reconstructed()).all()
+
+    def test_single_column_weight(self):
+        weight = np.random.default_rng(2).normal(size=(16, 1))
+        result = MiLoMatrixOptimizer(MiLoConfig(bits=3, max_iterations=2)).optimize(weight, rank=1)
+        assert result.reconstructed().shape == (16, 1)
+
+    def test_constant_weight_matrix(self):
+        weight = np.full((8, 64), 0.25)
+        result = MiLoMatrixOptimizer(MiLoConfig(bits=3, max_iterations=2)).optimize(weight, rank=2)
+        assert np.allclose(result.reconstructed(), 0.25, atol=1e-6)
+
+
+class TestDegenerateCalibration:
+    def test_gptq_with_single_calibration_row(self):
+        weight = np.random.default_rng(3).normal(size=(8, 32))
+        calib = np.random.default_rng(4).normal(size=(1, 32))
+        dq = GPTQQuantizer(3, 32).quantize(weight, calibration_inputs=calib).dequantize()
+        assert np.isfinite(dq).all()
+
+    def test_gptq_with_zero_activation_channels(self):
+        weight = np.random.default_rng(5).normal(size=(8, 32))
+        calib = np.zeros((16, 32))
+        calib[:, :4] = np.random.default_rng(6).normal(size=(16, 4))
+        dq = GPTQQuantizer(3, 32).quantize(weight, calibration_inputs=calib).dequantize()
+        assert np.isfinite(dq).all()
+
+    def test_compressor_with_tiny_calibration_batch(self):
+        model = build_model("tiny-moe")
+        calib = np.random.default_rng(7).integers(0, 64, size=(1, 4))
+        model, report = ModelCompressor(
+            method="gptq", bits=3, calibration_tokens=calib
+        ).compress(model)
+        assert report.memory_bytes < report.fp16_memory_bytes
+        assert np.isfinite(model.forward(calib)).all()
+
+
+class TestCorruptionDetection:
+    def test_zeroing_a_compensator_degrades_output_fidelity(self):
+        """Failure injection: wiping a compensator must visibly hurt fidelity."""
+        teacher = build_model("tiny-moe")
+        tokens = np.random.default_rng(8).integers(0, 64, size=(2, 12))
+        reference = teacher.forward(tokens)
+
+        model = build_model("tiny-moe")
+        model, _ = ModelCompressor(method="milo", bits=3, rank_policy=DenseRank(8)).compress(model)
+        healthy_err = np.linalg.norm(model.forward(tokens) - reference)
+
+        from repro.models import CompensatedLinear
+
+        for module in model.modules():
+            if isinstance(module, CompensatedLinear) and module.rank > 0:
+                module.U.data[...] = 0.0
+                module.V.data[...] = 0.0
+        corrupted_err = np.linalg.norm(model.forward(tokens) - reference)
+        assert corrupted_err > healthy_err
+
+    def test_double_compression_is_rejected_gracefully(self):
+        """Compressing an already-compressed model finds no plain Linear layers."""
+        model = build_model("tiny-moe")
+        model, first = ModelCompressor(method="rtn", bits=3).compress(model)
+        model, second = ModelCompressor(method="rtn", bits=3).compress(model)
+        # Nothing left to quantize: no layer stats, memory unchanged.
+        assert second.layer_stats == {}
+        assert second.memory_bytes == pytest.approx(first.memory_bytes)
+
+
+class TestUnusualConfigs:
+    def test_single_expert_model_end_to_end(self):
+        config = MoEModelConfig(
+            name="one-expert",
+            vocab_size=32,
+            hidden_size=16,
+            intermediate_size=24,
+            num_layers=1,
+            num_heads=2,
+            num_kv_heads=2,
+            num_experts=1,
+            experts_per_token=1,
+            seed=3,
+        )
+        model = MoETransformer(config)
+        model, report = ModelCompressor(method="milo", bits=3, rank_policy=UniformRank(2)).compress(model)
+        tokens = np.random.default_rng(9).integers(0, 32, size=(1, 6))
+        assert np.isfinite(model.forward(tokens)).all()
+        assert report.memory_bytes < report.fp16_memory_bytes
+
+    def test_two_bit_quantization_supported_and_worse_than_three(self):
+        teacher = build_model("tiny-moe")
+        tokens = np.random.default_rng(10).integers(0, 64, size=(2, 8))
+        reference = teacher.forward(tokens)
+        errors = {}
+        for bits in (2, 3):
+            model = build_model("tiny-moe")
+            model, _ = ModelCompressor(method="rtn", bits=bits).compress(model)
+            errors[bits] = np.linalg.norm(model.forward(tokens) - reference)
+        assert errors[3] < errors[2]

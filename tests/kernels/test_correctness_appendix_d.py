@@ -1,0 +1,103 @@
+"""Reproduction of the paper's Appendix D kernel correctness suite.
+
+The artifact defines three groups of tests — functional correctness on
+real-model matrix shapes, error handling of invalid configurations, and
+boundary conditions on the batch and reduction dimensions — with a pass
+criterion of relative error below 0.005 against the reference, over 5 random
+seeds.  The shapes are scaled down (the full 4096x14336 GEMMs would be slow
+in numpy) but keep the same divisibility structure.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels.gemm import packed_gemm_w3a16, quantize_for_kernel, reference_gemm
+from repro.kernels.tiles import KernelConfigError, validate_kernel_config
+
+#: Appendix D pass criterion.
+RELATIVE_ERROR_THRESHOLD = 0.005
+
+#: Scaled-down stand-ins for the Mixtral / Llama2 shapes of the artifact's
+#: functional tests (k, n); divisible by every supported tile shape.
+MIXTRAL_LIKE_SHAPES = [(512, 1792), (1792, 512), (512, 512)]
+LLAMA_LIKE_SHAPES = [(512, 1536), (1536, 512), (512, 768), (768, 512)]
+
+
+def _relative_error(x, qw, seed):
+    """Relative error of the packed GEMM against the de-quantized reference."""
+    from repro.kernels.gemm import _dequantize_kernel_weight
+
+    y = packed_gemm_w3a16(x, qw)
+    y_ref = reference_gemm(x, _dequantize_kernel_weight(qw))
+    denom = np.linalg.norm(y_ref)
+    return np.linalg.norm(y - y_ref) / denom if denom else 0.0
+
+
+class TestFunctionalCorrectness:
+    @pytest.mark.parametrize("shape", MIXTRAL_LIKE_SHAPES)
+    @pytest.mark.parametrize("batch", [1, 16, 64, 256])
+    def test_mixtral_shapes(self, shape, batch):
+        k, n = shape
+        rng = np.random.default_rng(hash((k, n, batch)) % 2**32)
+        qw = quantize_for_kernel(rng.normal(0, 0.05, size=(k, n)), bits=3, group_size=64)
+        x = rng.normal(size=(batch, k))
+        assert _relative_error(x, qw, 0) < RELATIVE_ERROR_THRESHOLD
+
+    @pytest.mark.parametrize("shape", LLAMA_LIKE_SHAPES)
+    def test_llama_shapes(self, shape):
+        k, n = shape
+        rng = np.random.default_rng(hash((k, n)) % 2**32)
+        qw = quantize_for_kernel(rng.normal(0, 0.05, size=(k, n)), bits=3, group_size=64)
+        x = rng.normal(size=(16, k))
+        assert _relative_error(x, qw, 0) < RELATIVE_ERROR_THRESHOLD
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_five_random_seeds(self, seed):
+        """The artifact repeats every correctness test with 5 random seeds."""
+        rng = np.random.default_rng(seed)
+        qw = quantize_for_kernel(rng.normal(0, 0.05, size=(512, 512)), bits=3, group_size=64)
+        x = rng.normal(size=(32, 512))
+        assert _relative_error(x, qw, seed) < RELATIVE_ERROR_THRESHOLD
+
+
+class TestErrorHandling:
+    def test_group_size_must_be_64(self):
+        with pytest.raises(KernelConfigError):
+            validate_kernel_config(512, 512, 128, (128, 128))
+
+    def test_weight_shape_must_be_tile_multiple(self):
+        with pytest.raises(KernelConfigError):
+            validate_kernel_config(500, 512, 64, (128, 128))
+        with pytest.raises(KernelConfigError):
+            validate_kernel_config(512, 500, 64, (128, 128))
+
+    def test_tile_shape_restricted_to_supported_set(self):
+        for bad in [(128, 64), (64, 64), (512, 32)]:
+            with pytest.raises(KernelConfigError):
+                validate_kernel_config(512, 512, 64, bad)
+
+    def test_all_supported_tiles_accepted(self):
+        for tile in [(256, 64), (128, 128), (64, 256)]:
+            validate_kernel_config(1024, 1024, 64, tile)
+
+
+class TestBoundaryConditions:
+    @pytest.mark.parametrize("batch", [1, 7, 15, 17, 31, 33])
+    def test_batch_not_multiple_of_16_padded_correctly(self, batch):
+        """Tensor cores do 16x8x16 MMAs; odd batches require padding."""
+        rng = np.random.default_rng(batch)
+        qw = quantize_for_kernel(rng.normal(0, 0.05, size=(512, 256)), bits=3, group_size=64)
+        x = rng.normal(size=(batch, 512))
+        y = packed_gemm_w3a16(x, qw)
+        assert y.shape == (batch, 256)
+        assert _relative_error(x, qw, batch) < RELATIVE_ERROR_THRESHOLD
+
+    @pytest.mark.parametrize("k", [256, 320, 576])
+    def test_reduction_dim_not_multiple_of_pipeline_stage(self, k):
+        """k not divisible by 4 * tile_k terminates the last pipeline stage early."""
+        rng = np.random.default_rng(k)
+        qw = quantize_for_kernel(rng.normal(0, 0.05, size=(k, 256)), bits=3, group_size=64)
+        x = rng.normal(size=(16, k))
+        y = packed_gemm_w3a16(x, qw, tile_shape=(64, 256), validate=False)
+        assert y.shape == (16, 256)
+        assert _relative_error(x, qw, k) < RELATIVE_ERROR_THRESHOLD

@@ -1,0 +1,75 @@
+"""Tests for the binary-manipulation I2F de-quantization path."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels.dequant import (
+    MAGIC_FP16_BIAS,
+    dequantize_int3_codes,
+    dequantize_packed_matrix,
+    i2f_binary_manipulation,
+)
+from repro.kernels.packing import pack_int3_matrix
+
+
+class TestBinaryManipulation:
+    def test_matches_plain_cast_for_int3_codes(self):
+        codes = np.arange(8)
+        assert np.array_equal(i2f_binary_manipulation(codes), codes.astype(float))
+
+    def test_magic_constant_is_1024(self):
+        assert np.frombuffer(np.uint16(MAGIC_FP16_BIAS).tobytes(), dtype=np.float16)[0] == 1024.0
+
+    @given(st.lists(st.integers(0, 1023), min_size=1, max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_exact_for_all_mantissa_range(self, values):
+        codes = np.array(values)
+        assert np.array_equal(i2f_binary_manipulation(codes), codes.astype(float))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            i2f_binary_manipulation(np.array([1024]))
+        with pytest.raises(ValueError):
+            i2f_binary_manipulation(np.array([-1]))
+
+
+class TestGroupDequant:
+    def _setup(self, symmetric):
+        rng = np.random.default_rng(0)
+        codes = rng.integers(0, 8, size=(4, 128))
+        scales = rng.uniform(0.01, 0.1, size=(4, 2))
+        zeros = rng.uniform(0, 7, size=(4, 2))
+        return codes, scales, zeros
+
+    def test_asymmetric_matches_reference(self):
+        codes, scales, zeros = self._setup(False)
+        dq = dequantize_int3_codes(codes, scales, zeros, group_size=64, symmetric=False)
+        reference = (
+            (codes.reshape(4, 2, 64) - zeros[:, :, None]) * scales[:, :, None]
+        ).reshape(4, 128)
+        assert np.allclose(dq, reference)
+
+    def test_symmetric_subtracts_midcode(self):
+        codes, scales, _ = self._setup(True)
+        dq = dequantize_int3_codes(codes, scales, None, group_size=64, symmetric=True)
+        reference = ((codes.reshape(4, 2, 64) - 4.0) * scales[:, :, None]).reshape(4, 128)
+        assert np.allclose(dq, reference)
+
+    def test_asymmetric_requires_zeros(self):
+        codes, scales, _ = self._setup(False)
+        with pytest.raises(ValueError):
+            dequantize_int3_codes(codes, scales, None, group_size=64, symmetric=False)
+
+    def test_group_size_must_divide_columns(self):
+        codes, scales, zeros = self._setup(False)
+        with pytest.raises(ValueError):
+            dequantize_int3_codes(codes, scales, zeros, group_size=60)
+
+    def test_packed_matrix_dequant_equals_code_dequant(self):
+        codes, scales, zeros = self._setup(False)
+        packed = pack_int3_matrix(codes)
+        via_packed = dequantize_packed_matrix(packed, scales, zeros, 64, symmetric=False)
+        via_codes = dequantize_int3_codes(codes, scales, zeros, 64, symmetric=False)
+        assert np.allclose(via_packed, via_codes)

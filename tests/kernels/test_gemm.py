@@ -1,0 +1,112 @@
+"""Functional tests for the packed W3A16 / W4A16 GEMM."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.gemm import (
+    packed_gemm_w3a16,
+    packed_gemm_w4a16,
+    quantize_for_kernel,
+    reference_gemm,
+)
+from repro.kernels.tiles import KernelConfigError
+
+
+@pytest.fixture()
+def weight_kn():
+    return np.random.default_rng(0).normal(0, 0.05, size=(256, 128))
+
+
+@pytest.fixture()
+def activations():
+    return np.random.default_rng(1).normal(size=(8, 256))
+
+
+class TestKernelQuantization:
+    def test_symmetric_int3_roundtrip_close(self, weight_kn):
+        qw = quantize_for_kernel(weight_kn, bits=3, group_size=64, symmetric=True)
+        assert qw.shape == (256, 128)
+        assert qw.zeros is None
+        assert qw.scales.shape == (128, 4)
+
+    def test_asymmetric_has_zero_points(self, weight_kn):
+        qw = quantize_for_kernel(weight_kn, bits=3, group_size=64, symmetric=False)
+        assert qw.zeros is not None
+
+    def test_k_must_be_group_multiple(self):
+        with pytest.raises(ValueError):
+            quantize_for_kernel(np.zeros((100, 64)), group_size=64)
+
+    def test_unsupported_bits_rejected(self, weight_kn):
+        with pytest.raises(ValueError):
+            quantize_for_kernel(weight_kn, bits=2)
+
+
+class TestW3A16Gemm:
+    def test_matches_fp_reference_within_quantization_error(self, weight_kn, activations):
+        qw = quantize_for_kernel(weight_kn, bits=3, group_size=64, symmetric=True)
+        y = packed_gemm_w3a16(activations, qw)
+        y_ref = reference_gemm(activations, weight_kn)
+        rel = np.linalg.norm(y - y_ref) / np.linalg.norm(y_ref)
+        assert rel < 0.3  # INT3 quantization error, not a kernel bug
+
+    def test_bit_exact_against_dequantized_weight(self, weight_kn, activations):
+        """The packed GEMM must equal a dense GEMM on the de-quantized weight."""
+        from repro.kernels.gemm import _dequantize_kernel_weight
+
+        qw = quantize_for_kernel(weight_kn, bits=3, group_size=64, symmetric=True)
+        y = packed_gemm_w3a16(activations, qw)
+        y_exact = reference_gemm(activations, _dequantize_kernel_weight(qw))
+        assert np.allclose(y, y_exact, atol=1e-9)
+
+    def test_asymmetric_path(self, weight_kn, activations):
+        from repro.kernels.gemm import _dequantize_kernel_weight
+
+        qw = quantize_for_kernel(weight_kn, bits=3, group_size=64, symmetric=False)
+        y = packed_gemm_w3a16(activations, qw)
+        assert np.allclose(y, reference_gemm(activations, _dequantize_kernel_weight(qw)), atol=1e-9)
+
+    def test_all_supported_tile_shapes_agree(self, weight_kn, activations):
+        qw = quantize_for_kernel(weight_kn, bits=3, group_size=64, symmetric=True)
+        outputs = [
+            packed_gemm_w3a16(activations, qw, tile_shape=t, validate=False)
+            for t in ((256, 64), (128, 128), (64, 256))
+        ]
+        assert np.allclose(outputs[0], outputs[1]) and np.allclose(outputs[1], outputs[2])
+
+    @pytest.mark.parametrize("batch", [1, 3, 16, 17, 33])
+    def test_batch_padding_to_tensor_core_fragment(self, weight_kn, batch):
+        """Batch sizes that are not multiples of 16 must be padded, not rejected."""
+        qw = quantize_for_kernel(weight_kn, bits=3, group_size=64, symmetric=True)
+        x = np.random.default_rng(2).normal(size=(batch, 256))
+        assert packed_gemm_w3a16(x, qw).shape == (batch, 128)
+
+    def test_wrong_activation_width_rejected(self, weight_kn):
+        qw = quantize_for_kernel(weight_kn, bits=3, group_size=64)
+        with pytest.raises(ValueError):
+            packed_gemm_w3a16(np.zeros((4, 100)), qw)
+
+    def test_invalid_tile_configuration_rejected(self, weight_kn, activations):
+        qw = quantize_for_kernel(weight_kn, bits=3, group_size=64)
+        with pytest.raises(KernelConfigError):
+            packed_gemm_w3a16(activations, qw, tile_shape=(32, 32))
+
+    def test_requires_3bit_weight(self, weight_kn, activations):
+        qw4 = quantize_for_kernel(weight_kn, bits=4, group_size=64)
+        with pytest.raises(ValueError):
+            packed_gemm_w3a16(activations, qw4)
+
+
+class TestW4A16Gemm:
+    def test_more_accurate_than_int3(self, weight_kn, activations):
+        y_ref = reference_gemm(activations, weight_kn)
+        q3 = quantize_for_kernel(weight_kn, bits=3, group_size=64, symmetric=True)
+        q4 = quantize_for_kernel(weight_kn, bits=4, group_size=64, symmetric=True)
+        err3 = np.linalg.norm(packed_gemm_w3a16(activations, q3) - y_ref)
+        err4 = np.linalg.norm(packed_gemm_w4a16(activations, q4) - y_ref)
+        assert err4 < err3
+
+    def test_requires_4bit_weight(self, weight_kn, activations):
+        q3 = quantize_for_kernel(weight_kn, bits=3, group_size=64)
+        with pytest.raises(ValueError):
+            packed_gemm_w4a16(activations, q3)

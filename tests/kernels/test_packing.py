@@ -1,0 +1,115 @@
+"""Tests for the zero-bit-waste INT3 packing and INT4 packing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.kernels.packing import (
+    WEIGHTS_PER_GROUP,
+    WORDS_PER_GROUP,
+    pack_int3_groups,
+    pack_int3_matrix,
+    pack_int4_matrix,
+    unpack_int3_groups,
+    unpack_int3_matrix,
+    unpack_int4_matrix,
+)
+
+int3_rows = arrays(
+    dtype=np.int64,
+    shape=st.tuples(st.integers(1, 6), st.sampled_from([32, 64, 96, 128])),
+    elements=st.integers(0, 7),
+)
+
+
+class TestGroupPacking:
+    def test_32_codes_become_3_words(self):
+        codes = np.arange(32) % 8
+        words = pack_int3_groups(codes[None, :])
+        assert words.shape == (1, WORDS_PER_GROUP)
+
+    def test_roundtrip_simple(self):
+        codes = np.tile(np.arange(8), 4)[None, :]
+        assert np.array_equal(unpack_int3_groups(pack_int3_groups(codes)), codes)
+
+    def test_zero_bit_waste(self):
+        """32 x 3-bit codes occupy exactly 96 bits = 3 x INT32 (no padding bits)."""
+        assert WEIGHTS_PER_GROUP * 3 == WORDS_PER_GROUP * 32
+
+    def test_rejects_out_of_range_codes(self):
+        with pytest.raises(ValueError):
+            pack_int3_groups(np.full((1, 32), 8))
+        with pytest.raises(ValueError):
+            pack_int3_groups(np.full((1, 32), -1))
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            pack_int3_groups(np.zeros((1, 30), dtype=int))
+
+    @given(int3_rows)
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, codes):
+        words = pack_int3_groups(codes)
+        assert words.shape[-1] == codes.shape[-1] // 32 * 3
+        assert np.array_equal(unpack_int3_groups(words), codes)
+
+    def test_all_code_values_survive_in_every_position(self):
+        for value in range(8):
+            codes = np.full((1, 32), value)
+            assert np.array_equal(unpack_int3_groups(pack_int3_groups(codes)), codes)
+
+    def test_last_eight_weights_reassembled_from_spare_bits(self):
+        """Weights e24..e31 are stored across the spare bytes of all 3 words."""
+        codes = np.zeros((1, 32), dtype=int)
+        codes[0, 24:] = [1, 2, 3, 4, 5, 6, 7, 0]
+        words = pack_int3_groups(codes)
+        # The low 24 bits of every word encode only e0..e23, which are all zero.
+        assert np.all(words & np.uint32(0x00FFFFFF) == 0)
+        assert np.array_equal(unpack_int3_groups(words), codes)
+
+
+class TestMatrixPacking:
+    def test_split_layout_sizes(self):
+        codes = np.random.default_rng(0).integers(0, 8, size=(16, 128))
+        packed = pack_int3_matrix(codes)
+        groups_per_row = 128 // 32
+        assert packed.main.shape == (16, 2 * groups_per_row)
+        assert packed.rest.shape == (16, groups_per_row)
+        assert packed.packed_bytes == pytest.approx(packed.ideal_bytes)
+
+    def test_roundtrip(self):
+        codes = np.random.default_rng(1).integers(0, 8, size=(8, 256))
+        assert np.array_equal(unpack_int3_matrix(pack_int3_matrix(codes)), codes)
+
+    def test_roundtrip_with_column_padding(self):
+        codes = np.random.default_rng(2).integers(0, 8, size=(4, 50))
+        packed = pack_int3_matrix(codes)
+        assert np.array_equal(unpack_int3_matrix(packed), codes)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            pack_int3_matrix(np.zeros(32, dtype=int))
+
+    def test_storage_is_three_sixteenths_of_fp16(self):
+        codes = np.random.default_rng(3).integers(0, 8, size=(64, 256))
+        packed = pack_int3_matrix(codes)
+        fp16_bytes = codes.size * 2
+        assert packed.packed_bytes / fp16_bytes == pytest.approx(3 / 16)
+
+
+class TestInt4Packing:
+    def test_roundtrip(self):
+        codes = np.random.default_rng(4).integers(0, 16, size=(8, 64))
+        words = pack_int4_matrix(codes)
+        assert words.shape == (8, 8)
+        assert np.array_equal(unpack_int4_matrix(words, 64), codes)
+
+    def test_roundtrip_with_padding(self):
+        codes = np.random.default_rng(5).integers(0, 16, size=(4, 30))
+        assert np.array_equal(unpack_int4_matrix(pack_int4_matrix(codes), 30), codes)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            pack_int4_matrix(np.full((1, 8), 16))

@@ -1,0 +1,83 @@
+"""Tests for tile shapes, kernel-config validation, and the tile tuner."""
+
+import pytest
+
+from repro.kernels.tiles import (
+    SUPPORTED_TILE_SHAPES,
+    KernelConfigError,
+    TileShape,
+    choose_tile_shape,
+    global_reduction_splits,
+    validate_kernel_config,
+)
+
+
+class TestValidation:
+    def test_supported_menu_matches_paper(self):
+        assert {t.as_tuple() for t in SUPPORTED_TILE_SHAPES} == {(256, 64), (128, 128), (64, 256)}
+
+    def test_group_size_must_be_64(self):
+        with pytest.raises(KernelConfigError, match="group_size"):
+            validate_kernel_config(4096, 14336, 128, TileShape(128, 128))
+
+    def test_shape_must_be_tile_multiple(self):
+        with pytest.raises(KernelConfigError, match="multiple"):
+            validate_kernel_config(4000, 14336, 64, TileShape(128, 128))
+
+    def test_unsupported_tile_rejected(self):
+        with pytest.raises(KernelConfigError, match="unsupported"):
+            validate_kernel_config(4096, 14336, 64, (32, 32))
+
+    def test_valid_config_passes(self):
+        tile = validate_kernel_config(4096, 14336, 64, (128, 128))
+        assert tile == TileShape(128, 128)
+
+    def test_tuple_accepted(self):
+        assert validate_kernel_config(256, 256, 64, (256, 64)) == TileShape(256, 64)
+
+    def test_non_positive_shape_rejected(self):
+        with pytest.raises(KernelConfigError):
+            validate_kernel_config(0, 128, 64, (128, 128))
+
+
+class TestReductionSplits:
+    def test_wide_output_needs_no_split(self):
+        # Mixtral w1: n=14336 provides 112 column tiles, enough to fill 108 SMs.
+        assert global_reduction_splits(4096, 14336, TileShape(128, 128)) == 1
+
+    def test_narrow_output_needs_splits(self):
+        # DeepSeek w2: n=2048 gives only 16 column tiles -> split-K needed.
+        assert global_reduction_splits(11008, 2048, TileShape(128, 128)) > 1
+
+    def test_splits_bounded_by_pipeline_stages(self):
+        splits = global_reduction_splits(256, 64, TileShape(64, 256))
+        assert splits <= 1  # only one pipeline stage available along k
+
+    def test_more_sms_need_more_splits(self):
+        few = global_reduction_splits(11008, 2048, TileShape(128, 128), num_sms=32)
+        many = global_reduction_splits(11008, 2048, TileShape(128, 128), num_sms=128)
+        assert many >= few
+
+
+class TestTileTuner:
+    def test_small_n_prefers_narrow_tile(self):
+        """DeepSeek-like down-projection: tuning reduces reduction splits."""
+        tuned = choose_tile_shape(11008, 2048)
+        fixed = TileShape(128, 128)
+        assert global_reduction_splits(11008, 2048, tuned) <= global_reduction_splits(
+            11008, 2048, fixed
+        )
+
+    def test_large_matrix_keeps_square_tile(self):
+        assert choose_tile_shape(4096, 14336) == TileShape(128, 128)
+
+    def test_returns_supported_shape(self):
+        assert choose_tile_shape(512, 192) in SUPPORTED_TILE_SHAPES
+
+    def test_no_padding_requested_but_impossible_raises(self):
+        with pytest.raises(KernelConfigError):
+            choose_tile_shape(100, 100, allow_padding=False)
+
+    def test_divisible_candidates_preferred(self):
+        tile = choose_tile_shape(256, 64, allow_padding=True)
+        assert 256 % tile.tile_k == 0 and 64 % tile.tile_n == 0

@@ -1,0 +1,68 @@
+"""Tests for causal multi-head attention."""
+
+import numpy as np
+import pytest
+
+from repro.models.attention import MultiHeadAttention
+from repro.models.config import MoEModelConfig
+
+
+def make_attention(num_heads=4, num_kv_heads=2, hidden=32):
+    config = MoEModelConfig(
+        name="attn-test",
+        hidden_size=hidden,
+        num_heads=num_heads,
+        num_kv_heads=num_kv_heads,
+        num_experts=2,
+        experts_per_token=1,
+        intermediate_size=16,
+    )
+    return MultiHeadAttention(config, np.random.default_rng(0)), config
+
+
+class TestShapes:
+    def test_output_shape_matches_input(self):
+        attn, _ = make_attention()
+        x = np.random.default_rng(1).normal(size=(2, 7, 32))
+        assert attn(x).shape == (2, 7, 32)
+
+    def test_rejects_non_3d_input(self):
+        attn, _ = make_attention()
+        with pytest.raises(ValueError):
+            attn(np.zeros((7, 32)))
+
+    def test_grouped_query_heads(self):
+        attn, cfg = make_attention(num_heads=4, num_kv_heads=2)
+        assert attn.k_proj.out_features == cfg.num_kv_heads * cfg.head_dim
+        x = np.random.default_rng(2).normal(size=(1, 5, 32))
+        assert attn(x).shape == (1, 5, 32)
+
+
+class TestCausality:
+    def test_future_tokens_do_not_affect_past_positions(self):
+        attn, _ = make_attention()
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(1, 6, 32))
+        y_full = attn(x)
+        x_changed = x.copy()
+        x_changed[0, 5] += rng.normal(size=32)
+        y_changed = attn(x_changed)
+        # Positions 0..4 must be identical: position 5 is in their future.
+        assert np.allclose(y_full[0, :5], y_changed[0, :5])
+        assert not np.allclose(y_full[0, 5], y_changed[0, 5])
+
+    def test_prefix_consistency(self):
+        attn, _ = make_attention()
+        x = np.random.default_rng(4).normal(size=(1, 8, 32))
+        y_full = attn(x)
+        y_prefix = attn(x[:, :4])
+        assert np.allclose(y_full[:, :4], y_prefix, atol=1e-10)
+
+
+class TestWeights:
+    def test_projections_are_heavy_tailed(self):
+        from repro.models.init import excess_kurtosis
+
+        attn, _ = make_attention(hidden=64)
+        kurts = [excess_kurtosis(getattr(attn, p).weight.data) for p in ("q_proj", "k_proj", "v_proj", "o_proj")]
+        assert all(k > 0 for k in kurts)

@@ -1,0 +1,136 @@
+"""Tests (including property-based) for the numerical primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.models.functional import (
+    cross_entropy,
+    log_softmax,
+    one_hot,
+    rms_norm,
+    silu,
+    softmax,
+    top_k_indices,
+)
+
+finite_rows = arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(1, 6), st.integers(2, 12)),
+    elements=st.floats(-50, 50, allow_nan=False),
+)
+
+
+class TestSoftmax:
+    @given(finite_rows)
+    @settings(max_examples=50, deadline=None)
+    def test_rows_sum_to_one(self, x):
+        p = softmax(x, axis=-1)
+        assert np.allclose(p.sum(axis=-1), 1.0)
+        assert np.all(p >= 0)
+
+    def test_shift_invariance(self):
+        x = np.array([[1.0, 2.0, 3.0]])
+        assert np.allclose(softmax(x), softmax(x + 100.0))
+
+    def test_extreme_values_stable(self):
+        x = np.array([[1e4, -1e4, 0.0]])
+        p = softmax(x)
+        assert np.isfinite(p).all()
+        assert p[0, 0] == pytest.approx(1.0)
+
+    @given(finite_rows)
+    @settings(max_examples=30, deadline=None)
+    def test_log_softmax_matches_log_of_softmax(self, x):
+        assert np.allclose(log_softmax(x), np.log(softmax(x) + 1e-300), atol=1e-6)
+
+
+class TestActivations:
+    def test_silu_at_zero(self):
+        assert silu(np.array([0.0]))[0] == 0.0
+
+    def test_silu_positive_limit(self):
+        x = np.array([20.0])
+        assert silu(x)[0] == pytest.approx(20.0, rel=1e-6)
+
+    @given(st.floats(-30, 30))
+    @settings(max_examples=50, deadline=None)
+    def test_silu_bounded_below(self, v):
+        assert silu(np.array([v]))[0] >= -0.3
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_is_near_zero(self):
+        logits = np.zeros((1, 4, 8))
+        logits[..., 3] = 50.0
+        targets = np.full((1, 4), 3)
+        assert cross_entropy(logits, targets) == pytest.approx(0.0, abs=1e-6)
+
+    def test_uniform_prediction_is_log_vocab(self):
+        logits = np.zeros((2, 5, 16))
+        targets = np.zeros((2, 5), dtype=int)
+        assert cross_entropy(logits, targets) == pytest.approx(np.log(16))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            cross_entropy(np.zeros((1, 4, 8)), np.zeros((1, 3), dtype=int))
+
+
+class TestRMSNorm:
+    def test_unit_rms_output(self):
+        x = np.random.default_rng(0).normal(0, 10, size=(3, 4, 16))
+        y = rms_norm(x, np.ones(16))
+        rms = np.sqrt(np.mean(y**2, axis=-1))
+        assert np.allclose(rms, 1.0, atol=1e-3)
+
+    def test_weight_scales_output(self):
+        x = np.ones((1, 1, 4))
+        y = rms_norm(x, 2.0 * np.ones(4))
+        assert np.allclose(y, 2.0, atol=1e-5)
+
+
+class TestTopK:
+    def test_returns_largest_in_descending_order(self):
+        scores = np.array([[0.1, 5.0, 3.0, 4.0]])
+        idx = top_k_indices(scores, 2)
+        assert idx.tolist() == [[1, 3]]
+
+    def test_k_equals_dim(self):
+        scores = np.array([[3.0, 1.0, 2.0]])
+        idx = top_k_indices(scores, 3)
+        assert idx.tolist() == [[0, 2, 1]]
+
+    def test_invalid_k_raises(self):
+        with pytest.raises(ValueError):
+            top_k_indices(np.ones((2, 3)), 0)
+        with pytest.raises(ValueError):
+            top_k_indices(np.ones((2, 3)), 4)
+
+    @given(arrays(np.float64, st.tuples(st.integers(1, 5), st.integers(3, 10)),
+                  elements=st.floats(-100, 100, allow_nan=False)),
+           st.integers(1, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_topk_values_are_maximal(self, scores, k):
+        k = min(k, scores.shape[-1])
+        idx = top_k_indices(scores, k)
+        selected = np.take_along_axis(scores, idx, axis=-1)
+        worst_selected = selected.min(axis=-1)
+        # Every non-selected score must be <= the smallest selected score.
+        for row in range(scores.shape[0]):
+            others = np.delete(scores[row], idx[row])
+            if others.size:
+                assert others.max() <= worst_selected[row] + 1e-12
+
+
+class TestOneHot:
+    def test_basic_encoding(self):
+        out = one_hot(np.array([0, 2]), 3)
+        assert out.shape == (2, 3)
+        assert np.array_equal(out, [[1, 0, 0], [0, 0, 1]])
+
+    def test_sums_to_one_per_row(self):
+        idx = np.random.default_rng(0).integers(0, 7, size=(4, 5))
+        out = one_hot(idx, 7)
+        assert np.allclose(out.sum(axis=-1), 1.0)

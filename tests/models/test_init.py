@@ -1,0 +1,86 @@
+"""Tests for the distribution-calibrated weight initializers."""
+
+import numpy as np
+import pytest
+
+from repro.models.init import (
+    excess_kurtosis,
+    gaussian_weight,
+    heavy_tailed_weight,
+    light_tailed_weight,
+)
+from repro.models.init import intermediate_tailed_weight
+
+
+class TestExcessKurtosis:
+    def test_gaussian_is_near_zero(self):
+        rng = np.random.default_rng(0)
+        k = excess_kurtosis(rng.normal(size=(400, 400)))
+        assert abs(k) < 0.1
+
+    def test_uniform_is_negative(self):
+        rng = np.random.default_rng(0)
+        k = excess_kurtosis(rng.uniform(-1, 1, size=(300, 300)))
+        assert k == pytest.approx(-1.2, abs=0.1)
+
+    def test_constant_matrix_is_zero(self):
+        assert excess_kurtosis(np.full((10, 10), 3.0)) == 0.0
+
+
+class TestHeavyTailed:
+    def test_positive_kurtosis(self):
+        w = heavy_tailed_weight((256, 256), rng=np.random.default_rng(1))
+        assert excess_kurtosis(w) > 0.5
+
+    def test_heavier_than_light_tailed(self):
+        rng = np.random.default_rng(2)
+        heavy = heavy_tailed_weight((128, 128), rng=rng)
+        light = light_tailed_weight((128, 128), rng=rng)
+        assert excess_kurtosis(heavy) > excess_kurtosis(light)
+
+    def test_outlier_scale_increases_kurtosis(self):
+        low = heavy_tailed_weight((128, 128), outlier_scale=2.0, rng=np.random.default_rng(3))
+        high = heavy_tailed_weight((128, 128), outlier_scale=8.0, rng=np.random.default_rng(3))
+        assert excess_kurtosis(high) > excess_kurtosis(low)
+
+    def test_channel_structure_concentrates_outliers(self):
+        w = heavy_tailed_weight(
+            (256, 256), channel_structured=True, rng=np.random.default_rng(4), outlier_scale=6.0
+        )
+        col_max = np.abs(w).max(axis=0)
+        # A few "hot" input channels should hold the largest magnitudes.
+        hot = np.sort(col_max)[-8:]
+        cold = np.sort(col_max)[:-8]
+        assert hot.mean() > 2.0 * cold.mean()
+
+
+class TestLightTailed:
+    def test_negative_kurtosis(self):
+        w = light_tailed_weight((256, 256), rng=np.random.default_rng(5))
+        assert -1.2 < excess_kurtosis(w) < -0.5
+
+    def test_requested_std(self):
+        w = light_tailed_weight((512, 512), std=0.05, rng=np.random.default_rng(6))
+        assert w.std() == pytest.approx(0.05, rel=0.05)
+
+
+class TestIntermediateTailed:
+    def test_between_heavy_and_light(self):
+        rng = np.random.default_rng(7)
+        mid = excess_kurtosis(intermediate_tailed_weight((256, 256), rng=rng))
+        light = excess_kurtosis(light_tailed_weight((256, 256), rng=np.random.default_rng(7)))
+        heavy = excess_kurtosis(
+            heavy_tailed_weight((256, 256), rng=np.random.default_rng(7))
+        )
+        assert light < mid < heavy
+
+
+class TestGaussian:
+    def test_std(self):
+        w = gaussian_weight((512, 128), std=0.02, rng=np.random.default_rng(8))
+        assert w.std() == pytest.approx(0.02, rel=0.05)
+
+    def test_deterministic_with_same_rng_seed(self):
+        a = gaussian_weight((16, 16), rng=np.random.default_rng(9))
+        b = gaussian_weight((16, 16), rng=np.random.default_rng(9))
+        assert np.array_equal(a, b)

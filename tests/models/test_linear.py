@@ -1,0 +1,104 @@
+"""Tests for the three linear-layer deployment states."""
+
+import numpy as np
+import pytest
+
+from repro.models.linear import CompensatedLinear, Linear, QuantizedLinear
+
+
+@pytest.fixture()
+def weight():
+    return np.random.default_rng(0).normal(0, 0.05, size=(12, 8))
+
+
+class TestLinear:
+    def test_forward_matches_matmul(self, weight):
+        layer = Linear(8, 12, weight=weight)
+        x = np.random.default_rng(1).normal(size=(5, 8))
+        assert np.allclose(layer(x), x @ weight.T)
+
+    def test_bias_is_added(self, weight):
+        bias = np.arange(12, dtype=float)
+        layer = Linear(8, 12, weight=weight, bias=bias)
+        x = np.zeros((2, 8))
+        assert np.allclose(layer(x), np.tile(bias, (2, 1)))
+
+    def test_wrong_weight_shape_raises(self):
+        with pytest.raises(ValueError):
+            Linear(8, 12, weight=np.zeros((8, 12)))
+
+    def test_default_weight_is_zero(self):
+        layer = Linear(4, 4)
+        assert np.allclose(layer(np.ones((1, 4))), 0.0)
+
+    def test_effective_weight(self, weight):
+        layer = Linear(8, 12, weight=weight)
+        assert np.array_equal(layer.effective_weight(), weight)
+
+
+class TestQuantizedLinear:
+    def test_memory_smaller_than_fp16(self, weight):
+        fp = Linear(8, 12, weight=weight)
+        q = QuantizedLinear(8, 12, weight, bits=3, group_size=4)
+        assert q.memory_bytes() < fp.memory_bytes()
+
+    def test_asymmetric_metadata_twice_symmetric(self, weight):
+        asym = QuantizedLinear(8, 12, weight, bits=3, group_size=4, symmetric=False)
+        sym = QuantizedLinear(8, 12, weight, bits=3, group_size=4, symmetric=True)
+        assert asym.extra_memory_bytes() == 2 * sym.extra_memory_bytes()
+
+    def test_forward_uses_dequantized_weight(self, weight):
+        q = QuantizedLinear(8, 12, weight, bits=3, group_size=4)
+        x = np.random.default_rng(2).normal(size=(3, 8))
+        assert np.allclose(q(x), x @ weight.T)
+
+    def test_group_count_rounds_up(self):
+        q = QuantizedLinear(10, 4, np.zeros((4, 10)), bits=3, group_size=4)
+        assert q.num_groups() == 4 * 3
+
+
+class TestCompensatedLinear:
+    def test_forward_adds_low_rank_correction(self, weight):
+        rng = np.random.default_rng(3)
+        U = rng.normal(size=(12, 2))
+        V = rng.normal(size=(2, 8))
+        layer = CompensatedLinear(8, 12, weight, U=U, V=V, bits=3, group_size=4)
+        x = rng.normal(size=(4, 8))
+        expected = x @ (weight + U @ V).T
+        assert np.allclose(layer(x), expected)
+
+    def test_rank_zero_behaves_like_quantized(self, weight):
+        layer = CompensatedLinear(
+            8, 12, weight, U=np.zeros((12, 0)), V=np.zeros((0, 8)), bits=3, group_size=4
+        )
+        x = np.random.default_rng(4).normal(size=(2, 8))
+        assert np.allclose(layer(x), x @ weight.T)
+        assert layer.extra_memory_bytes() == QuantizedLinear(
+            8, 12, weight, bits=3, group_size=4
+        ).extra_memory_bytes()
+
+    def test_shape_mismatch_raises(self, weight):
+        with pytest.raises(ValueError):
+            CompensatedLinear(
+                8, 12, weight, U=np.zeros((12, 2)), V=np.zeros((3, 8)), bits=3, group_size=4
+            )
+        with pytest.raises(ValueError):
+            CompensatedLinear(
+                8, 12, weight, U=np.zeros((11, 2)), V=np.zeros((2, 8)), bits=3, group_size=4
+            )
+
+    def test_memory_grows_with_rank(self, weight):
+        def layer(rank):
+            return CompensatedLinear(
+                8, 12, weight,
+                U=np.zeros((12, rank)), V=np.zeros((rank, 8)),
+                bits=3, group_size=4,
+            )
+
+        assert layer(4).memory_bytes() > layer(1).memory_bytes() > layer(0).memory_bytes()
+
+    def test_effective_weight_includes_correction(self, weight):
+        U = np.ones((12, 1))
+        V = np.ones((1, 8))
+        layer = CompensatedLinear(8, 12, weight, U=U, V=V, bits=3, group_size=4)
+        assert np.allclose(layer.effective_weight(), weight + 1.0)

@@ -1,0 +1,125 @@
+"""Tests for the minimal Module system."""
+
+import numpy as np
+import pytest
+
+from repro.models.linear import Linear
+from repro.models.module import Module
+from repro.models.parameter import Parameter
+
+
+class Leaf(Module):
+    def __init__(self):
+        super().__init__()
+        self.weight = Parameter(np.ones((2, 2)))
+
+    def forward(self, x):
+        return x @ self.weight.data
+
+
+class Tree(Module):
+    def __init__(self):
+        super().__init__()
+        self.left = Leaf()
+        self.right = Leaf()
+        self.bias = Parameter(np.zeros(2))
+
+    def forward(self, x):
+        return self.left(x) + self.right(x) + self.bias.data
+
+
+class TestRegistration:
+    def test_parameters_registered_via_setattr(self):
+        leaf = Leaf()
+        assert "weight" in dict(leaf.named_parameters())
+
+    def test_nested_names_are_dotted(self):
+        tree = Tree()
+        names = {name for name, _ in tree.named_parameters()}
+        assert names == {"bias", "left.weight", "right.weight"}
+
+    def test_named_modules_includes_self_and_children(self):
+        tree = Tree()
+        names = {name for name, _ in tree.named_modules()}
+        assert names == {"", "left", "right"}
+
+    def test_num_parameters(self):
+        tree = Tree()
+        assert tree.num_parameters() == 2 * 4 + 2
+
+
+class TestPathResolution:
+    def test_get_submodule(self):
+        tree = Tree()
+        assert isinstance(tree.get_submodule("left"), Leaf)
+
+    def test_get_submodule_missing_raises(self):
+        with pytest.raises(KeyError):
+            Tree().get_submodule("middle")
+
+    def test_get_parameter(self):
+        tree = Tree()
+        param = tree.get_parameter("left.weight")
+        assert param.shape == (2, 2)
+
+    def test_get_parameter_top_level(self):
+        tree = Tree()
+        assert tree.get_parameter("bias").shape == (2,)
+
+    def test_get_parameter_missing_raises(self):
+        with pytest.raises(KeyError):
+            Tree().get_parameter("left.missing")
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        tree = Tree()
+        state = tree.state_dict()
+        state["left.weight"] = np.full((2, 2), 3.0)
+        tree.load_state_dict(state)
+        assert np.allclose(tree.left.weight.data, 3.0)
+
+    def test_missing_key_raises(self):
+        tree = Tree()
+        state = tree.state_dict()
+        del state["bias"]
+        with pytest.raises(ValueError, match="missing"):
+            tree.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        tree = Tree()
+        state = tree.state_dict()
+        state["bias"] = np.zeros(3)
+        with pytest.raises(ValueError, match="shape mismatch"):
+            tree.load_state_dict(state)
+
+
+class TestMemoryAccounting:
+    def test_memory_includes_extra_bytes_of_children(self):
+        class WithExtra(Module):
+            def __init__(self):
+                super().__init__()
+                self.weight = Parameter(np.zeros((4, 4)), dtype="int3")
+
+            def extra_memory_bytes(self):
+                return 10.0
+
+        class Parent(Module):
+            def __init__(self):
+                super().__init__()
+                self.child = WithExtra()
+
+        parent = Parent()
+        expected = 4 * 4 * 3 / 8 + 10.0
+        assert parent.memory_bytes() == pytest.approx(expected)
+
+    def test_replacing_submodule_updates_memory(self):
+        class Parent(Module):
+            def __init__(self):
+                super().__init__()
+                self.proj = Linear(4, 4, weight=np.zeros((4, 4)))
+
+        parent = Parent()
+        before = parent.memory_bytes()
+        parent.proj = Linear(4, 4, weight=np.zeros((4, 4)), dtype="fp32")
+        assert parent.memory_bytes() == pytest.approx(2 * before)

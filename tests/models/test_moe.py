@@ -1,0 +1,106 @@
+"""Tests for the Mixtral-style and DeepSeek-style MoE feed-forward layers."""
+
+import numpy as np
+import pytest
+
+from repro.models.config import MoEModelConfig
+from repro.models.moe import (
+    DenseFeedForward,
+    FineGrainedMoEFeedForward,
+    MoEFeedForward,
+    SwiGLUExpert,
+)
+
+
+def mixtral_like_config(**overrides):
+    defaults = dict(
+        name="moe-test",
+        hidden_size=32,
+        intermediate_size=24,
+        num_heads=2,
+        num_kv_heads=2,
+        num_experts=4,
+        experts_per_token=2,
+    )
+    defaults.update(overrides)
+    return MoEModelConfig(**defaults)
+
+
+class TestSwiGLUExpert:
+    def test_output_shape(self):
+        expert = SwiGLUExpert(32, 24, np.random.default_rng(0))
+        x = np.random.default_rng(1).normal(size=(5, 32))
+        assert expert(x).shape == (5, 32)
+
+    def test_zero_input_gives_zero_output(self):
+        expert = SwiGLUExpert(16, 8, np.random.default_rng(0))
+        assert np.allclose(expert(np.zeros((3, 16))), 0.0)
+
+
+class TestMoEFeedForward:
+    def test_output_shape(self):
+        ffn = MoEFeedForward(mixtral_like_config(), np.random.default_rng(0))
+        x = np.random.default_rng(1).normal(size=(2, 6, 32))
+        assert ffn(x).shape == (2, 6, 32)
+
+    def test_output_is_convex_combination_of_expert_outputs(self):
+        """With k = num_experts = 1 the MoE layer must equal its single expert."""
+        cfg = mixtral_like_config(num_experts=1, experts_per_token=1)
+        ffn = MoEFeedForward(cfg, np.random.default_rng(0))
+        x = np.random.default_rng(2).normal(size=(1, 4, 32))
+        expected = ffn.experts[0](x.reshape(-1, 32)).reshape(1, 4, 32)
+        assert np.allclose(ffn(x), expected)
+
+    def test_router_counts_accumulate(self):
+        ffn = MoEFeedForward(mixtral_like_config(), np.random.default_rng(0))
+        x = np.random.default_rng(3).normal(size=(2, 8, 32))
+        ffn(x)
+        assert ffn.router.activation_counts.sum() == 2 * 8 * 2
+
+    def test_expert_linear_iteration(self):
+        ffn = MoEFeedForward(mixtral_like_config(), np.random.default_rng(0))
+        entries = list(ffn.iter_expert_linears())
+        assert len(entries) == 4 * 3
+        names = {name for name, _, _ in entries}
+        assert "expert_0.w1" in names and "expert_3.w3" in names
+
+    def test_no_dense_linears_for_mixtral_style(self):
+        ffn = MoEFeedForward(mixtral_like_config(), np.random.default_rng(0))
+        assert list(ffn.iter_dense_linears()) == []
+
+
+class TestFineGrainedMoE:
+    def _make(self):
+        cfg = mixtral_like_config(
+            num_experts=8, experts_per_token=3, num_shared_experts=2, router_imbalance=1.0
+        )
+        return FineGrainedMoEFeedForward(cfg, np.random.default_rng(0)), cfg
+
+    def test_output_shape(self):
+        ffn, _ = self._make()
+        x = np.random.default_rng(1).normal(size=(2, 5, 32))
+        assert ffn(x).shape == (2, 5, 32)
+
+    def test_shared_experts_always_contribute(self):
+        ffn, _ = self._make()
+        x = np.random.default_rng(2).normal(size=(1, 4, 32))
+        full = ffn(x)
+        routed_only = MoEFeedForward.forward(ffn, x)
+        shared = sum(e(x) for e in ffn.shared_experts)
+        assert np.allclose(full, routed_only + shared)
+
+    def test_dense_linears_are_shared_experts(self):
+        ffn, _ = self._make()
+        dense = list(ffn.iter_dense_linears())
+        assert len(dense) == 2 * 3
+
+    def test_expert_count(self):
+        ffn, cfg = self._make()
+        assert len(ffn.experts) == cfg.num_experts
+
+
+class TestDenseFeedForward:
+    def test_behaves_like_single_expert(self):
+        ffn = DenseFeedForward(32, 48, np.random.default_rng(0))
+        x = np.random.default_rng(1).normal(size=(3, 32))
+        assert ffn(x).shape == (3, 32)

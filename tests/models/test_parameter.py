@@ -1,0 +1,71 @@
+"""Tests for Parameter and logical-dtype memory accounting."""
+
+import numpy as np
+import pytest
+
+from repro.models.parameter import (
+    FP16,
+    INT3,
+    INT4,
+    Parameter,
+    bits_per_element,
+    tensor_bytes,
+)
+
+
+class TestBitsPerElement:
+    def test_known_dtypes(self):
+        assert bits_per_element("fp16") == 16
+        assert bits_per_element("fp32") == 32
+        assert bits_per_element("int8") == 8
+        assert bits_per_element("int4") == 4
+        assert bits_per_element("int3") == 3
+
+    def test_dtype_object(self):
+        assert bits_per_element(INT3) == 3
+        assert bits_per_element(FP16) == 16
+
+    def test_unknown_dtype_raises(self):
+        with pytest.raises(ValueError):
+            bits_per_element("int5")
+
+
+class TestTensorBytes:
+    def test_fp16_matrix(self):
+        assert tensor_bytes((4, 8), "fp16") == 4 * 8 * 2
+
+    def test_int3_matrix(self):
+        assert tensor_bytes((64, 64), INT3) == 64 * 64 * 3 / 8
+
+    def test_scalar_shape(self):
+        assert tensor_bytes((), "fp16") == 2
+
+
+class TestParameter:
+    def test_stores_float64(self):
+        p = Parameter(np.ones((2, 3), dtype=np.float32))
+        assert p.data.dtype == np.float64
+        assert p.shape == (2, 3)
+        assert p.numel() == 6
+
+    def test_logical_bytes_depend_on_dtype(self):
+        data = np.zeros((16, 16))
+        fp16 = Parameter(data, dtype="fp16")
+        int3 = Parameter(data, dtype=INT3)
+        assert fp16.nbytes_logical() == 512
+        assert int3.nbytes_logical() == 16 * 16 * 3 / 8
+        assert int3.nbytes_logical() < fp16.nbytes_logical()
+
+    def test_copy_is_independent(self):
+        p = Parameter(np.ones((2, 2)))
+        q = p.copy()
+        q.data[0, 0] = 5.0
+        assert p.data[0, 0] == 1.0
+
+    def test_array_protocol(self):
+        p = Parameter(np.arange(4).reshape(2, 2))
+        assert np.array_equal(np.asarray(p), np.arange(4).reshape(2, 2))
+
+    def test_int4_dtype_from_string(self):
+        p = Parameter(np.zeros((8, 8)), dtype="int4")
+        assert p.logical_dtype == INT4

@@ -1,0 +1,77 @@
+"""Tests for the model registry and full-size reference metadata."""
+
+import pytest
+
+from repro.models import (
+    FULL_MODEL_SPECS,
+    MODEL_CONFIGS,
+    REFERENCE_FFN_SHAPES,
+    available_models,
+    build_model,
+    get_config,
+)
+
+
+class TestMiniConfigs:
+    def test_expected_models_available(self):
+        names = available_models()
+        assert "mixtral-mini" in names
+        assert "deepseek-moe-mini" in names
+        assert "tiny-moe" in names
+
+    def test_get_config_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_config("gpt-5")
+
+    def test_mixtral_mini_is_coarse_grained(self):
+        cfg = get_config("mixtral-mini")
+        assert cfg.num_experts == 8
+        assert cfg.experts_per_token == 2
+        assert cfg.num_shared_experts == 0
+        assert not cfg.is_fine_grained
+
+    def test_deepseek_mini_is_fine_grained_with_shared_experts(self):
+        cfg = get_config("deepseek-moe-mini")
+        assert cfg.is_fine_grained
+        assert cfg.num_shared_experts > 0
+        assert cfg.first_layer_dense
+        assert cfg.router_imbalance > get_config("mixtral-mini").router_imbalance
+
+    def test_build_model_deterministic(self):
+        a = build_model("tiny-moe")
+        b = build_model("tiny-moe")
+        for (name_a, pa), (name_b, pb) in zip(a.named_parameters(), b.named_parameters()):
+            assert name_a == name_b
+            assert (pa.data == pb.data).all()
+
+    def test_config_validation(self):
+        from repro.models import MoEModelConfig
+
+        with pytest.raises(ValueError):
+            MoEModelConfig(name="bad", hidden_size=30, num_heads=4)
+        with pytest.raises(ValueError):
+            MoEModelConfig(name="bad", num_experts=4, experts_per_token=5)
+
+
+class TestFullModelSpecs:
+    def test_mixtral_exceeds_a100_memory(self):
+        spec = FULL_MODEL_SPECS["mixtral-8x7b"]
+        assert spec.fp16_gb > 80  # cannot fit a 40/80 GB A100 in FP16
+
+    def test_appendix_c_gemm_shapes(self):
+        # The exact shapes from Table 9 of the paper.
+        assert REFERENCE_FFN_SHAPES["deepseek-moe"]["w1"] == (2048, 11008)
+        assert REFERENCE_FFN_SHAPES["arctic-moe"]["w1"] == (7168, 4864)
+        assert REFERENCE_FFN_SHAPES["mixtral-8x7b"]["w1"] == (4096, 14336)
+        assert REFERENCE_FFN_SHAPES["mixtral-8x7b"]["w2"] == (14336, 4096)
+        assert REFERENCE_FFN_SHAPES["falcon-180b"]["w1"] == (14848, 14848 * 5)
+
+    def test_every_spec_has_positive_sizes(self):
+        for spec in FULL_MODEL_SPECS.values():
+            assert spec.params_billions > 0
+            assert spec.hidden_size > 0
+            assert spec.num_layers > 0
+
+    def test_mini_configs_reference_their_full_models(self):
+        assert MODEL_CONFIGS["mixtral-mini"].reference_fp16_gb == pytest.approx(90.0)
+        assert MODEL_CONFIGS["deepseek-moe-mini"].reference_ffn_shapes == REFERENCE_FFN_SHAPES["deepseek-moe"]

@@ -1,0 +1,57 @@
+"""Tests for rotary embeddings and RMSNorm layers."""
+
+import numpy as np
+import pytest
+
+from repro.models.norm import RMSNorm
+from repro.models.rope import RotaryEmbedding, apply_rotary
+
+
+class TestRotaryEmbedding:
+    def test_odd_head_dim_rejected(self):
+        with pytest.raises(ValueError):
+            RotaryEmbedding(7)
+
+    def test_tables_shapes(self):
+        rope = RotaryEmbedding(8, max_positions=16)
+        cos, sin = rope.tables(10)
+        assert cos.shape == (10, 4)
+        assert sin.shape == (10, 4)
+
+    def test_tables_extend_lazily(self):
+        rope = RotaryEmbedding(8, max_positions=4)
+        cos, _ = rope.tables(9)
+        assert cos.shape[0] == 9
+        assert rope.max_positions >= 9
+
+    def test_rotation_preserves_norm(self):
+        rope = RotaryEmbedding(16, max_positions=32)
+        cos, sin = rope.tables(12)
+        x = np.random.default_rng(0).normal(size=(2, 3, 12, 16))
+        y = apply_rotary(x, cos, sin)
+        assert np.allclose(np.linalg.norm(x, axis=-1), np.linalg.norm(y, axis=-1))
+
+    def test_position_zero_is_identity(self):
+        rope = RotaryEmbedding(8)
+        cos, sin = rope.tables(1)
+        x = np.random.default_rng(1).normal(size=(1, 1, 1, 8))
+        assert np.allclose(apply_rotary(x, cos, sin), x)
+
+    def test_different_positions_rotate_differently(self):
+        rope = RotaryEmbedding(8)
+        cos, sin = rope.tables(2)
+        x = np.tile(np.random.default_rng(2).normal(size=(1, 1, 1, 8)), (1, 1, 2, 1))
+        y = apply_rotary(x, cos, sin)
+        assert not np.allclose(y[..., 0, :], y[..., 1, :])
+
+
+class TestRMSNorm:
+    def test_output_rms_is_one_with_unit_weight(self):
+        norm = RMSNorm(32)
+        x = np.random.default_rng(3).normal(0, 5, size=(2, 4, 32))
+        y = norm(x)
+        assert np.allclose(np.sqrt(np.mean(y**2, axis=-1)), 1.0, atol=1e-3)
+
+    def test_weight_parameter_registered(self):
+        norm = RMSNorm(16)
+        assert dict(norm.named_parameters())["weight"].shape == (16,)

@@ -1,0 +1,66 @@
+"""Tests for the top-k router and its load-imbalance control."""
+
+import numpy as np
+import pytest
+
+from repro.models.router import TopKRouter
+
+
+class TestRouting:
+    def test_output_shapes(self):
+        router = TopKRouter(16, num_experts=8, k=2, rng=np.random.default_rng(0))
+        tokens = np.random.default_rng(1).normal(size=(10, 16))
+        result = router(tokens)
+        assert result.expert_indices.shape == (10, 2)
+        assert result.expert_weights.shape == (10, 2)
+        assert result.counts.shape == (8,)
+
+    def test_weights_normalized_and_descending(self):
+        router = TopKRouter(16, num_experts=8, k=3, rng=np.random.default_rng(0))
+        result = router(np.random.default_rng(1).normal(size=(20, 16)))
+        assert np.allclose(result.expert_weights.sum(axis=1), 1.0)
+        assert np.all(np.diff(result.expert_weights, axis=1) <= 1e-12)
+
+    def test_counts_equal_tokens_times_k(self):
+        router = TopKRouter(16, num_experts=8, k=2, rng=np.random.default_rng(0))
+        result = router(np.random.default_rng(1).normal(size=(25, 16)))
+        assert result.counts.sum() == 25 * 2
+
+    def test_indices_are_distinct_per_token(self):
+        router = TopKRouter(16, num_experts=4, k=3, rng=np.random.default_rng(0))
+        result = router(np.random.default_rng(2).normal(size=(30, 16)))
+        for row in result.expert_indices:
+            assert len(set(row.tolist())) == 3
+
+    def test_invalid_k_raises(self):
+        with pytest.raises(ValueError):
+            TopKRouter(16, num_experts=4, k=5)
+        with pytest.raises(ValueError):
+            TopKRouter(16, num_experts=4, k=0)
+
+    def test_requires_flat_tokens(self):
+        router = TopKRouter(16, num_experts=4, k=2)
+        with pytest.raises(ValueError):
+            router(np.zeros((2, 3, 16)))
+
+
+class TestImbalance:
+    def _cv(self, imbalance, num_experts=16, k=4):
+        router = TopKRouter(
+            32, num_experts=num_experts, k=k, imbalance=imbalance, rng=np.random.default_rng(3)
+        )
+        router(np.random.default_rng(4).normal(size=(512, 32)))
+        counts = router.activation_counts.astype(float)
+        return counts.std() / counts.mean()
+
+    def test_bias_increases_imbalance(self):
+        assert self._cv(2.0) > self._cv(0.0)
+
+    def test_cumulative_counts_and_reset(self):
+        router = TopKRouter(16, num_experts=4, k=2, rng=np.random.default_rng(0))
+        tokens = np.random.default_rng(5).normal(size=(10, 16))
+        router(tokens)
+        router(tokens)
+        assert router.activation_counts.sum() == 40
+        router.reset_counts()
+        assert router.activation_counts.sum() == 0

@@ -1,0 +1,116 @@
+"""Tests for the full MoE transformer and its introspection helpers."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    LayerKind,
+    MoEModelConfig,
+    MoETransformer,
+    classify_parameter,
+)
+
+
+class TestClassifyParameter:
+    @pytest.mark.parametrize(
+        "name,kind",
+        [
+            ("layer_0.attn.q_proj.weight", LayerKind.ATTENTION),
+            ("layer_2.attn.o_proj.weight", LayerKind.ATTENTION),
+            ("layer_1.ffn.expert_3.w2.weight", LayerKind.EXPERT),
+            ("layer_1.ffn.shared_expert_0.w1.weight", LayerKind.SHARED_EXPERT),
+            ("layer_0.ffn.w1.weight", LayerKind.SHARED_EXPERT),
+            ("embedding", LayerKind.OTHER),
+            ("lm_head.weight", LayerKind.OTHER),
+            ("layer_0.ffn.router.gate.weight", LayerKind.OTHER),
+            ("layer_0.input_norm.weight", LayerKind.OTHER),
+        ],
+    )
+    def test_classification(self, name, kind):
+        assert classify_parameter(name) == kind
+
+
+class TestForward:
+    def test_logits_shape(self, tiny_moe):
+        tokens = np.random.default_rng(0).integers(0, tiny_moe.config.vocab_size, size=(2, 9))
+        logits = tiny_moe.forward(tokens)
+        assert logits.shape == (2, 9, tiny_moe.config.vocab_size)
+
+    def test_1d_input_promoted_to_batch(self, tiny_moe):
+        tokens = np.arange(5)
+        assert tiny_moe.forward(tokens).shape == (1, 5, tiny_moe.config.vocab_size)
+
+    def test_out_of_vocab_raises(self, tiny_moe):
+        with pytest.raises(ValueError):
+            tiny_moe.forward(np.array([[0, tiny_moe.config.vocab_size]]))
+
+    def test_deterministic(self, tiny_moe):
+        tokens = np.random.default_rng(1).integers(0, 64, size=(1, 6))
+        assert np.array_equal(tiny_moe.forward(tokens), tiny_moe.forward(tokens))
+
+    def test_log_probs_normalized(self, tiny_moe):
+        tokens = np.random.default_rng(2).integers(0, 64, size=(1, 4))
+        lp = tiny_moe.log_probs(tokens)
+        assert np.allclose(np.exp(lp).sum(axis=-1), 1.0)
+
+    def test_causal_prefix_consistency(self, tiny_moe):
+        tokens = np.random.default_rng(3).integers(0, 64, size=(1, 8))
+        full = tiny_moe.forward(tokens)
+        prefix = tiny_moe.forward(tokens[:, :5])
+        assert np.allclose(full[:, :5], prefix, atol=1e-8)
+
+
+class TestIntrospection:
+    def test_quantizable_inventory_counts(self, tiny_moe):
+        cfg = tiny_moe.config
+        entries = list(tiny_moe.iter_quantizable())
+        expected_attention = 4 * cfg.num_layers
+        expected_experts = 3 * cfg.num_experts * cfg.num_layers
+        assert len(entries) == expected_attention + expected_experts
+
+    def test_quantizable_excludes_lm_head_and_gate(self, tiny_moe):
+        names = [name for name, _, _ in tiny_moe.iter_quantizable()]
+        assert not any("lm_head" in n or "gate" in n for n in names)
+
+    def test_finegrained_has_shared_expert_entries(self, tiny_finegrained):
+        kinds = {kind for _, kind, _ in tiny_finegrained.iter_quantizable()}
+        assert LayerKind.SHARED_EXPERT in kinds
+
+    def test_expert_counts_tracked_per_layer(self, tiny_moe):
+        model = MoETransformer(tiny_moe.config)
+        tokens = np.random.default_rng(4).integers(0, 64, size=(2, 10))
+        model.forward(tokens)
+        counts = model.expert_activation_counts()
+        assert len(counts) == model.config.num_layers
+        for layer_counts in counts.values():
+            assert layer_counts.sum() == 2 * 10 * model.config.experts_per_token
+        model.reset_expert_counts()
+        assert all(c.sum() == 0 for c in model.expert_activation_counts().values())
+
+    def test_first_layer_dense_has_no_router(self, tiny_finegrained):
+        counts = {}
+        model = MoETransformer(tiny_finegrained.config)
+        model.forward(np.random.default_rng(5).integers(0, 64, size=(1, 8)))
+        counts = model.expert_activation_counts()
+        assert 0 not in counts  # first layer is a dense FFN, not an MoE layer
+
+
+class TestMemory:
+    def test_memory_gb_positive_and_fp16_sized(self, tiny_moe):
+        expected = tiny_moe.num_parameters() * 2 / 1024**3
+        assert tiny_moe.weight_memory_gb() == pytest.approx(expected)
+
+
+class TestDistributionCalibration:
+    def test_attention_kurtosis_exceeds_expert_kurtosis(self, mixtral_mini):
+        from repro.models import excess_kurtosis
+
+        attention, experts = [], []
+        for name, kind, linear in mixtral_mini.iter_quantizable():
+            k = excess_kurtosis(linear.weight.data)
+            if kind == LayerKind.ATTENTION:
+                attention.append(k)
+            elif kind == LayerKind.EXPERT:
+                experts.append(k)
+        assert np.mean(attention) > 0.5
+        assert np.mean(experts) < 0.0

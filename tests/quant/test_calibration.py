@@ -1,0 +1,71 @@
+"""Tests for calibration-activation capture."""
+
+import numpy as np
+import pytest
+
+from repro.quant.calibration import ActivationCatcher, capture_layer_inputs
+
+
+class TestActivationCatcher:
+    def test_records_flattened_rows(self):
+        catcher = ActivationCatcher()
+        catcher.record("layer", np.ones((2, 3, 4)))
+        assert catcher.inputs_for("layer").shape == (6, 4)
+
+    def test_respects_row_budget(self):
+        catcher = ActivationCatcher(max_rows_per_layer=5)
+        catcher.record("layer", np.ones((4, 4)))
+        catcher.record("layer", np.ones((4, 4)))
+        assert catcher.inputs_for("layer").shape[0] == 5
+
+    def test_unknown_layer_returns_none(self):
+        assert ActivationCatcher().inputs_for("missing") is None
+
+    def test_total_rows(self):
+        catcher = ActivationCatcher()
+        catcher.record("a", np.ones((3, 2)))
+        catcher.record("b", np.ones((2, 2)))
+        assert catcher.total_rows() == 5
+
+
+class TestCaptureContext:
+    def test_captures_inputs_of_activated_layers(self, tiny_moe):
+        tokens = np.random.default_rng(0).integers(0, 64, size=(2, 8))
+        with capture_layer_inputs(tiny_moe) as catcher:
+            tiny_moe.forward(tokens)
+        captured = catcher.captured_layers()
+        assert any("attn.q_proj" in name for name in captured)
+        q_inputs = catcher.inputs_for("layer_0.attn.q_proj")
+        assert q_inputs is not None and q_inputs.shape == (16, tiny_moe.config.hidden_size)
+
+    def test_restores_forward_after_exit(self, tiny_moe):
+        tokens = np.random.default_rng(1).integers(0, 64, size=(1, 6))
+        before = tiny_moe.forward(tokens)
+        with capture_layer_inputs(tiny_moe):
+            tiny_moe.forward(tokens)
+        after = tiny_moe.forward(tokens)
+        assert np.array_equal(before, after)
+        # No lingering wrapper: a second pass must not grow any buffers.
+        with capture_layer_inputs(tiny_moe, layer_names=["layer_0.attn.q_proj"]) as catcher:
+            pass
+        assert catcher.total_rows() == 0
+
+    def test_layer_name_filter(self, tiny_moe):
+        tokens = np.random.default_rng(2).integers(0, 64, size=(1, 4))
+        with capture_layer_inputs(tiny_moe, layer_names=["layer_0.attn.q_proj"]) as catcher:
+            tiny_moe.forward(tokens)
+        assert catcher.captured_layers() == ["layer_0.attn.q_proj"]
+
+    def test_rare_experts_may_capture_nothing(self, tiny_moe):
+        """Sparsely routed experts can see zero calibration tokens (calibration bias)."""
+        tokens = np.random.default_rng(3).integers(0, 64, size=(1, 2))
+        expert_layers = [
+            name for name, _, _ in
+            ((n, k, m) for n, k, m in tiny_moe.iter_quantizable() if k == "expert")
+        ]
+        with capture_layer_inputs(tiny_moe) as catcher:
+            tiny_moe.forward(tokens)
+        captured = set(catcher.captured_layers())
+        expert_modules = {n.rsplit(".weight", 1)[0] for n in expert_layers}
+        # With only 2 routed tokens and 4 experts x 2 layers, some expert must be idle.
+        assert expert_modules - captured

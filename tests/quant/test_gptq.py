@@ -1,0 +1,79 @@
+"""Tests for the GPTQ baseline quantizer."""
+
+import numpy as np
+import pytest
+
+from repro.quant import GPTQQuantizer, RTNQuantizer
+
+
+@pytest.fixture()
+def weight():
+    return np.random.default_rng(0).normal(0, 0.05, size=(24, 96))
+
+
+@pytest.fixture()
+def calibration(weight):
+    rng = np.random.default_rng(1)
+    # Correlated inputs: some channels are much more active than others.
+    scales = np.exp(rng.normal(0, 1, size=weight.shape[1]))
+    return rng.normal(0, 1, size=(256, weight.shape[1])) * scales
+
+
+class TestHessian:
+    def test_identity_without_calibration(self, weight):
+        H = GPTQQuantizer(3, 32).build_hessian(None, weight.shape[1])
+        assert np.array_equal(H, np.eye(weight.shape[1]))
+
+    def test_damped_and_symmetric(self, weight, calibration):
+        H = GPTQQuantizer(3, 32).build_hessian(calibration, weight.shape[1])
+        assert np.allclose(H, H.T)
+        assert np.all(np.linalg.eigvalsh(H) > 0)
+
+    def test_wrong_width_rejected(self, weight):
+        with pytest.raises(ValueError):
+            GPTQQuantizer(3, 32).build_hessian(np.zeros((10, 5)), weight.shape[1])
+
+
+class TestGPTQ:
+    def test_reconstruction_shape(self, weight, calibration):
+        qm = GPTQQuantizer(3, 32).quantize(weight, calibration_inputs=calibration)
+        assert qm.dequantize().shape == weight.shape
+
+    def test_codes_in_range(self, weight, calibration):
+        qm = GPTQQuantizer(3, 32).quantize(weight, calibration_inputs=calibration)
+        assert qm.codes.min() >= 0 and qm.codes.max() <= 7
+
+    def test_reduces_layer_output_error_vs_rtn(self, weight, calibration):
+        """GPTQ minimizes error in the layer *output* under the calibration distribution."""
+        rtn_dq = RTNQuantizer(3, 32).quantize(weight).dequantize()
+        gptq_dq = GPTQQuantizer(3, 32).quantize(weight, calibration_inputs=calibration).dequantize()
+        rtn_out_err = np.linalg.norm(calibration @ (weight - rtn_dq).T)
+        gptq_out_err = np.linalg.norm(calibration @ (weight - gptq_dq).T)
+        assert gptq_out_err < rtn_out_err
+
+    def test_without_calibration_close_to_rtn(self, weight):
+        gptq_dq = GPTQQuantizer(3, 32).quantize(weight, calibration_inputs=None).dequantize()
+        rtn_dq = RTNQuantizer(3, 32).quantize(weight).dequantize()
+        # With an identity Hessian the column updates vanish and GPTQ falls
+        # back to straight rounding of (possibly re-fit) groups.
+        assert np.linalg.norm(gptq_dq - rtn_dq) / np.linalg.norm(rtn_dq) < 0.2
+
+    def test_int4_better_than_int3(self, weight, calibration):
+        q3 = GPTQQuantizer(3, 32).quantize(weight, calibration_inputs=calibration).dequantize()
+        q4 = GPTQQuantizer(4, 32).quantize(weight, calibration_inputs=calibration).dequantize()
+        err3 = np.linalg.norm(calibration @ (weight - q3).T)
+        err4 = np.linalg.norm(calibration @ (weight - q4).T)
+        assert err4 < err3
+
+    def test_records_calibration_rows(self, weight, calibration):
+        qm = GPTQQuantizer(3, 32).quantize(weight, calibration_inputs=calibration)
+        assert qm.stats["calibration_rows"] == calibration.shape[0]
+
+    def test_non_multiple_columns_handled(self):
+        weight = np.random.default_rng(2).normal(size=(8, 40))
+        calib = np.random.default_rng(3).normal(size=(64, 40))
+        qm = GPTQQuantizer(3, 32).quantize(weight, calibration_inputs=calib)
+        assert qm.dequantize().shape == (8, 40)
+
+    def test_calibration_free_flag(self):
+        assert GPTQQuantizer().calibration_free is False

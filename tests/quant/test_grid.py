@@ -1,0 +1,123 @@
+"""Tests for group-wise quantization grids (incl. property-based round trips)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.quant.grid import (
+    dequantize_with_grid,
+    fit_minmax_grid,
+    from_groups,
+    quantization_error,
+    quantize_with_grid,
+    to_groups,
+)
+
+weight_matrices = arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(1, 8), st.integers(1, 40)),
+    elements=st.floats(-2, 2, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestGrouping:
+    def test_roundtrip_exact_multiple(self):
+        w = np.arange(24, dtype=float).reshape(4, 6)
+        grouped = to_groups(w, 3)
+        assert grouped.groups.shape == (8, 3)
+        assert np.array_equal(from_groups(grouped), w)
+
+    def test_roundtrip_with_padding(self):
+        w = np.arange(20, dtype=float).reshape(4, 5)
+        grouped = to_groups(w, 3)
+        assert grouped.pad == 1
+        assert np.array_equal(from_groups(grouped), w)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            to_groups(np.zeros(10), 4)
+
+    def test_rejects_bad_group_size(self):
+        with pytest.raises(ValueError):
+            to_groups(np.zeros((2, 4)), 0)
+
+    @given(weight_matrices, st.integers(1, 16))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, w, group_size):
+        grouped = to_groups(w, group_size)
+        assert np.allclose(from_groups(grouped), w)
+
+
+class TestMinMaxGrid:
+    def test_asymmetric_covers_extremes(self):
+        groups = np.array([[-1.0, 0.0, 3.0, 2.0]])
+        grid = fit_minmax_grid(groups, bits=3)
+        codes = quantize_with_grid(groups, grid)
+        dq = dequantize_with_grid(codes, grid)
+        assert dq.min() == pytest.approx(-1.0, abs=1e-9)
+        assert dq.max() == pytest.approx(3.0, abs=1e-9)
+
+    def test_symmetric_grid_is_centred(self):
+        groups = np.array([[-2.0, 2.0, 1.0, -1.0]])
+        grid = fit_minmax_grid(groups, bits=3, symmetric=True)
+        assert grid.symmetric
+        codes = quantize_with_grid(groups, grid)
+        dq = dequantize_with_grid(codes, grid)
+        # The mid-code-centred grid can overshoot the group maximum by at most
+        # half a quantization step on the negative side.
+        assert np.all(np.abs(dq) <= 2.0 + grid.scale / 2 + 1e-9)
+        assert np.all(np.abs(dq - groups) <= grid.scale / 2 + 1e-9)
+
+    def test_constant_group_has_zero_error(self):
+        groups = np.full((3, 8), 0.7)
+        grid = fit_minmax_grid(groups, bits=3)
+        dq = dequantize_with_grid(quantize_with_grid(groups, grid), grid)
+        assert np.allclose(dq, 0.7)
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ValueError):
+            fit_minmax_grid(np.zeros((1, 4)), bits=1)
+        with pytest.raises(ValueError):
+            fit_minmax_grid(np.zeros((1, 4)), bits=9)
+
+    def test_metadata_bytes(self):
+        grid = fit_minmax_grid(np.zeros((10, 4)), bits=3)
+        assert grid.metadata_bytes() == 10 * 2 * 2  # scale + zero in fp16
+        grid_sym = fit_minmax_grid(np.zeros((10, 4)), bits=3, symmetric=True)
+        assert grid_sym.metadata_bytes() == 10 * 2
+
+    @given(weight_matrices, st.sampled_from([2, 3, 4, 8]))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_error_bounded_by_step(self, w, bits):
+        grouped = to_groups(w, 8)
+        grid = fit_minmax_grid(grouped.groups, bits=bits)
+        codes = quantize_with_grid(grouped.groups, grid)
+        dq = dequantize_with_grid(codes, grid)
+        # Round-to-nearest error is at most half a quantization step per element.
+        assert np.all(np.abs(dq - grouped.groups) <= grid.scale / 2 + 1e-9)
+
+    def test_more_bits_never_hurt(self):
+        rng = np.random.default_rng(0)
+        w = rng.normal(size=(16, 64))
+        errors = []
+        for bits in (2, 3, 4, 8):
+            grouped = to_groups(w, 16)
+            grid = fit_minmax_grid(grouped.groups, bits=bits)
+            dq = dequantize_with_grid(quantize_with_grid(grouped.groups, grid), grid)
+            errors.append(np.linalg.norm(dq - grouped.groups))
+        assert errors == sorted(errors, reverse=True)
+
+
+class TestQuantizationError:
+    def test_relative_error(self):
+        w = np.ones((2, 2))
+        assert quantization_error(w, np.zeros((2, 2))) == pytest.approx(1.0)
+
+    def test_absolute_error(self):
+        w = np.ones((2, 2))
+        assert quantization_error(w, np.zeros((2, 2)), relative=False) == pytest.approx(2.0)
+
+    def test_zero_weight_defined(self):
+        assert quantization_error(np.zeros((2, 2)), np.zeros((2, 2))) == 0.0

@@ -1,0 +1,56 @@
+"""Tests for the RTN baseline quantizer."""
+
+import numpy as np
+import pytest
+
+from repro.quant import RTNQuantizer
+
+
+@pytest.fixture()
+def weight():
+    return np.random.default_rng(0).normal(0, 0.05, size=(32, 128))
+
+
+class TestRTN:
+    def test_reconstruction_shape_and_closeness(self, weight):
+        qm = RTNQuantizer(bits=4, group_size=32).quantize(weight)
+        dq = qm.dequantize()
+        assert dq.shape == weight.shape
+        assert np.linalg.norm(weight - dq) / np.linalg.norm(weight) < 0.1
+
+    def test_codes_within_range(self, weight):
+        qm = RTNQuantizer(bits=3, group_size=64).quantize(weight)
+        assert qm.codes.min() >= 0
+        assert qm.codes.max() <= 7
+
+    def test_int4_better_than_int3(self, weight):
+        e3 = np.linalg.norm(weight - RTNQuantizer(3, 64).quantize(weight).dequantize())
+        e4 = np.linalg.norm(weight - RTNQuantizer(4, 64).quantize(weight).dequantize())
+        assert e4 < e3
+
+    def test_smaller_groups_never_hurt(self, weight):
+        e_small = np.linalg.norm(weight - RTNQuantizer(3, 16).quantize(weight).dequantize())
+        e_large = np.linalg.norm(weight - RTNQuantizer(3, 128).quantize(weight).dequantize())
+        assert e_small <= e_large + 1e-9
+
+    def test_target_override_fits_grid_to_target(self, weight):
+        target = weight * 0.5
+        qm = RTNQuantizer(3, 64).quantize(weight, target=target)
+        dq = qm.dequantize()
+        # The reconstruction approximates the target, not the original weight.
+        assert np.linalg.norm(target - dq) < np.linalg.norm(weight - dq)
+
+    def test_storage_bytes(self, weight):
+        qm = RTNQuantizer(3, 64).quantize(weight)
+        expected_codes = weight.size * 3 / 8
+        expected_meta = (weight.size / 64) * 2 * 2
+        assert qm.storage_bytes() == pytest.approx(expected_codes + expected_meta)
+
+    def test_non_multiple_group_size_handled(self):
+        weight = np.random.default_rng(1).normal(size=(8, 70))
+        qm = RTNQuantizer(3, 64).quantize(weight)
+        assert qm.dequantize().shape == (8, 70)
+
+    def test_invalid_group_size_raises(self):
+        with pytest.raises(ValueError):
+            RTNQuantizer(3, 0)

@@ -1,0 +1,50 @@
+"""Tests for quantization-time accounting and full-scale projection."""
+
+import time
+
+import pytest
+
+from repro.quant import PER_BILLION_SECONDS, QuantTimer, project_full_model_time
+
+
+class TestProjection:
+    def test_ordering_matches_paper(self):
+        """RTN < HQQ < MiLo < GPTQ in projected quantization time (Table 1 / Fig. 8)."""
+        times = {m: project_full_model_time(m, 46.7) for m in ("rtn", "hqq", "milo", "gptq")}
+        assert times["rtn"] < times["hqq"] < times["milo"] < times["gptq"]
+
+    def test_milo_at_least_3x_faster_than_gptq(self):
+        assert project_full_model_time("gptq", 46.7) / project_full_model_time("milo", 46.7) >= 3.0
+
+    def test_rtn_projection_near_paper_value(self):
+        # Paper Table 1: RTN takes 321 s for Mixtral-8x7B (46.7B params).
+        assert project_full_model_time("rtn", 46.7) == pytest.approx(321, rel=0.2)
+
+    def test_gptq_projection_near_paper_value(self):
+        # Paper Table 1: GPTQ takes 5315 s for Mixtral-8x7B.
+        assert project_full_model_time("gptq", 46.7) == pytest.approx(5315, rel=0.4)
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(KeyError):
+            project_full_model_time("awq", 10)
+
+    def test_invalid_size_raises(self):
+        with pytest.raises(ValueError):
+            project_full_model_time("rtn", 0)
+
+    def test_all_methods_have_rates(self):
+        assert set(PER_BILLION_SECONDS) == {"rtn", "hqq", "milo", "gptq"}
+
+
+class TestQuantTimer:
+    def test_stage_accumulation(self):
+        timer = QuantTimer()
+        with timer.stage("a"):
+            time.sleep(0.01)
+        with timer.stage("a"):
+            time.sleep(0.01)
+        with timer.stage("b"):
+            pass
+        assert timer.stages["a"] >= 0.02
+        assert timer.total == pytest.approx(sum(timer.stages.values()))
+        assert timer.as_dict()["total"] == timer.total

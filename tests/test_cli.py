@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_quantize_defaults(self):
+        args = build_parser().parse_args(["quantize"])
+        assert args.model == "mixtral-mini"
+        assert args.method == "milo"
+        assert args.bits == 3
+
+    def test_strategy_flag(self):
+        args = build_parser().parse_args(["quantize", "--strategy", "mixtral-s1"])
+        assert args.strategy == "mixtral-s1"
+
+
+class TestCommands:
+    def test_quantize_outputs_json_summary(self, capsys):
+        code = main(["quantize", "--model", "tiny-moe", "--method", "rtn", "--bits", "3"])
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["method"] == "rtn"
+        assert summary["memory_mb"] < summary["fp16_memory_mb"]
+
+    def test_quantize_milo_with_ranks(self, capsys):
+        code = main([
+            "quantize", "--model", "tiny-moe", "--method", "milo",
+            "--dense-rank", "4", "--kurtosis-rank", "1",
+        ])
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["average_rank"] > 0
+
+    def test_evaluate_prints_table(self, capsys):
+        code = main([
+            "evaluate", "--model", "tiny-moe", "--method", "rtn", "--bits", "4",
+            "--eval-sequences", "4", "--eval-seq-len", "12", "--task-items", "16",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wikitext2_ppl" in out
+        assert "fp16" in out
+
+    def test_kernel_command(self, capsys):
+        code = main(["kernel", "--gemm-model", "mixtral-8x7b", "--batch-sizes", "1", "16"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MARLIN Kernel" in out and "tflops" in out
+
+    def test_kernel_unknown_model(self, capsys):
+        assert main(["kernel", "--gemm-model", "nope"]) == 2
