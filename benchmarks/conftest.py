@@ -14,12 +14,29 @@ convention is:
 
 from __future__ import annotations
 
+import pathlib
+
 import pytest
 
 from repro.eval import EvaluationEnvironment, EvaluationHarness
 from repro.models import build_model
 
 from _helpers import EVAL_SEQ_LEN, EVAL_SEQUENCES, TASK_ITEMS
+
+_BENCH_DIR = pathlib.Path(__file__).parent.resolve()
+
+
+def pytest_collection_modifyitems(items):
+    """Mark every benchmark as ``slow``.
+
+    The benchmarks regenerate whole paper tables (model builds, quantization
+    sweeps, evaluation harness runs) and dominate the suite's wall time; CI's
+    fast tier deselects them with ``-m "not slow"`` while the full tier and
+    the tier-1 command still run everything.
+    """
+    for item in items:
+        if _BENCH_DIR in pathlib.Path(str(item.fspath)).resolve().parents:
+            item.add_marker(pytest.mark.slow)
 
 
 @pytest.fixture(scope="session")

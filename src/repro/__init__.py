@@ -15,6 +15,10 @@ Subpackages
 ``repro.runtime``
     Inference backends (PyTorch-FP16, GPTQ3bit, MARLIN, MiLo) and end-to-end
     latency / memory accounting.
+``repro.serving``
+    Continuous-batching serving engine over the runtime backends: request
+    scheduling, paged KV-cache admission control, and a deterministic
+    discrete-event clock reporting TTFT / TPOT / QPS under load.
 ``repro.analysis``
     Kurtosis, residual rank, expert-frequency and distribution tooling.
 ``repro.data``

@@ -1,6 +1,7 @@
 """Command-line interface mirroring the MiLo artifact's workflow scripts.
 
-Three subcommands correspond to the stages of the paper's artifact appendix:
+Four subcommands; the first three correspond to the stages of the paper's
+artifact appendix, the fourth goes beyond it:
 
 * ``milo quantize``   — quantize a mini model with RTN / HQQ / GPTQ / MiLo and
   report memory and quantization time (the role of ``MiLo_quant_main.py``).
@@ -8,6 +9,10 @@ Three subcommands correspond to the stages of the paper's artifact appendix:
   suite, printing a Table-3-style row per method.
 * ``milo kernel``     — run the kernel performance model for the Appendix C
   GEMM shapes (the role of ``kernel_GeMM_performance.sh``).
+* ``milo serve``      — run the continuous-batching serving simulation
+  (:mod:`repro.serving`) for a full-size model on one of the Table 7
+  backends, under a synthetic Poisson workload or a replayed trace, and
+  print a JSON report with p50/p95 TTFT, TPOT and sustained QPS.
 """
 
 from __future__ import annotations
@@ -24,9 +29,15 @@ from .core.rank_policy import DenseRank, KurtosisRank, SparseRank
 from .data import zipfian_corpus
 from .eval import EvaluationEnvironment, EvaluationHarness, format_rows
 from .kernels import UnsupportedBatchError, default_backends
+from .kernels.device import A100_40GB, A100_80GB
 from .models import REFERENCE_FFN_SHAPES, available_models, build_model
+from .models.registry import FULL_MODEL_SPECS
 
 __all__ = ["main", "build_parser"]
+
+#: Serving backends selectable from the command line, keyed by CLI name.
+SERVE_BACKENDS = ("milo", "fp16", "gptq3bit", "marlin")
+SERVE_DEVICES = {"a100-40gb": A100_40GB, "a100-80gb": A100_80GB}
 
 
 def _make_policy(args: argparse.Namespace, config) -> object | None:
@@ -130,6 +141,84 @@ def cmd_kernel(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_serve_backend(name: str, device_name: str):
+    from .runtime.backends import (
+        GPTQ3bitBackend,
+        MarlinBackend,
+        MiLoBackend,
+        PyTorchFP16Backend,
+    )
+
+    device = SERVE_DEVICES[device_name]
+    factories = {
+        "milo": lambda: MiLoBackend(device=device),
+        "fp16": lambda: PyTorchFP16Backend(device=device),
+        "gptq3bit": lambda: GPTQ3bitBackend(device=device),
+        "marlin": lambda: MarlinBackend(serve_asymmetric_model=True, device=device),
+    }
+    return factories[name]()
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .runtime.backends import OutOfMemoryError
+    from .serving import EngineConfig, ServingEngine, poisson_workload, replay_workload
+
+    backend = _make_serve_backend(args.backend, args.device)
+    try:
+        config = EngineConfig(
+            block_size=args.block_size,
+            max_batch_size=args.max_batch,
+            admission=args.admission,
+            reserve_gb=args.reserve_gb,
+        )
+    except ValueError as exc:
+        print(f"invalid serving config: {exc}", file=sys.stderr)
+        return 2
+    try:
+        engine = ServingEngine(backend, args.model, config)
+    except OutOfMemoryError as exc:
+        print(
+            json.dumps(
+                {
+                    "backend": backend.name,
+                    "model": args.model,
+                    "error": "out-of-memory",
+                    "detail": str(exc),
+                    "required_gb": exc.required_gb,
+                    "available_gb": exc.available_gb,
+                },
+                indent=2,
+            )
+        )
+        return 1
+    try:
+        if args.replay:
+            with open(args.replay) as fh:
+                workload = replay_workload(json.load(fh))
+        else:
+            workload = poisson_workload(
+                num_requests=args.requests,
+                qps=args.qps,
+                seed=args.seed,
+                mean_prompt_tokens=args.prompt_tokens,
+                mean_new_tokens=args.max_new_tokens,
+                length_jitter=args.length_jitter,
+            )
+    except (ValueError, TypeError, OSError, json.JSONDecodeError) as exc:
+        print(f"invalid workload: {exc}", file=sys.stderr)
+        return 2
+    report = engine.run(workload).to_dict()
+    if not args.per_request:
+        report.pop("requests")
+        report.pop("completion_order")
+    text = json.dumps(report, indent=2)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+    print(text)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="milo", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -163,6 +252,27 @@ def build_parser() -> argparse.ArgumentParser:
     k.add_argument("--batch-sizes", type=int, nargs="+", default=[1, 16, 32])
     k.add_argument("--asymmetric", action="store_true")
     k.set_defaults(func=cmd_kernel)
+
+    s = sub.add_parser(
+        "serve", help="continuous-batching serving simulation (JSON report)"
+    )
+    s.add_argument("--backend", default="milo", choices=SERVE_BACKENDS)
+    s.add_argument("--model", default="mixtral-8x7b", choices=sorted(FULL_MODEL_SPECS))
+    s.add_argument("--device", default="a100-40gb", choices=sorted(SERVE_DEVICES))
+    s.add_argument("--qps", type=float, default=8.0, help="Poisson arrival rate")
+    s.add_argument("--requests", type=int, default=200)
+    s.add_argument("--seed", type=int, default=0)
+    s.add_argument("--prompt-tokens", type=int, default=128, help="mean prompt length")
+    s.add_argument("--max-new-tokens", type=int, default=64, help="mean decode budget")
+    s.add_argument("--length-jitter", type=float, default=0.25)
+    s.add_argument("--block-size", type=int, default=16, help="KV block size in tokens")
+    s.add_argument("--max-batch", type=int, default=64)
+    s.add_argument("--admission", default="queue", choices=["queue", "reject"])
+    s.add_argument("--reserve-gb", type=float, default=1.0)
+    s.add_argument("--replay", default=None, help="JSON trace of [arrival, prompt, decode] rows")
+    s.add_argument("--per-request", action="store_true", help="include per-request records")
+    s.add_argument("--output", default=None, help="also write the JSON report to a file")
+    s.set_defaults(func=cmd_serve)
     return parser
 
 

@@ -3,7 +3,7 @@
 from .accuracy import evaluate_cloze, evaluate_multiple_choice, evaluate_task
 from .harness import EvaluationEnvironment, EvaluationHarness, EvaluationResult
 from .perplexity import perplexity, token_nll
-from .reporting import format_rows, format_table
+from .reporting import format_rows, format_table, percentile, summarize_latencies
 
 __all__ = [
     "perplexity",
@@ -16,4 +16,6 @@ __all__ = [
     "EvaluationResult",
     "format_table",
     "format_rows",
+    "percentile",
+    "summarize_latencies",
 ]

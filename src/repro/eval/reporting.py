@@ -8,7 +8,7 @@ from __future__ import annotations
 
 from typing import Any, Sequence
 
-__all__ = ["format_table", "format_rows"]
+__all__ = ["format_table", "format_rows", "percentile", "summarize_latencies"]
 
 
 def _format_value(value: Any, precision: int) -> str:
@@ -46,3 +46,39 @@ def format_rows(rows: Sequence[dict[str, Any]], precision: int = 4, title: str |
     headers = list(rows[0].keys())
     data = [[row.get(h, "") for h in headers] for row in rows]
     return format_table(headers, data, precision=precision, title=title)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile (``q`` in [0, 100]) of ``values``.
+
+    Pure-python so serving reports are bit-reproducible across numpy
+    versions; matches ``numpy.percentile``'s default "linear" method.
+    """
+    if not values:
+        raise ValueError("cannot take a percentile of no values")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must lie in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = q / 100.0 * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    frac = rank - low
+    return float(ordered[low] * (1.0 - frac) + ordered[high] * frac)
+
+
+def summarize_latencies(values: Sequence[float]) -> dict[str, float | None]:
+    """p50 / p95 / mean / max summary used by the serving latency reports.
+
+    An empty sample reports ``None`` for every statistic (JSON ``null``) —
+    NaN would make the serialized report invalid JSON.
+    """
+    if not values:
+        return {"p50": None, "p95": None, "mean": None, "max": None}
+    return {
+        "p50": percentile(values, 50.0),
+        "p95": percentile(values, 95.0),
+        "mean": float(sum(values) / len(values)),
+        "max": float(max(values)),
+    }

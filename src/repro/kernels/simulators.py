@@ -127,6 +127,12 @@ class KernelSimulator:
     #: pipeline reaches (well-tuned kernels like MARLIN sit near 1.0).
     bandwidth_factor: float = 1.0
     device: DeviceSpec = A100_40GB
+    #: Memoized :meth:`gemm_cost` results keyed by GEMM shape.  The serving
+    #: engine re-evaluates the same shapes with a batch dimension that varies
+    #: iteration to iteration, so costs for each distinct batch size are
+    #: computed once per kernel instance.  Safe because simulator parameters
+    #: are fixed after construction.
+    _cost_cache: dict = field(default_factory=dict, init=False, repr=False, compare=False)
 
     # -- pieces ----------------------------------------------------------------
     def supports_batch(self, m: int) -> bool:
@@ -202,13 +208,16 @@ class KernelSimulator:
             raise UnsupportedBatchError(
                 f"{self.name} supports batch <= {self.max_batch}, got {shape.m}"
             )
+        cached = self._cost_cache.get(shape)
+        if cached is not None:
+            return cached
         total_bytes = self.io_bytes(shape)
         memory_time = self._memory_time(total_bytes)
         compute_time = self._compute_time(shape)
         dequant_time = self._dequant_time(shape)
         sync_time = self._sync_time(shape)
         overhead = self.device.kernel_launch_overhead + self._extra_passes_time(shape)
-        return GemmCost(
+        cost = GemmCost(
             shape=shape,
             memory_time=memory_time,
             compute_time=compute_time,
@@ -219,6 +228,8 @@ class KernelSimulator:
             weight_bytes=self.weight_bytes(shape),
             total_bytes=total_bytes,
         )
+        self._cost_cache[shape] = cost
+        return cost
 
     def mlp_cost(self, ffn_shapes: dict[str, tuple[int, int]], batch: int) -> list[GemmCost]:
         """Costs for every projection of one expert MLP (Appendix C shapes)."""

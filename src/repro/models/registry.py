@@ -74,11 +74,25 @@ class FullModelSpec:
     num_experts: int
     experts_per_token: int
     num_shared_experts: int = 0
+    #: KV-cache geometry: number of key/value heads (grouped-query attention
+    #: shares KV heads between query heads) and the per-head dimension.
+    num_kv_heads: int = 8
+    head_dim: int = 128
     notes: str = ""
 
     @property
     def ffn_shapes(self) -> dict[str, tuple[int, int]]:
         return REFERENCE_FFN_SHAPES.get(self.name, {})
+
+    @property
+    def kv_bytes_per_token(self) -> int:
+        """FP16 KV-cache footprint of one token across all layers.
+
+        One K and one V vector of ``num_kv_heads * head_dim`` FP16 entries per
+        layer; the serving block manager allocates paged KV memory in units
+        derived from this number.
+        """
+        return 2 * self.num_layers * self.num_kv_heads * self.head_dim * 2
 
 
 FULL_MODEL_SPECS: dict[str, FullModelSpec] = {
@@ -91,6 +105,8 @@ FULL_MODEL_SPECS: dict[str, FullModelSpec] = {
         intermediate_size=14336,
         num_experts=8,
         experts_per_token=2,
+        num_kv_heads=8,
+        head_dim=128,
         notes="Coarse-grained MoE; ~90GB FP16, exceeds one A100.",
     ),
     "deepseek-moe": FullModelSpec(
@@ -103,6 +119,8 @@ FULL_MODEL_SPECS: dict[str, FullModelSpec] = {
         num_experts=64,
         experts_per_token=6,
         num_shared_experts=2,
+        num_kv_heads=16,
+        head_dim=128,
         notes="Fine-grained MoE with shared experts and a dense first layer.",
     ),
     "arctic-moe": FullModelSpec(
@@ -114,6 +132,8 @@ FULL_MODEL_SPECS: dict[str, FullModelSpec] = {
         intermediate_size=4864,
         num_experts=128,
         experts_per_token=2,
+        num_kv_heads=8,
+        head_dim=128,
         notes="Used only for kernel GEMM shape sweeps (Fig. 9).",
     ),
     "falcon-180b": FullModelSpec(
@@ -125,6 +145,8 @@ FULL_MODEL_SPECS: dict[str, FullModelSpec] = {
         intermediate_size=14848 * 5,
         num_experts=1,
         experts_per_token=1,
+        num_kv_heads=8,
+        head_dim=64,
         notes="Dense model; used only for kernel GEMM shape sweeps (Fig. 9).",
     ),
 }

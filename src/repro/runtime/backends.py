@@ -46,7 +46,35 @@ __all__ = [
 
 
 class OutOfMemoryError(RuntimeError):
-    """Raised when a backend's weights do not fit in device memory."""
+    """Raised when a memory demand does not fit in device VRAM.
+
+    This is the single typed OOM signal shared by the Table 7 bench (the
+    PyTorch FP16 row) and the serving admission controller
+    (:mod:`repro.serving.engine`): both call :meth:`InferenceBackend.check_memory`
+    / :meth:`InferenceBackend.free_memory_gb` and catch this class rather than
+    matching sentinel strings.  The structured fields let callers report *how
+    far* over budget a configuration is.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        backend: str | None = None,
+        required_gb: float | None = None,
+        available_gb: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.backend = backend
+        self.required_gb = required_gb
+        self.available_gb = available_gb
+
+    @property
+    def deficit_gb(self) -> float | None:
+        """GB by which the demand exceeds the device, when both are known."""
+        if self.required_gb is None or self.available_gb is None:
+            return None
+        return self.required_gb - self.available_gb
 
 
 @dataclass
@@ -99,9 +127,21 @@ class InferenceBackend:
         if required > self.device.memory_gb:
             raise OutOfMemoryError(
                 f"{self.name}: {spec.name} needs {required:.1f} GB but "
-                f"{self.device.name} has {self.device.memory_gb:.0f} GB"
+                f"{self.device.name} has {self.device.memory_gb:.0f} GB",
+                backend=self.name,
+                required_gb=required,
+                available_gb=self.device.memory_gb,
             )
         return required
+
+    def free_memory_gb(self, spec: FullModelSpec) -> float:
+        """VRAM left for the KV cache and activations after the weights.
+
+        Raises :class:`OutOfMemoryError` when the weights alone do not fit —
+        the same code path the Table 7 OOM row exercises, reused by the
+        serving engine's admission controller to size its KV block pool.
+        """
+        return self.device.memory_gb - self.check_memory(spec)
 
     # -- MoE execution model -------------------------------------------------------
     @staticmethod
@@ -153,6 +193,42 @@ class InferenceBackend:
             batch_size=batch_size,
             gemm_time=gemm_time,
             overhead_time=overhead,
+            memory_gb=memory_gb,
+        )
+
+    def iteration_latency(self, spec: FullModelSpec, num_tokens: int) -> BackendResult:
+        """Latency of one continuous-batching iteration over ``num_tokens`` rows.
+
+        A serving iteration mixes prefill tokens (a newly-joined request's
+        whole prompt) with decode tokens (one per running sequence), so the
+        GEMM batch dimension varies step to step.  Kernels with a batch-size
+        cap (GPTQ's GeMV only accepts ``m == 1``) cannot run the iteration as
+        one pass; this method splits the token block into the largest chunks
+        the kernel supports and sums the per-chunk :meth:`step_latency`, each
+        chunk paying its own per-step framework overhead — which is exactly
+        why GeMV-only backends serve batched traffic so poorly.
+        """
+        if num_tokens <= 0:
+            raise ValueError("num_tokens must be positive")
+        max_batch = self.kernel.max_batch
+        if max_batch is None or num_tokens <= max_batch:
+            return self.step_latency(spec, num_tokens)
+        gemm_time = 0.0
+        overhead_time = 0.0
+        memory_gb = 0.0
+        remaining = num_tokens
+        while remaining > 0:
+            chunk = min(remaining, max_batch)
+            result = self.step_latency(spec, chunk)
+            gemm_time += result.gemm_time
+            overhead_time += result.overhead_time
+            memory_gb = result.memory_gb
+            remaining -= chunk
+        return BackendResult(
+            backend=self.name,
+            batch_size=num_tokens,
+            gemm_time=gemm_time,
+            overhead_time=overhead_time,
             memory_gb=memory_gb,
         )
 

@@ -1,0 +1,51 @@
+"""Simulated online serving on top of the Table 7 inference backends.
+
+The paper's end-to-end evaluation stops at the latency of one decode step
+per backend and batch size; this package turns those step latencies into a
+request-level serving system so memory savings can be read as *serving
+capacity*: a continuous-batching scheduler (iteration-level batching à la
+Orca), a paged KV-cache block manager with reservation-based admission
+control over the backend's leftover VRAM, and a deterministic discrete-event
+clock whose service times are exactly the backends'
+:meth:`~repro.runtime.backends.InferenceBackend.iteration_latency`.
+
+Modules
+-------
+``request``
+    :class:`Request` / :class:`Sequence` lifecycle and per-request metrics
+    (TTFT, TPOT, end-to-end latency).
+``kv_cache``
+    Paged :class:`BlockManager` over the VRAM the quantized weights leave
+    free.
+``scheduler``
+    :class:`ContinuousBatchingScheduler` — strict priority, FIFO within a
+    class, no starvation, batch bounded by KV capacity.
+``engine``
+    :class:`ServingEngine` — the discrete-event loop and the
+    :class:`ServingReport` with p50/p95 TTFT, TPOT and sustained QPS.
+``workload``
+    Seeded Poisson and replay-trace workload generators.
+"""
+
+from .engine import EngineConfig, ServingEngine, ServingReport
+from .kv_cache import BlockManager, KVCacheExhausted, blocks_for_budget, kv_block_bytes
+from .request import Request, RequestState, Sequence
+from .scheduler import ContinuousBatchingScheduler, SchedulerConfig
+from .workload import poisson_workload, replay_workload
+
+__all__ = [
+    "Request",
+    "RequestState",
+    "Sequence",
+    "BlockManager",
+    "KVCacheExhausted",
+    "kv_block_bytes",
+    "blocks_for_budget",
+    "ContinuousBatchingScheduler",
+    "SchedulerConfig",
+    "EngineConfig",
+    "ServingEngine",
+    "ServingReport",
+    "poisson_workload",
+    "replay_workload",
+]

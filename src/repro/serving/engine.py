@@ -1,0 +1,272 @@
+"""Discrete-event continuous-batching serving engine.
+
+This is the request-level layer the paper's Table 7 stops short of: instead
+of quoting the latency of one decode step per backend and batch size, it
+drives those same step latencies as the *service times* of a discrete-event
+simulation and measures what a client of an online system would see —
+time-to-first-token (TTFT), time-per-output-token (TPOT) and sustained QPS
+under a given arrival process.
+
+How the clock maps to Table 7
+-----------------------------
+The engine holds one simulated clock (seconds).  At every iteration boundary
+it forms a batch (admitting queued requests, evicting finished ones), counts
+the token rows the batch contributes — a prefilling request contributes its
+whole prompt, a decoding request contributes one token — and advances the
+clock by ``backend.iteration_latency(spec, tokens).total``.  For a pure
+decode batch of ``B`` sequences that quantity *is* the Table 7 cell for
+batch size ``B``; prefill iterations and kernels with a batch cap (GPTQ's
+GeMV) reuse the same model through the chunked
+:meth:`~repro.runtime.backends.InferenceBackend.iteration_latency`.  Nothing
+reads wall time, so a (backend, workload, config) triple always reproduces
+the identical report bit for bit.
+
+Memory model
+------------
+At construction the engine asks the backend how much VRAM the full-size
+checkpoint leaves free (:meth:`~repro.runtime.backends.InferenceBackend.free_memory_gb`
+— which raises the shared typed
+:class:`~repro.runtime.backends.OutOfMemoryError` if the weights alone do
+not fit, exactly like Table 7's PyTorch-FP16 row), reserves a fixed
+activation headroom, and turns the remainder into a paged KV block pool.
+Admission control therefore flows from the same memory accounting as the
+paper's "20.5 GB vs ~90 GB" story: quantized weights leave more blocks,
+more blocks sustain a larger concurrent batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..models.registry import FULL_MODEL_SPECS, FullModelSpec
+from ..runtime.backends import InferenceBackend, OutOfMemoryError
+from ..eval.reporting import summarize_latencies
+from .kv_cache import BlockManager, blocks_for_budget
+from .request import Request, Sequence
+from .scheduler import ContinuousBatchingScheduler, SchedulerConfig
+
+__all__ = ["EngineConfig", "ServingReport", "ServingEngine"]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Sizing and policy knobs of the serving engine."""
+
+    #: Tokens of KV state per paged block.
+    block_size: int = 16
+    #: Cap on concurrent sequences (on top of the KV-capacity limit).
+    max_batch_size: int = 64
+    #: ``"queue"`` or ``"reject"`` — see :class:`~repro.serving.scheduler.SchedulerConfig`.
+    admission: str = "queue"
+    #: VRAM held back for activations / workspace, in GB.
+    reserve_gb: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.block_size <= 0:
+            raise ValueError("block_size must be positive")
+        if self.reserve_gb < 0:
+            raise ValueError("reserve_gb must be non-negative")
+        if self.max_batch_size <= 0:
+            raise ValueError("max_batch_size must be positive")
+        if self.admission not in ("queue", "reject"):
+            raise ValueError(f"admission must be 'queue' or 'reject', got {self.admission!r}")
+
+
+@dataclass
+class ServingReport:
+    """Aggregate + per-request results of one simulated serving run."""
+
+    backend: str
+    model: str
+    device: str
+    num_requests: int
+    completed: int
+    rejected: int
+    iterations: int
+    sim_time_s: float
+    sustained_qps: float
+    ttft: dict[str, float]
+    tpot: dict[str, float]
+    e2e: dict[str, float]
+    peak_batch: int
+    mean_batch_tokens: float
+    kv_num_blocks: int
+    kv_block_size: int
+    kv_peak_used_blocks: int
+    completion_order: list[int]
+    requests: list[dict]
+
+    def to_dict(self) -> dict:
+        """JSON-serializable view (the ``milo serve`` report schema)."""
+        return {
+            "backend": self.backend,
+            "model": self.model,
+            "device": self.device,
+            "num_requests": self.num_requests,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "iterations": self.iterations,
+            "sim_time_s": self.sim_time_s,
+            "sustained_qps": self.sustained_qps,
+            "ttft_s": dict(self.ttft),
+            "tpot_s": dict(self.tpot),
+            "e2e_s": dict(self.e2e),
+            "batch": {"peak": self.peak_batch, "mean_tokens": self.mean_batch_tokens},
+            "kv_cache": {
+                "num_blocks": self.kv_num_blocks,
+                "block_size": self.kv_block_size,
+                "peak_used_blocks": self.kv_peak_used_blocks,
+            },
+            "completion_order": list(self.completion_order),
+            "requests": [dict(r) for r in self.requests],
+        }
+
+
+class ServingEngine:
+    """Simulated online serving on top of one Table 7 inference backend."""
+
+    def __init__(
+        self,
+        backend: InferenceBackend,
+        spec: FullModelSpec | str,
+        config: EngineConfig | None = None,
+    ) -> None:
+        if isinstance(spec, str):
+            if spec not in FULL_MODEL_SPECS:
+                raise KeyError(f"unknown full model spec {spec!r}")
+            spec = FULL_MODEL_SPECS[spec]
+        self.backend = backend
+        self.spec = spec
+        self.config = config or EngineConfig()
+
+        free_gb = backend.free_memory_gb(spec)  # raises OutOfMemoryError on misfit
+        kv_budget_gb = free_gb - self.config.reserve_gb
+        num_blocks = blocks_for_budget(spec, kv_budget_gb, self.config.block_size)
+        if num_blocks <= 0:
+            raise OutOfMemoryError(
+                f"{backend.name}: {spec.name} weights fit but leave no VRAM for "
+                f"KV cache ({free_gb:.1f} GB free, {self.config.reserve_gb:.1f} GB reserved)",
+                backend=backend.name,
+                required_gb=backend.model_memory_gb(spec) + self.config.reserve_gb,
+                available_gb=backend.device.memory_gb,
+            )
+        self.block_manager = BlockManager(num_blocks=num_blocks, block_size=self.config.block_size)
+
+    # -- capacity ----------------------------------------------------------------
+    def max_batch_size(self, tokens_per_sequence: int) -> int:
+        """Max concurrent sequences of a given total length this engine sustains."""
+        return min(
+            self.config.max_batch_size,
+            self.block_manager.max_sequences(tokens_per_sequence),
+        )
+
+    # -- simulation --------------------------------------------------------------
+    def run(self, requests: Iterable[Request]) -> ServingReport:
+        """Serve ``requests`` to completion and report client-visible metrics."""
+        pending = sorted(requests, key=lambda r: (r.arrival_time, r.request_id))
+        scheduler = ContinuousBatchingScheduler(
+            self.block_manager,
+            SchedulerConfig(
+                max_batch_size=self.config.max_batch_size,
+                admission=self.config.admission,
+            ),
+        )
+        clock = 0.0
+        next_arrival = 0
+        iterations = 0
+        total_tokens = 0
+        peak_batch = 0
+        peak_used_blocks = 0
+        latency_cache: dict[int, float] = {}
+
+        while next_arrival < len(pending) or scheduler.has_work:
+            while next_arrival < len(pending) and pending[next_arrival].arrival_time <= clock:
+                scheduler.add_request(pending[next_arrival])
+                next_arrival += 1
+            scheduler.admit(clock)
+            if not scheduler.running:
+                if next_arrival < len(pending):
+                    # Idle: jump the clock to the next arrival.
+                    clock = max(clock, pending[next_arrival].arrival_time)
+                    continue
+                break
+
+            tokens = scheduler.batch_tokens()
+            step = latency_cache.get(tokens)
+            if step is None:
+                step = self.backend.iteration_latency(self.spec, tokens).total
+                latency_cache[tokens] = step
+            clock += step
+            iterations += 1
+            total_tokens += tokens
+            peak_batch = max(peak_batch, len(scheduler.running))
+            peak_used_blocks = max(peak_used_blocks, self.block_manager.used_blocks)
+
+            for seq in scheduler.running:
+                seq.advance(clock)
+            scheduler.evict_finished()
+
+        self.block_manager.assert_no_leaks()
+        return self._build_report(scheduler, clock, iterations, total_tokens, peak_batch, peak_used_blocks)
+
+    # -- reporting ---------------------------------------------------------------
+    def _build_report(
+        self,
+        scheduler: ContinuousBatchingScheduler,
+        clock: float,
+        iterations: int,
+        total_tokens: int,
+        peak_batch: int,
+        peak_used_blocks: int,
+    ) -> ServingReport:
+        finished = scheduler.finished
+        records: list[dict] = []
+        all_seqs: list[Sequence] = sorted(
+            scheduler.finished + scheduler.rejected,
+            key=lambda s: s.request.request_id,
+        )
+        for seq in all_seqs:
+            records.append(
+                {
+                    "request_id": seq.request.request_id,
+                    "state": seq.state.value,
+                    "arrival_s": seq.request.arrival_time,
+                    "prompt_tokens": seq.request.prompt_tokens,
+                    "new_tokens": seq.generated_tokens,
+                    "ttft_s": seq.ttft,
+                    "tpot_s": seq.tpot,
+                    "e2e_s": seq.e2e_latency,
+                }
+            )
+        ttfts = [s.ttft for s in finished if s.ttft is not None]
+        tpots = [s.tpot for s in finished if s.tpot is not None]
+        e2es = [s.e2e_latency for s in finished if s.e2e_latency is not None]
+        if finished:
+            first_arrival = min(s.request.arrival_time for s in finished)
+            last_finish = max(s.finish_time for s in finished)
+            makespan = max(last_finish - first_arrival, 1e-12)
+            qps = len(finished) / makespan
+        else:
+            qps = 0.0
+        return ServingReport(
+            backend=self.backend.name,
+            model=self.spec.name,
+            device=self.backend.device.name,
+            num_requests=len(all_seqs),
+            completed=len(finished),
+            rejected=len(scheduler.rejected),
+            iterations=iterations,
+            sim_time_s=clock,
+            sustained_qps=qps,
+            ttft=summarize_latencies(ttfts),
+            tpot=summarize_latencies(tpots),
+            e2e=summarize_latencies(e2es),
+            peak_batch=peak_batch,
+            mean_batch_tokens=(total_tokens / iterations) if iterations else 0.0,
+            kv_num_blocks=self.block_manager.num_blocks,
+            kv_block_size=self.block_manager.block_size,
+            kv_peak_used_blocks=peak_used_blocks,
+            completion_order=[s.request.request_id for s in finished],
+            requests=records,
+        )

@@ -1,0 +1,133 @@
+"""Paged KV-cache block manager for the serving engine.
+
+The serving engine partitions the VRAM left over after the model weights
+(:meth:`repro.runtime.backends.InferenceBackend.free_memory_gb`, which raises
+the shared :class:`~repro.runtime.backends.OutOfMemoryError` when the weights
+alone do not fit) into fixed-size *blocks* of ``block_size`` tokens of KV
+state, vLLM-style.  A sequence holds ``ceil(tokens / block_size)`` blocks.
+
+Admission is **reservation-based**: the scheduler reserves blocks for a
+request's full ``prompt + max_new_tokens`` extent before admitting it, so a
+running sequence can never hit an out-of-blocks condition mid-decode.  That
+is deliberately more conservative than on-demand growth (it trades a little
+capacity for determinism and a trivially-checkable "batch never exceeds KV
+capacity" invariant), and it is exactly the quantity the paper's memory story
+improves: a 3-bit MiLo checkpoint leaves ~2x more free VRAM on a 40 GB A100
+than a 16-bit one, which shows up here as a proportionally larger block pool
+and therefore a larger sustainable batch.
+
+Per-token KV footprint comes from
+:attr:`repro.models.registry.FullModelSpec.kv_bytes_per_token`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..models.registry import FullModelSpec
+
+__all__ = ["KVCacheExhausted", "BlockManager", "kv_block_bytes", "blocks_for_budget"]
+
+_GB = 1024**3
+
+
+class KVCacheExhausted(RuntimeError):
+    """Raised when a block allocation exceeds the pool (engine bug, not OOM).
+
+    Admission control checks :meth:`BlockManager.can_allocate` first, so in a
+    correctly-behaving engine this never propagates to callers; it exists to
+    make scheduler violations loud in tests rather than silently corrupting
+    the accounting.
+    """
+
+
+def kv_block_bytes(spec: FullModelSpec, block_size: int) -> int:
+    """Bytes of one KV block (``block_size`` tokens) for a full-size model."""
+    if block_size <= 0:
+        raise ValueError("block_size must be positive")
+    return spec.kv_bytes_per_token * block_size
+
+
+def blocks_for_budget(spec: FullModelSpec, free_gb: float, block_size: int) -> int:
+    """How many KV blocks fit in ``free_gb`` of leftover VRAM."""
+    if free_gb <= 0:
+        return 0
+    return int(free_gb * _GB // kv_block_bytes(spec, block_size))
+
+
+@dataclass
+class BlockManager:
+    """Fixed-pool paged allocator with per-sequence accounting.
+
+    Only counts are tracked (no block-id free lists): the simulator never
+    reads cache contents, so identity of blocks does not matter, while the
+    counts preserve the alloc/free/leak semantics the tests assert.
+    """
+
+    num_blocks: int
+    block_size: int
+    _allocated: dict[int, int] = field(default_factory=dict, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.num_blocks < 0:
+            raise ValueError("num_blocks must be non-negative")
+        if self.block_size <= 0:
+            raise ValueError("block_size must be positive")
+
+    # -- queries -----------------------------------------------------------------
+    def blocks_needed(self, num_tokens: int) -> int:
+        """Blocks required to hold ``num_tokens`` tokens of KV state."""
+        if num_tokens <= 0:
+            raise ValueError("num_tokens must be positive")
+        return -(-num_tokens // self.block_size)
+
+    @property
+    def used_blocks(self) -> int:
+        return sum(self._allocated.values())
+
+    @property
+    def free_blocks(self) -> int:
+        return self.num_blocks - self.used_blocks
+
+    @property
+    def outstanding_sequences(self) -> int:
+        """Sequences currently holding blocks (0 after a clean engine run)."""
+        return len(self._allocated)
+
+    def can_allocate(self, num_tokens: int) -> bool:
+        return self.blocks_needed(num_tokens) <= self.free_blocks
+
+    def fits_at_all(self, num_tokens: int) -> bool:
+        """Whether an empty pool could ever hold ``num_tokens`` tokens."""
+        return self.blocks_needed(num_tokens) <= self.num_blocks
+
+    def max_sequences(self, tokens_per_sequence: int) -> int:
+        """Concurrent sequences of a given length an empty pool sustains."""
+        needed = self.blocks_needed(tokens_per_sequence)
+        return self.num_blocks // needed if needed else 0
+
+    # -- mutations ---------------------------------------------------------------
+    def allocate(self, seq_id: int, num_tokens: int) -> int:
+        """Reserve blocks for ``num_tokens`` tokens; returns blocks taken."""
+        if seq_id in self._allocated:
+            raise KVCacheExhausted(f"sequence {seq_id} already holds blocks")
+        needed = self.blocks_needed(num_tokens)
+        if needed > self.free_blocks:
+            raise KVCacheExhausted(
+                f"need {needed} blocks for sequence {seq_id} but only "
+                f"{self.free_blocks}/{self.num_blocks} are free"
+            )
+        self._allocated[seq_id] = needed
+        return needed
+
+    def free(self, seq_id: int) -> int:
+        """Release a sequence's blocks; returns blocks returned to the pool."""
+        if seq_id not in self._allocated:
+            raise KVCacheExhausted(f"sequence {seq_id} holds no blocks")
+        return self._allocated.pop(seq_id)
+
+    def assert_no_leaks(self) -> None:
+        """Raise if any sequence still holds blocks (used by engine teardown)."""
+        if self._allocated:
+            held = ", ".join(str(s) for s in sorted(self._allocated))
+            raise KVCacheExhausted(f"KV blocks leaked by sequences: {held}")

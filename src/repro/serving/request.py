@@ -1,0 +1,158 @@
+"""Request and sequence abstractions for the serving engine.
+
+A :class:`Request` is what a client submits: an arrival time, a prompt length,
+a decode budget, and an optional priority class.  The engine wraps each
+admitted request in a :class:`Sequence`, which tracks the two phases of its
+lifetime on the simulated device:
+
+* **prefill** — the whole prompt is processed in one continuous-batching
+  iteration (Orca-style iteration-level scheduling); the iteration that
+  finishes prefill also emits the first output token, which defines the
+  request's TTFT (time to first token);
+* **decode** — each subsequent iteration the sequence participates in emits
+  one token, until ``max_new_tokens`` have been produced; the average gap
+  between those tokens is the TPOT (time per output token).
+
+All timestamps are in simulated seconds on the discrete-event clock of
+:class:`repro.serving.engine.ServingEngine`; nothing here reads wall time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["RequestState", "Request", "Sequence"]
+
+
+class RequestState(enum.Enum):
+    """Lifecycle of a request inside the serving engine."""
+
+    QUEUED = "queued"        # waiting for admission (KV blocks / batch slot)
+    RUNNING = "running"      # member of the current continuous batch
+    FINISHED = "finished"    # produced all of its tokens
+    REJECTED = "rejected"    # admission control refused it
+
+
+@dataclass(frozen=True)
+class Request:
+    """One client request of the simulated workload."""
+
+    request_id: int
+    arrival_time: float
+    prompt_tokens: int
+    max_new_tokens: int
+    #: Lower value = more urgent.  The scheduler is FIFO *within* a priority
+    #: class and strict-priority across classes.
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if self.prompt_tokens <= 0:
+            raise ValueError("prompt_tokens must be positive")
+        if self.max_new_tokens <= 0:
+            raise ValueError("max_new_tokens must be positive")
+        if self.arrival_time < 0:
+            raise ValueError("arrival_time must be non-negative")
+
+    @property
+    def total_tokens(self) -> int:
+        """KV-cache footprint of the fully-decoded request, in tokens."""
+        return self.prompt_tokens + self.max_new_tokens
+
+
+@dataclass
+class Sequence:
+    """Engine-side state of one request."""
+
+    request: Request
+    state: RequestState = RequestState.QUEUED
+    #: Order in which the scheduler first saw the request (dense, per engine
+    #: run); ties on priority are broken by this, making admission FIFO.
+    enqueue_index: int = 0
+    prefill_done: bool = False
+    generated_tokens: int = 0
+    admission_time: float | None = None
+    first_token_time: float | None = None
+    finish_time: float | None = None
+
+    # -- phase queries -----------------------------------------------------------
+    @property
+    def is_prefill(self) -> bool:
+        return self.state is RequestState.RUNNING and not self.prefill_done
+
+    @property
+    def is_finished(self) -> bool:
+        return self.state is RequestState.FINISHED
+
+    def tokens_this_iteration(self) -> int:
+        """Token rows this sequence contributes to the next iteration's GEMMs."""
+        if self.state is not RequestState.RUNNING:
+            return 0
+        return self.request.prompt_tokens if not self.prefill_done else 1
+
+    def kv_tokens_held(self) -> int:
+        """Tokens of KV capacity the sequence holds while running.
+
+        Admission is reservation-based (the block manager reserves the full
+        ``prompt + max_new_tokens`` extent up front), so the held capacity is
+        the request's total extent for its whole running life, not the tokens
+        written so far.
+        """
+        if self.state is not RequestState.RUNNING:
+            return 0
+        return self.request.total_tokens
+
+    # -- lifecycle transitions ---------------------------------------------------
+    def admit(self, now: float) -> None:
+        if self.state is not RequestState.QUEUED:
+            raise RuntimeError(f"cannot admit a {self.state.value} sequence")
+        self.state = RequestState.RUNNING
+        self.admission_time = now
+
+    def reject(self) -> None:
+        if self.state is not RequestState.QUEUED:
+            raise RuntimeError(f"cannot reject a {self.state.value} sequence")
+        self.state = RequestState.REJECTED
+
+    def advance(self, now: float) -> None:
+        """Record the outcome of one iteration this sequence participated in."""
+        if self.state is not RequestState.RUNNING:
+            raise RuntimeError(f"cannot advance a {self.state.value} sequence")
+        if not self.prefill_done:
+            # The prefill iteration also produces the first output token.
+            self.prefill_done = True
+            self.first_token_time = now
+            self.generated_tokens = 1
+        else:
+            self.generated_tokens += 1
+        if self.generated_tokens >= self.request.max_new_tokens:
+            self.state = RequestState.FINISHED
+            self.finish_time = now
+
+    # -- metrics -----------------------------------------------------------------
+    @property
+    def ttft(self) -> float | None:
+        """Time from arrival to the first output token (includes queueing)."""
+        if self.first_token_time is None:
+            return None
+        return self.first_token_time - self.request.arrival_time
+
+    @property
+    def tpot(self) -> float | None:
+        """Mean inter-token gap of the decode phase.
+
+        Defined over the ``generated_tokens - 1`` gaps after the first token;
+        a single-token request has no decode gap and reports 0.
+        """
+        if self.finish_time is None or self.first_token_time is None:
+            return None
+        if self.generated_tokens <= 1:
+            return 0.0
+        return (self.finish_time - self.first_token_time) / (self.generated_tokens - 1)
+
+    @property
+    def e2e_latency(self) -> float | None:
+        """Arrival to last token."""
+        if self.finish_time is None:
+            return None
+        return self.finish_time - self.request.arrival_time

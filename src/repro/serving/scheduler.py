@@ -1,0 +1,118 @@
+"""Iteration-level (continuous-batching) scheduler.
+
+Orca-style continuous batching: the batch is re-formed at every *iteration*
+boundary rather than per request-batch.  Finished sequences are evicted and
+their KV blocks freed as soon as their last token is produced, and queued
+requests join the very next iteration if a batch slot and enough KV blocks
+are available — no waiting for the whole batch to drain.
+
+Scheduling policy and its invariants (all covered by
+``tests/serving/test_scheduler.py``):
+
+* **Strict priority, FIFO within a class.**  The waiting queue is ordered by
+  ``(priority, enqueue_index)``; a request can never be overtaken by a
+  later-arriving request of the same or lower priority.
+* **No starvation (queue mode).**  Admission stops at the first waiting
+  request that does not fit instead of skipping over it, so head-of-line
+  requests cannot be starved by smaller late arrivals; since running
+  sequences always finish in bounded time, the head is eventually admitted.
+* **Batch never exceeds capacity.**  ``len(running) <= max_batch_size`` and
+  reserved KV blocks never exceed the pool, enforced through the
+  reservation-based :class:`~repro.serving.kv_cache.BlockManager`.
+* **Rejection is typed.**  A request whose full extent could never fit in an
+  *empty* pool is rejected in either admission mode; in ``"reject"`` mode a
+  request is also rejected if it does not fit at the moment it is first
+  considered (load shedding), instead of queueing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .kv_cache import BlockManager
+from .request import Request, Sequence
+
+__all__ = ["SchedulerConfig", "ContinuousBatchingScheduler"]
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Policy knobs of the continuous-batching scheduler."""
+
+    #: Hard cap on concurrent sequences, on top of the KV-capacity limit.
+    max_batch_size: int = 64
+    #: ``"queue"`` holds requests until capacity frees up; ``"reject"`` sheds
+    #: load by rejecting requests that do not fit when first considered.
+    admission: str = "queue"
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size <= 0:
+            raise ValueError("max_batch_size must be positive")
+        if self.admission not in ("queue", "reject"):
+            raise ValueError(f"admission must be 'queue' or 'reject', got {self.admission!r}")
+
+
+class ContinuousBatchingScheduler:
+    """Forms the per-iteration batch over a shared KV block pool."""
+
+    def __init__(self, block_manager: BlockManager, config: SchedulerConfig | None = None) -> None:
+        self.block_manager = block_manager
+        self.config = config or SchedulerConfig()
+        self.waiting: list[Sequence] = []
+        self.running: list[Sequence] = []
+        self.rejected: list[Sequence] = []
+        self.finished: list[Sequence] = []
+        self._enqueue_counter = 0
+
+    # -- intake ------------------------------------------------------------------
+    def add_request(self, request: Request) -> Sequence:
+        """Enqueue a request; rejects immediately if it could never fit."""
+        seq = Sequence(request=request, enqueue_index=self._enqueue_counter)
+        self._enqueue_counter += 1
+        if not self.block_manager.fits_at_all(request.total_tokens):
+            seq.reject()
+            self.rejected.append(seq)
+            return seq
+        self.waiting.append(seq)
+        self.waiting.sort(key=lambda s: (s.request.priority, s.enqueue_index))
+        return seq
+
+    # -- iteration boundary ------------------------------------------------------
+    def admit(self, now: float) -> list[Sequence]:
+        """Join waiting requests to the batch at an iteration boundary."""
+        admitted: list[Sequence] = []
+        while self.waiting and len(self.running) < self.config.max_batch_size:
+            head = self.waiting[0]
+            if self.block_manager.can_allocate(head.request.total_tokens):
+                self.waiting.pop(0)
+                self.block_manager.allocate(head.request.request_id, head.request.total_tokens)
+                head.admit(now)
+                self.running.append(head)
+                admitted.append(head)
+            elif self.config.admission == "reject":
+                self.waiting.pop(0)
+                head.reject()
+                self.rejected.append(head)
+            else:
+                # Queue mode: keep FIFO order — do not skip the head to admit a
+                # smaller request behind it (that is how starvation starts).
+                break
+        return admitted
+
+    def evict_finished(self) -> list[Sequence]:
+        """Remove finished sequences from the batch and free their KV blocks."""
+        done = [s for s in self.running if s.is_finished]
+        for seq in done:
+            self.block_manager.free(seq.request.request_id)
+            self.finished.append(seq)
+        self.running = [s for s in self.running if not s.is_finished]
+        return done
+
+    # -- queries -----------------------------------------------------------------
+    @property
+    def has_work(self) -> bool:
+        return bool(self.waiting or self.running)
+
+    def batch_tokens(self) -> int:
+        """Token rows the current batch contributes to the next iteration."""
+        return sum(seq.tokens_this_iteration() for seq in self.running)

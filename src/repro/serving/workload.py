@@ -1,0 +1,96 @@
+"""Workload generators for the serving engine.
+
+Two sources of traffic:
+
+* :func:`poisson_workload` — an open-loop synthetic workload with Poisson
+  arrivals at a target QPS and log-normal-ish prompt/decode lengths, all
+  drawn from one seeded :class:`numpy.random.Generator` so a (seed, qps,
+  num_requests) triple always produces the identical request list;
+* :func:`replay_workload` — an explicit trace of ``(arrival_time,
+  prompt_tokens, max_new_tokens)`` tuples, for deterministic regression tests
+  and for replaying recorded traces.
+
+Both return plain :class:`~repro.serving.request.Request` lists sorted by
+arrival time; the engine treats them identically.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence as SequenceType
+
+import numpy as np
+
+from .request import Request
+
+__all__ = ["poisson_workload", "replay_workload"]
+
+
+def poisson_workload(
+    num_requests: int,
+    qps: float,
+    seed: int = 0,
+    mean_prompt_tokens: int = 128,
+    mean_new_tokens: int = 64,
+    length_jitter: float = 0.25,
+    priority: int = 0,
+) -> list[Request]:
+    """Open-loop Poisson arrivals with jittered prompt/decode lengths.
+
+    ``length_jitter`` is the coefficient of variation of the (log-normally
+    distributed) lengths; 0 makes every request identical.  Lengths are
+    clipped to at least 1 token.
+    """
+    if num_requests <= 0:
+        raise ValueError("num_requests must be positive")
+    if qps <= 0:
+        raise ValueError("qps must be positive")
+    if mean_prompt_tokens <= 0 or mean_new_tokens <= 0:
+        raise ValueError("mean token lengths must be positive")
+    if length_jitter < 0:
+        raise ValueError("length_jitter must be non-negative")
+    rng = np.random.default_rng(seed)
+    interarrivals = rng.exponential(1.0 / qps, size=num_requests)
+    arrivals = np.cumsum(interarrivals)
+    arrivals[0] = 0.0  # the first request opens the experiment
+
+    def lengths(mean: int) -> np.ndarray:
+        if length_jitter == 0:
+            return np.full(num_requests, mean, dtype=np.int64)
+        sigma = float(np.sqrt(np.log1p(length_jitter**2)))
+        mu = float(np.log(mean)) - sigma**2 / 2.0
+        draw = rng.lognormal(mean=mu, sigma=sigma, size=num_requests)
+        return np.maximum(1, np.round(draw)).astype(np.int64)
+
+    prompts = lengths(mean_prompt_tokens)
+    decodes = lengths(mean_new_tokens)
+    return [
+        Request(
+            request_id=i,
+            arrival_time=float(arrivals[i]),
+            prompt_tokens=int(prompts[i]),
+            max_new_tokens=int(decodes[i]),
+            priority=priority,
+        )
+        for i in range(num_requests)
+    ]
+
+
+def replay_workload(
+    trace: Iterable[SequenceType[float]],
+    priority: int = 0,
+) -> list[Request]:
+    """Build a request list from ``(arrival_time, prompt, max_new_tokens)`` rows."""
+    requests = []
+    for i, row in enumerate(trace):
+        arrival, prompt, decode = row
+        requests.append(
+            Request(
+                request_id=i,
+                arrival_time=float(arrival),
+                prompt_tokens=int(prompt),
+                max_new_tokens=int(decode),
+                priority=priority,
+            )
+        )
+    requests.sort(key=lambda r: (r.arrival_time, r.request_id))
+    return requests

@@ -99,6 +99,70 @@ class TestMatrixPacking:
         assert packed.packed_bytes / fp16_bytes == pytest.approx(3 / 16)
 
 
+class TestRandomShapeRoundTrips:
+    """Property-style pack→unpack identity over ≥50 seeded random shapes.
+
+    Shapes deliberately hit the awkward cases: single rows/columns, column
+    counts exactly on the 32-weight packing-group boundary, one off either
+    side of it, quant-group-sized (64) and non-divisible K, and odd sizes.
+    """
+
+    INTERESTING_COLS = [1, 31, 32, 33, 63, 64, 65, 95, 96, 97, 50, 127, 128, 129, 200]
+
+    @pytest.mark.parametrize("case", range(55))
+    def test_int3_matrix_roundtrip_random_shape(self, case):
+        rng = np.random.default_rng(1000 + case)
+        if case < len(self.INTERESTING_COLS):
+            cols = self.INTERESTING_COLS[case]
+        else:
+            cols = int(rng.integers(1, 400))
+        rows = int(rng.integers(1, 12))
+        codes = rng.integers(0, 8, size=(rows, cols))
+        packed = pack_int3_matrix(codes)
+        assert np.array_equal(unpack_int3_matrix(packed), codes)
+        # Padded storage is whole packing groups of 3 words each.
+        groups_per_row = -(-cols // WEIGHTS_PER_GROUP)
+        assert packed.main.shape == (rows, 2 * groups_per_row)
+        assert packed.rest.shape == (rows, groups_per_row)
+
+    @pytest.mark.parametrize("case", range(55))
+    def test_int4_matrix_roundtrip_random_shape(self, case):
+        rng = np.random.default_rng(2000 + case)
+        if case < len(self.INTERESTING_COLS):
+            cols = self.INTERESTING_COLS[case]
+        else:
+            cols = int(rng.integers(1, 400))
+        rows = int(rng.integers(1, 12))
+        codes = rng.integers(0, 16, size=(rows, cols))
+        words = pack_int4_matrix(codes)
+        assert words.shape == (rows, -(-cols // 8))
+        assert np.array_equal(unpack_int4_matrix(words, cols), codes)
+
+    @pytest.mark.parametrize("cols", [32, 64, 96, 128, 160])
+    def test_int3_group_boundary_columns_need_no_padding(self, cols):
+        rng = np.random.default_rng(cols)
+        codes = rng.integers(0, 8, size=(3, cols))
+        packed = pack_int3_matrix(codes)
+        # Exactly on the boundary: storage is the zero-waste ideal.
+        assert packed.packed_bytes == pytest.approx(packed.ideal_bytes)
+        assert np.array_equal(unpack_int3_matrix(packed), codes)
+
+    @pytest.mark.parametrize("cols", [33, 63, 65, 100])
+    def test_int3_padding_never_bleeds_into_codes(self, cols):
+        """Padded tail positions must not corrupt the stored prefix."""
+        rng = np.random.default_rng(cols)
+        codes = rng.integers(0, 8, size=(2, cols))
+        out = unpack_int3_matrix(pack_int3_matrix(codes))
+        assert out.shape == codes.shape
+        assert np.array_equal(out, codes)
+
+    def test_extreme_values_roundtrip_across_group_boundaries(self):
+        # All-7s stresses every code bit; all-0s stresses the spare bytes.
+        for fill in (0, 7):
+            codes = np.full((5, 97), fill)
+            assert np.array_equal(unpack_int3_matrix(pack_int3_matrix(codes)), codes)
+
+
 class TestInt4Packing:
     def test_roundtrip(self):
         codes = np.random.default_rng(4).integers(0, 16, size=(8, 64))

@@ -23,6 +23,31 @@ class TestMemoryChecks:
         with pytest.raises(OutOfMemoryError):
             PyTorchFP16Backend().step_latency(MIXTRAL, 1)
 
+    def test_oom_error_carries_structured_fields(self):
+        """The typed OOM (not a sentinel string) reports the memory gap."""
+        with pytest.raises(OutOfMemoryError) as exc_info:
+            PyTorchFP16Backend().check_memory(MIXTRAL)
+        err = exc_info.value
+        assert isinstance(err, RuntimeError)
+        assert err.backend == "pytorch-fp16"
+        assert err.available_gb == 40.0
+        assert err.required_gb > 80
+        assert err.deficit_gb == pytest.approx(err.required_gb - 40.0)
+
+    def test_oom_error_fields_default_to_none(self):
+        err = OutOfMemoryError("bare message")
+        assert err.backend is None and err.deficit_gb is None
+
+    def test_free_memory_gb_is_vram_minus_weights(self):
+        backend = MiLoBackend()
+        free = backend.free_memory_gb(MIXTRAL)
+        assert free == pytest.approx(40.0 - backend.model_memory_gb(MIXTRAL))
+        assert free > 15  # the 3-bit checkpoint leaves most of the A100 free
+
+    def test_free_memory_gb_raises_on_misfit(self):
+        with pytest.raises(OutOfMemoryError):
+            PyTorchFP16Backend().free_memory_gb(MIXTRAL)
+
     def test_pytorch_fp16_fits_deepseek(self):
         result = PyTorchFP16Backend().step_latency(DEEPSEEK, 1)
         assert result.memory_gb < 40
@@ -76,6 +101,35 @@ class TestLatencyShape:
         assert result.total == pytest.approx(result.gemm_time + result.overhead_time)
         assert result.backend == "milo"
         assert result.batch_size == 16
+
+
+class TestIterationLatency:
+    def test_uncapped_kernel_matches_step_latency(self):
+        backend = MiLoBackend()
+        step = backend.step_latency(MIXTRAL, 24)
+        iteration = backend.iteration_latency(MIXTRAL, 24)
+        assert iteration.total == step.total
+        assert iteration.batch_size == 24
+
+    def test_capped_kernel_chunks_into_supported_batches(self):
+        """GPTQ's GeMV (max batch 1) pays one full step per token row."""
+        backend = GPTQ3bitBackend()
+        one = backend.iteration_latency(MIXTRAL, 1)
+        five = backend.iteration_latency(MIXTRAL, 5)
+        assert five.batch_size == 5
+        assert five.total == pytest.approx(5 * one.total, rel=1e-9)
+        assert five.overhead_time == pytest.approx(5 * one.overhead_time)
+
+    def test_chunking_is_worse_than_native_batching(self):
+        """Per-chunk framework overhead is why GeMV backends serve poorly."""
+        tokens = 32
+        gptq = GPTQ3bitBackend().iteration_latency(MIXTRAL, tokens).total
+        milo = MiLoBackend().iteration_latency(MIXTRAL, tokens).total
+        assert gptq > 10 * milo
+
+    def test_invalid_token_count_rejected(self):
+        with pytest.raises(ValueError):
+            MiLoBackend().iteration_latency(MIXTRAL, 0)
 
 
 class TestLineup:

@@ -1,0 +1,159 @@
+"""End-to-end serving engine tests: determinism, capacity, OOM, accounting."""
+
+import pytest
+
+from repro.models import FULL_MODEL_SPECS
+from repro.runtime.backends import (
+    GPTQ3bitBackend,
+    MiLoBackend,
+    OutOfMemoryError,
+    PyTorchFP16Backend,
+)
+from repro.serving import (
+    EngineConfig,
+    ServingEngine,
+    poisson_workload,
+    replay_workload,
+)
+
+MIXTRAL = FULL_MODEL_SPECS["mixtral-8x7b"]
+
+# (arrival, prompt, decode): three requests that overlap in flight.
+TRACE = [
+    (0.0, 32, 4),
+    (0.01, 16, 8),
+    (0.02, 16, 2),
+]
+
+
+def milo_engine(**config):
+    return ServingEngine(MiLoBackend(), "mixtral-8x7b", EngineConfig(**config))
+
+
+class TestConstruction:
+    def test_fp16_mixtral_raises_shared_oom(self):
+        """Admission control and Table 7 share the typed OutOfMemoryError path."""
+        with pytest.raises(OutOfMemoryError) as exc_info:
+            ServingEngine(PyTorchFP16Backend(), "mixtral-8x7b")
+        err = exc_info.value
+        assert err.backend == "pytorch-fp16"
+        assert err.required_gb > err.available_gb == 40.0
+        assert err.deficit_gb == pytest.approx(err.required_gb - 40.0)
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(KeyError):
+            ServingEngine(MiLoBackend(), "gpt-5")
+
+    def test_kv_pool_sized_from_free_vram(self):
+        engine = milo_engine()
+        backend = MiLoBackend()
+        free_gb = backend.free_memory_gb(MIXTRAL) - 1.0  # default reserve
+        expected = int(free_gb * 1024**3 // (MIXTRAL.kv_bytes_per_token * 16))
+        assert engine.block_manager.num_blocks == expected
+
+    def test_quantized_backend_sustains_larger_batch_than_fp16(self):
+        """The paper's memory savings read as serving capacity on DeepSeek,
+        where FP16 fits but leaves far fewer KV blocks than 3-bit MiLo."""
+        config = EngineConfig(max_batch_size=100_000)
+        fp16 = ServingEngine(PyTorchFP16Backend(), "deepseek-moe", config)
+        milo = ServingEngine(MiLoBackend(), "deepseek-moe", config)
+        assert fp16.max_batch_size(192) > 0
+        assert milo.max_batch_size(192) > fp16.max_batch_size(192)
+
+
+class TestDeterministicReplay:
+    def test_exact_completion_order(self):
+        report = milo_engine().run(replay_workload(TRACE))
+        # Request 2 (2 decode tokens) finishes first, then 0 (4), then 1 (8).
+        assert report.completion_order == [2, 0, 1]
+        assert report.completed == 3 and report.rejected == 0
+
+    def test_latency_totals_are_reproducible_exactly(self):
+        first = milo_engine().run(replay_workload(TRACE)).to_dict()
+        second = milo_engine().run(replay_workload(TRACE)).to_dict()
+        assert first == second  # bit-exact, not approximately equal
+
+    def test_sim_time_is_sum_of_iteration_latencies(self):
+        """Serially-dependent decode: sim time for one request equals
+        prefill + (n-1) single-token decode iterations of the backend."""
+        backend = MiLoBackend()
+        engine = ServingEngine(backend, "mixtral-8x7b")
+        report = engine.run(replay_workload([(0.0, 32, 4)]))
+        expected = (
+            backend.iteration_latency(MIXTRAL, 32).total
+            + 3 * backend.iteration_latency(MIXTRAL, 1).total
+        )
+        assert report.sim_time_s == pytest.approx(expected, rel=1e-12)
+        assert report.iterations == 4
+
+    def test_poisson_runs_are_seed_deterministic(self):
+        r1 = milo_engine().run(poisson_workload(40, qps=10.0, seed=3)).to_dict()
+        r2 = milo_engine().run(poisson_workload(40, qps=10.0, seed=3)).to_dict()
+        assert r1 == r2
+
+    def test_metric_ordering(self):
+        report = milo_engine().run(poisson_workload(40, qps=10.0, seed=3))
+        assert 0 < report.ttft["p50"] <= report.ttft["p95"] <= report.ttft["max"]
+        assert 0 < report.tpot["p50"] <= report.tpot["p95"]
+        assert report.sustained_qps > 0
+
+
+class TestResourceAccounting:
+    def test_no_kv_leaks_after_run(self):
+        engine = milo_engine()
+        engine.run(poisson_workload(30, qps=20.0, seed=1))
+        assert engine.block_manager.outstanding_sequences == 0
+        assert engine.block_manager.free_blocks == engine.block_manager.num_blocks
+        engine.block_manager.assert_no_leaks()
+
+    def test_peak_usage_bounded_by_pool(self):
+        report = milo_engine().run(poisson_workload(50, qps=50.0, seed=2))
+        assert 0 < report.kv_peak_used_blocks <= report.kv_num_blocks
+        assert report.peak_batch <= 64  # default max_batch_size
+
+    def test_continuous_batching_actually_batches(self):
+        """Under a burst, multiple sequences share iterations."""
+        trace = [(i * 1e-4, 16, 8) for i in range(8)]
+        report = milo_engine().run(replay_workload(trace))
+        assert report.peak_batch > 1
+        # Batched decode takes far fewer iterations than serial would.
+        assert report.iterations < 8 * 9
+
+    def test_rejected_requests_are_reported(self):
+        # One block total: any request needing more is rejected up front.
+        engine = milo_engine(block_size=16, max_batch_size=4)
+        engine.block_manager.num_blocks = 1
+        report = engine.run(replay_workload([(0.0, 8, 4), (0.0, 64, 64)]))
+        assert report.completed == 1
+        assert report.rejected == 1
+        states = {r["request_id"]: r["state"] for r in report.requests}
+        assert states[0] == "finished" and states[1] == "rejected"
+
+    def test_report_schema(self):
+        report = milo_engine().run(replay_workload(TRACE)).to_dict()
+        expected_keys = {
+            "backend", "model", "device", "num_requests", "completed",
+            "rejected", "iterations", "sim_time_s", "sustained_qps",
+            "ttft_s", "tpot_s", "e2e_s", "batch", "kv_cache",
+            "completion_order", "requests",
+        }
+        assert set(report) == expected_keys
+        for summary in ("ttft_s", "tpot_s", "e2e_s"):
+            assert set(report[summary]) == {"p50", "p95", "mean", "max"}
+        assert set(report["kv_cache"]) == {"num_blocks", "block_size", "peak_used_blocks"}
+
+
+class TestBackendInteraction:
+    def test_gemv_backend_serves_but_slowly(self):
+        """GPTQ's batch-1 kernel completes the workload with far lower QPS."""
+        trace = [(i * 0.05, 16, 4) for i in range(6)]
+        gptq = ServingEngine(GPTQ3bitBackend(), "mixtral-8x7b").run(replay_workload(trace))
+        milo = milo_engine().run(replay_workload(trace))
+        assert gptq.completed == milo.completed == 6
+        assert gptq.sim_time_s > 2 * milo.sim_time_s
+
+    def test_iteration_latency_chunks_for_capped_kernels(self):
+        backend = GPTQ3bitBackend()
+        one = backend.iteration_latency(MIXTRAL, 1)
+        four = backend.iteration_latency(MIXTRAL, 4)
+        assert four.total == pytest.approx(4 * one.total, rel=1e-9)

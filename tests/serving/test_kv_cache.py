@@ -1,0 +1,89 @@
+"""Tests for the paged KV-cache block manager and its memory accounting."""
+
+import pytest
+
+from repro.models import FULL_MODEL_SPECS
+from repro.serving import BlockManager, KVCacheExhausted, blocks_for_budget, kv_block_bytes
+
+MIXTRAL = FULL_MODEL_SPECS["mixtral-8x7b"]
+
+
+class TestKVGeometry:
+    def test_mixtral_kv_bytes_per_token(self):
+        # 2 (K+V) * 32 layers * 8 kv heads * 128 head dim * 2 bytes = 128 KiB.
+        assert MIXTRAL.kv_bytes_per_token == 131072
+
+    def test_block_bytes_scale_with_block_size(self):
+        assert kv_block_bytes(MIXTRAL, 16) == 16 * MIXTRAL.kv_bytes_per_token
+        with pytest.raises(ValueError):
+            kv_block_bytes(MIXTRAL, 0)
+
+    def test_blocks_for_budget(self):
+        one_block_gb = kv_block_bytes(MIXTRAL, 16) / 1024**3
+        assert blocks_for_budget(MIXTRAL, 10 * one_block_gb, 16) == 10
+        assert blocks_for_budget(MIXTRAL, 0.0, 16) == 0
+        assert blocks_for_budget(MIXTRAL, -1.0, 16) == 0
+
+
+class TestBlockManager:
+    def test_blocks_needed_rounds_up(self):
+        mgr = BlockManager(num_blocks=10, block_size=16)
+        assert mgr.blocks_needed(1) == 1
+        assert mgr.blocks_needed(16) == 1
+        assert mgr.blocks_needed(17) == 2
+        with pytest.raises(ValueError):
+            mgr.blocks_needed(0)
+
+    def test_allocate_and_free_roundtrip(self):
+        mgr = BlockManager(num_blocks=10, block_size=16)
+        taken = mgr.allocate(seq_id=1, num_tokens=40)  # 3 blocks
+        assert taken == 3
+        assert mgr.used_blocks == 3 and mgr.free_blocks == 7
+        assert mgr.free(1) == 3
+        assert mgr.used_blocks == 0 and mgr.free_blocks == 10
+
+    def test_exhaustion_raises_typed_error(self):
+        mgr = BlockManager(num_blocks=2, block_size=16)
+        assert not mgr.can_allocate(33)
+        with pytest.raises(KVCacheExhausted):
+            mgr.allocate(seq_id=1, num_tokens=33)
+
+    def test_double_allocate_and_unknown_free_raise(self):
+        mgr = BlockManager(num_blocks=4, block_size=16)
+        mgr.allocate(seq_id=1, num_tokens=16)
+        with pytest.raises(KVCacheExhausted):
+            mgr.allocate(seq_id=1, num_tokens=16)
+        with pytest.raises(KVCacheExhausted):
+            mgr.free(2)
+
+    def test_leak_check(self):
+        mgr = BlockManager(num_blocks=4, block_size=16)
+        mgr.assert_no_leaks()
+        mgr.allocate(seq_id=7, num_tokens=16)
+        with pytest.raises(KVCacheExhausted, match="7"):
+            mgr.assert_no_leaks()
+        mgr.free(7)
+        mgr.assert_no_leaks()
+
+    def test_fits_at_all_vs_can_allocate(self):
+        mgr = BlockManager(num_blocks=4, block_size=16)
+        mgr.allocate(seq_id=1, num_tokens=48)  # 3 of 4 blocks
+        assert mgr.fits_at_all(32)      # an empty pool could hold it
+        assert not mgr.can_allocate(32)  # but not right now
+        assert not mgr.fits_at_all(80)  # 5 blocks can never fit
+
+    def test_max_sequences(self):
+        mgr = BlockManager(num_blocks=12, block_size=16)
+        assert mgr.max_sequences(48) == 4   # 3 blocks each
+        assert mgr.max_sequences(17) == 6   # 2 blocks each
+        assert mgr.max_sequences(1000) == 0
+
+    def test_many_sequences_conserve_pool(self):
+        mgr = BlockManager(num_blocks=100, block_size=8)
+        for i in range(20):
+            mgr.allocate(seq_id=i, num_tokens=8 * (1 + i % 3))
+        assert mgr.used_blocks + mgr.free_blocks == mgr.num_blocks
+        for i in range(20):
+            mgr.free(i)
+        assert mgr.free_blocks == 100
+        assert mgr.outstanding_sequences == 0

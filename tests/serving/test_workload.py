@@ -1,0 +1,75 @@
+"""Tests for the Poisson and replay workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.serving import poisson_workload, replay_workload
+
+
+class TestPoissonWorkload:
+    def test_same_seed_same_workload(self):
+        a = poisson_workload(50, qps=4.0, seed=9)
+        b = poisson_workload(50, qps=4.0, seed=9)
+        assert a == b  # Request is a frozen dataclass: exact field equality
+
+    def test_different_seeds_differ(self):
+        a = poisson_workload(50, qps=4.0, seed=1)
+        b = poisson_workload(50, qps=4.0, seed=2)
+        assert a != b
+
+    def test_arrivals_sorted_and_start_at_zero(self):
+        wl = poisson_workload(30, qps=10.0, seed=0)
+        arrivals = [r.arrival_time for r in wl]
+        assert arrivals[0] == 0.0
+        assert arrivals == sorted(arrivals)
+
+    def test_mean_interarrival_matches_qps(self):
+        wl = poisson_workload(3000, qps=5.0, seed=0)
+        arrivals = np.array([r.arrival_time for r in wl])
+        mean_gap = np.diff(arrivals).mean()
+        assert mean_gap == pytest.approx(1 / 5.0, rel=0.1)
+
+    def test_zero_jitter_gives_constant_lengths(self):
+        wl = poisson_workload(20, qps=1.0, seed=0, mean_prompt_tokens=64,
+                              mean_new_tokens=16, length_jitter=0.0)
+        assert {r.prompt_tokens for r in wl} == {64}
+        assert {r.max_new_tokens for r in wl} == {16}
+
+    def test_jittered_lengths_stay_positive_and_near_mean(self):
+        wl = poisson_workload(500, qps=1.0, seed=0, mean_prompt_tokens=32,
+                              mean_new_tokens=8, length_jitter=0.5)
+        prompts = np.array([r.prompt_tokens for r in wl])
+        assert prompts.min() >= 1
+        assert prompts.mean() == pytest.approx(32, rel=0.2)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_requests": 0, "qps": 1.0},
+            {"num_requests": 5, "qps": 0.0},
+            {"num_requests": 5, "qps": 1.0, "length_jitter": -0.1},
+            {"num_requests": 5, "qps": 1.0, "mean_prompt_tokens": 0},
+            {"num_requests": 5, "qps": 1.0, "mean_new_tokens": -4},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            poisson_workload(**kwargs)
+
+
+class TestReplayWorkload:
+    def test_builds_requests_in_arrival_order(self):
+        wl = replay_workload([(2.0, 8, 4), (0.0, 16, 2), (1.0, 4, 1)])
+        assert [r.arrival_time for r in wl] == [0.0, 1.0, 2.0]
+        # request_id reflects trace position, not arrival order.
+        assert [r.request_id for r in wl] == [1, 2, 0]
+
+    def test_field_conversion(self):
+        (req,) = replay_workload([(0.5, 8.0, 4.0)])
+        assert req.prompt_tokens == 8 and isinstance(req.prompt_tokens, int)
+        assert req.max_new_tokens == 4
+        assert req.arrival_time == 0.5
+
+    def test_invalid_rows_rejected(self):
+        with pytest.raises(ValueError):
+            replay_workload([(0.0, 0, 4)])

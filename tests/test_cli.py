@@ -1,10 +1,15 @@
-"""Tests for the command-line interface."""
+"""Tests for the command-line interface.
+
+Covers argument parsing (defaults and overrides for every subcommand) and
+golden output schemas: the JSON summaries printed by ``quantize`` and
+``serve`` and the table headers printed by ``evaluate`` and ``kernel``.
+"""
 
 import json
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import SERVE_BACKENDS, build_parser, main
 
 
 class TestParser:
@@ -12,15 +17,76 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_unknown_subcommand_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["deploy"])
+
     def test_quantize_defaults(self):
         args = build_parser().parse_args(["quantize"])
         assert args.model == "mixtral-mini"
         assert args.method == "milo"
         assert args.bits == 3
+        assert args.group_size == 64
+        assert args.compensator_bits == 3
+        assert args.seed == 0
 
     def test_strategy_flag(self):
         args = build_parser().parse_args(["quantize", "--strategy", "mixtral-s1"])
         assert args.strategy == "mixtral-s1"
+
+    def test_quantize_rejects_unknown_method(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["quantize", "--method", "awq"])
+
+    def test_evaluate_defaults(self):
+        args = build_parser().parse_args(["evaluate"])
+        assert args.eval_sequences == 16
+        assert args.eval_seq_len == 32
+        assert args.task_items == 96
+
+    def test_kernel_defaults(self):
+        args = build_parser().parse_args(["kernel"])
+        assert args.gemm_model == "mixtral-8x7b"
+        assert args.batch_sizes == [1, 16, 32]
+        assert args.asymmetric is False
+
+    def test_kernel_batch_sizes_override(self):
+        args = build_parser().parse_args(["kernel", "--batch-sizes", "1", "8", "64"])
+        assert args.batch_sizes == [1, 8, 64]
+
+
+class TestServeParser:
+    def test_serve_defaults_match_acceptance_workload(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.backend == "milo"
+        assert args.model == "mixtral-8x7b"
+        assert args.device == "a100-40gb"
+        assert args.qps == 8.0
+        assert args.requests == 200
+        assert args.seed == 0
+        assert args.block_size == 16
+        assert args.max_batch == 64
+        assert args.admission == "queue"
+        assert args.replay is None
+        assert args.per_request is False
+
+    @pytest.mark.parametrize("backend", SERVE_BACKENDS)
+    def test_all_serve_backends_parse(self, backend):
+        args = build_parser().parse_args(["serve", "--backend", backend])
+        assert args.backend == backend
+
+    def test_serve_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--backend", "tensorrt"])
+
+    def test_serve_rejects_mini_model_names(self):
+        # serve simulates full-size checkpoints, not the instantiable minis.
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--model", "tiny-moe"])
+
+    def test_serve_rejects_bad_admission(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--admission", "drop"])
 
 
 class TestCommands:
@@ -30,6 +96,15 @@ class TestCommands:
         summary = json.loads(capsys.readouterr().out)
         assert summary["method"] == "rtn"
         assert summary["memory_mb"] < summary["fp16_memory_mb"]
+
+    def test_quantize_json_schema(self, capsys):
+        code = main(["quantize", "--model", "tiny-moe", "--method", "rtn"])
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert set(summary) == {
+            "model", "method", "bits", "group_size", "memory_mb",
+            "fp16_memory_mb", "compression_ratio", "quant_time_s", "average_rank",
+        }
 
     def test_quantize_milo_with_ranks(self, capsys):
         code = main([
@@ -58,3 +133,114 @@ class TestCommands:
 
     def test_kernel_unknown_model(self, capsys):
         assert main(["kernel", "--gemm-model", "nope"]) == 2
+
+
+class TestServeCommand:
+    SUMMARY_KEYS = {
+        "backend", "model", "device", "num_requests", "completed", "rejected",
+        "iterations", "sim_time_s", "sustained_qps", "ttft_s", "tpot_s",
+        "e2e_s", "batch", "kv_cache",
+    }
+
+    def serve(self, capsys, *extra):
+        code = main([
+            "serve", "--backend", "milo", "--model", "mixtral-8x7b",
+            "--qps", "20", "--requests", "12", "--seed", "0", *extra,
+        ])
+        out = capsys.readouterr().out
+        return code, out
+
+    def test_serve_json_report_schema(self, capsys):
+        code, out = self.serve(capsys)
+        assert code == 0
+        report = json.loads(out)
+        assert set(report) == self.SUMMARY_KEYS
+        for block in ("ttft_s", "tpot_s", "e2e_s"):
+            assert set(report[block]) == {"p50", "p95", "mean", "max"}
+        assert report["completed"] == 12
+        assert report["sustained_qps"] > 0
+
+    def test_serve_is_deterministic_for_fixed_seed(self, capsys):
+        _, first = self.serve(capsys)
+        _, second = self.serve(capsys)
+        assert first == second  # byte-identical JSON
+
+    def test_serve_per_request_records(self, capsys):
+        code, out = self.serve(capsys, "--per-request")
+        assert code == 0
+        report = json.loads(out)
+        assert set(report) == self.SUMMARY_KEYS | {"requests", "completion_order"}
+        assert len(report["requests"]) == 12
+        assert set(report["requests"][0]) == {
+            "request_id", "state", "arrival_s", "prompt_tokens",
+            "new_tokens", "ttft_s", "tpot_s", "e2e_s",
+        }
+
+    def test_serve_fp16_mixtral_reports_oom(self, capsys):
+        code = main(["serve", "--backend", "fp16", "--model", "mixtral-8x7b",
+                     "--requests", "5"])
+        assert code == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["error"] == "out-of-memory"
+        assert report["required_gb"] > report["available_gb"] == 40.0
+
+    def test_serve_replay_trace(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        trace.write_text(json.dumps([[0.0, 16, 4], [0.01, 8, 2]]))
+        code = main(["serve", "--replay", str(trace), "--per-request"])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["num_requests"] == 2
+        assert report["completion_order"] == [1, 0]
+
+    def test_serve_output_file(self, capsys, tmp_path):
+        out_file = tmp_path / "report.json"
+        code, out = self.serve(capsys, "--output", str(out_file))
+        assert code == 0
+        assert json.loads(out_file.read_text()) == json.loads(out)
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["serve", "--qps", "0"],
+            ["serve", "--requests", "0"],
+            ["serve", "--prompt-tokens", "0"],
+            ["serve", "--length-jitter", "-1"],
+        ],
+    )
+    def test_serve_invalid_workload_exits_cleanly(self, capsys, argv):
+        assert main(argv) == 2
+        captured = capsys.readouterr()
+        assert "invalid workload" in captured.err
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["serve", "--max-batch", "0"],
+            ["serve", "--block-size", "0"],
+            ["serve", "--reserve-gb", "-1"],
+        ],
+    )
+    def test_serve_invalid_config_exits_cleanly(self, capsys, argv):
+        assert main(argv) == 2
+        assert "invalid serving config" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("payload", ["not json", "[[0, 10, null]]", "42"])
+    def test_serve_malformed_replay_exits_cleanly(self, capsys, tmp_path, payload):
+        trace = tmp_path / "trace.json"
+        trace.write_text(payload)
+        assert main(["serve", "--replay", str(trace)]) == 2
+        assert "invalid workload" in capsys.readouterr().err
+
+    def test_serve_all_rejected_report_is_valid_json(self, capsys):
+        """Zero completions must serialize as null, not the invalid-JSON NaN."""
+        code = main([
+            "serve", "--backend", "milo", "--model", "mixtral-8x7b",
+            "--requests", "3", "--prompt-tokens", "2000000",
+            "--length-jitter", "0",
+        ])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)  # strict parser
+        assert report["completed"] == 0 and report["rejected"] == 3
+        assert report["ttft_s"]["p50"] is None
+        assert report["sustained_qps"] == 0.0
