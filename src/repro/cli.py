@@ -38,6 +38,7 @@ __all__ = ["main", "build_parser"]
 #: Serving backends selectable from the command line, keyed by CLI name.
 SERVE_BACKENDS = ("milo", "fp16", "gptq3bit", "marlin")
 SERVE_DEVICES = {"a100-40gb": A100_40GB, "a100-80gb": A100_80GB}
+SERVE_KV_POLICIES = ("reserve", "ondemand")
 
 
 def _make_policy(args: argparse.Namespace, config) -> object | None:
@@ -161,7 +162,14 @@ def _make_serve_backend(name: str, device_name: str):
 
 def cmd_serve(args: argparse.Namespace) -> int:
     from .runtime.backends import OutOfMemoryError
-    from .serving import EngineConfig, ServingEngine, poisson_workload, replay_workload
+    from .serving import (
+        EngineConfig,
+        ServingEngine,
+        TraceSchemaError,
+        load_trace,
+        poisson_workload,
+        replay_workload,
+    )
 
     backend = _make_serve_backend(args.backend, args.device)
     try:
@@ -170,6 +178,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             max_batch_size=args.max_batch,
             admission=args.admission,
             reserve_gb=args.reserve_gb,
+            kv_policy=args.kv_policy,
+            prefill_chunk=args.prefill_chunk,
         )
     except ValueError as exc:
         print(f"invalid serving config: {exc}", file=sys.stderr)
@@ -192,7 +202,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
         )
         return 1
     try:
-        if args.replay:
+        if args.trace:
+            try:
+                workload = load_trace(args.trace)
+            except (OSError, TraceSchemaError) as exc:
+                print(f"invalid trace: {exc}", file=sys.stderr)
+                return 2
+        elif args.replay:
             with open(args.replay) as fh:
                 workload = replay_workload(json.load(fh))
         else:
@@ -269,7 +285,27 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--max-batch", type=int, default=64)
     s.add_argument("--admission", default="queue", choices=["queue", "reject"])
     s.add_argument("--reserve-gb", type=float, default=1.0)
-    s.add_argument("--replay", default=None, help="JSON trace of [arrival, prompt, decode] rows")
+    s.add_argument(
+        "--kv-policy",
+        default="reserve",
+        choices=sorted(SERVE_KV_POLICIES),
+        help="KV allocation: full-extent reservation or on-demand growth with preemption",
+    )
+    s.add_argument(
+        "--prefill-chunk",
+        type=int,
+        default=None,
+        help="feed at most N prompt tokens per iteration (Sarathi-style chunked prefill)",
+    )
+    workload_source = s.add_mutually_exclusive_group()
+    workload_source.add_argument(
+        "--replay", default=None, help="JSON trace of [arrival, prompt, decode[, priority]] rows"
+    )
+    workload_source.add_argument(
+        "--trace",
+        default=None,
+        help="JSONL trace file of {arrival, prompt, max_new_tokens, priority?} records",
+    )
     s.add_argument("--per-request", action="store_true", help="include per-request records")
     s.add_argument("--output", default=None, help="also write the JSON report to a file")
     s.set_defaults(func=cmd_serve)

@@ -293,13 +293,20 @@ class MiLoBackend(InferenceBackend):
         )
 
 
-def default_backend_lineup(spec_name: str = "mixtral-8x7b") -> dict[str, InferenceBackend]:
-    """The Table 7 backend line-up for a given full-size model."""
+def default_backend_lineup(
+    spec_name: str = "mixtral-8x7b", device: DeviceSpec = A100_40GB
+) -> dict[str, InferenceBackend]:
+    """The Table 7 backend line-up for a given full-size model.
+
+    ``device`` selects the modeled GPU for every backend in the line-up (the
+    paper's Table 7 uses the 40 GB A100; serving and benchmarks can swap in
+    e.g. ``A100_80GB`` to study budgets where FP16 fits).
+    """
     if spec_name not in FULL_MODEL_SPECS:
         raise KeyError(f"unknown full model spec {spec_name!r}")
     return {
-        "PyTorch": PyTorchFP16Backend(),
-        "GPTQ3bit Backend": GPTQ3bitBackend(),
-        "MARLIN Backend": MarlinBackend(serve_asymmetric_model=True),
-        "MiLo Backend": MiLoBackend(),
+        "PyTorch": PyTorchFP16Backend(device=device),
+        "GPTQ3bit Backend": GPTQ3bitBackend(device=device),
+        "MARLIN Backend": MarlinBackend(serve_asymmetric_model=True, device=device),
+        "MiLo Backend": MiLoBackend(device=device),
     }

@@ -4,34 +4,69 @@ The paper's end-to-end evaluation stops at the latency of one decode step
 per backend and batch size; this package turns those step latencies into a
 request-level serving system so memory savings can be read as *serving
 capacity*: a continuous-batching scheduler (iteration-level batching à la
-Orca), a paged KV-cache block manager with reservation-based admission
-control over the backend's leftover VRAM, and a deterministic discrete-event
-clock whose service times are exactly the backends'
-:meth:`~repro.runtime.backends.InferenceBackend.iteration_latency`.
+Orca), a paged KV-cache block pool over the backend's leftover VRAM, and a
+deterministic discrete-event clock whose service times are exactly the
+backends' :meth:`~repro.runtime.backends.InferenceBackend.iteration_latency`.
+
+Memory and scheduling decisions are *policies*, not hard-wired behavior:
+
+* :class:`AllocationPolicy` decides when KV blocks are taken from the
+  physical :class:`BlockManager` pool.  :class:`ReservationPolicy` (default)
+  reserves a request's full ``prompt + max_new_tokens`` extent before
+  admission — deterministic, never exhausts mid-decode.
+  :class:`OnDemandPolicy` allocates blocks as tokens are written
+  (vLLM-style), packing strictly more concurrent sequences into the same
+  pool; on exhaustion the scheduler preempts the lowest-precedence running
+  sequence, frees its blocks and requeues it for recompute-on-resume.
+* :class:`SchedulingPolicy` decides who goes first: admission order
+  (strict priority, FIFO within a class), batch formation, and
+  preemption-victim selection (:class:`FifoPriorityPolicy` is the default).
+* Sarathi-style chunked prefill (``EngineConfig.prefill_chunk``) feeds at
+  most N prompt tokens per iteration, piggybacked with decode tokens, so a
+  long prompt does not stall the whole batch.
 
 Modules
 -------
 ``request``
-    :class:`Request` / :class:`Sequence` lifecycle and per-request metrics
+    :class:`Request` / :class:`Sequence` lifecycle (including the
+    ``PREEMPTED`` state and recompute-on-resume) and per-request metrics
     (TTFT, TPOT, end-to-end latency).
 ``kv_cache``
-    Paged :class:`BlockManager` over the VRAM the quantized weights leave
-    free.
+    Physical paged :class:`BlockManager` pool plus the
+    :class:`AllocationPolicy` implementations over the VRAM the quantized
+    weights leave free.
 ``scheduler``
-    :class:`ContinuousBatchingScheduler` — strict priority, FIFO within a
-    class, no starvation, batch bounded by KV capacity.
+    :class:`ContinuousBatchingScheduler` — composes an allocation policy
+    with a :class:`SchedulingPolicy`; strict priority, FIFO within a class,
+    no starvation, batch bounded by KV capacity, deficit-driven preemption.
 ``engine``
     :class:`ServingEngine` — the discrete-event loop and the
-    :class:`ServingReport` with p50/p95 TTFT, TPOT and sustained QPS.
+    :class:`ServingReport` with p50/p95 TTFT, TPOT, sustained QPS,
+    preemption/recompute counters and peak KV utilization.
 ``workload``
-    Seeded Poisson and replay-trace workload generators.
+    Seeded Poisson, replay-trace and JSONL trace-file workload loaders.
 """
 
 from .engine import EngineConfig, ServingEngine, ServingReport
-from .kv_cache import BlockManager, KVCacheExhausted, blocks_for_budget, kv_block_bytes
+from .kv_cache import (
+    ALLOCATION_POLICIES,
+    AllocationPolicy,
+    BlockManager,
+    KVCacheExhausted,
+    OnDemandPolicy,
+    ReservationPolicy,
+    blocks_for_budget,
+    kv_block_bytes,
+    make_allocation_policy,
+)
 from .request import Request, RequestState, Sequence
-from .scheduler import ContinuousBatchingScheduler, SchedulerConfig
-from .workload import poisson_workload, replay_workload
+from .scheduler import (
+    ContinuousBatchingScheduler,
+    FifoPriorityPolicy,
+    SchedulerConfig,
+    SchedulingPolicy,
+)
+from .workload import TraceSchemaError, load_trace, poisson_workload, replay_workload
 
 __all__ = [
     "Request",
@@ -39,13 +74,22 @@ __all__ = [
     "Sequence",
     "BlockManager",
     "KVCacheExhausted",
+    "AllocationPolicy",
+    "ReservationPolicy",
+    "OnDemandPolicy",
+    "ALLOCATION_POLICIES",
+    "make_allocation_policy",
     "kv_block_bytes",
     "blocks_for_budget",
     "ContinuousBatchingScheduler",
+    "SchedulingPolicy",
+    "FifoPriorityPolicy",
     "SchedulerConfig",
     "EngineConfig",
     "ServingEngine",
     "ServingReport",
     "poisson_workload",
     "replay_workload",
+    "load_trace",
+    "TraceSchemaError",
 ]

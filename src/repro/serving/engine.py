@@ -10,13 +10,14 @@ under a given arrival process.
 How the clock maps to Table 7
 -----------------------------
 The engine holds one simulated clock (seconds).  At every iteration boundary
-it forms a batch (admitting queued requests, evicting finished ones), counts
-the token rows the batch contributes — a prefilling request contributes its
-whole prompt, a decoding request contributes one token — and advances the
-clock by ``backend.iteration_latency(spec, tokens).total``.  For a pure
-decode batch of ``B`` sequences that quantity *is* the Table 7 cell for
-batch size ``B``; prefill iterations and kernels with a batch cap (GPTQ's
-GeMV) reuse the same model through the chunked
+it forms a batch (securing KV capacity for running sequences, admitting
+queued requests, evicting finished ones), counts the token rows the batch
+contributes — a prefilling request contributes its whole prompt (or at most
+``prefill_chunk`` of it), a decoding request contributes one token — and
+advances the clock by ``backend.iteration_latency(spec, tokens).total``.
+For a pure decode batch of ``B`` sequences that quantity *is* the Table 7
+cell for batch size ``B``; prefill iterations and kernels with a batch cap
+(GPTQ's GeMV) reuse the same model through the chunked
 :meth:`~repro.runtime.backends.InferenceBackend.iteration_latency`.  Nothing
 reads wall time, so a (backend, workload, config) triple always reproduces
 the identical report bit for bit.
@@ -29,9 +30,16 @@ checkpoint leaves free (:meth:`~repro.runtime.backends.InferenceBackend.free_mem
 :class:`~repro.runtime.backends.OutOfMemoryError` if the weights alone do
 not fit, exactly like Table 7's PyTorch-FP16 row), reserves a fixed
 activation headroom, and turns the remainder into a paged KV block pool.
-Admission control therefore flows from the same memory accounting as the
-paper's "20.5 GB vs ~90 GB" story: quantized weights leave more blocks,
-more blocks sustain a larger concurrent batch.
+*How* that pool is spent is a pluggable
+:class:`~repro.serving.kv_cache.AllocationPolicy` (``kv_policy``):
+``"reserve"`` (default) reserves each request's full decoded extent up
+front, ``"ondemand"`` allocates blocks as tokens are written and preempts
+the lowest-precedence running sequence when the pool runs dry
+(recompute-on-resume).  Either way admission flows from the same memory
+accounting as the paper's "20.5 GB vs ~90 GB" story: quantized weights
+leave more blocks, more blocks sustain a larger concurrent batch — and the
+on-demand policy converts the *unwritten* tail of every reservation into
+additional concurrency on top of that.
 """
 
 from __future__ import annotations
@@ -42,9 +50,9 @@ from typing import Iterable
 from ..models.registry import FULL_MODEL_SPECS, FullModelSpec
 from ..runtime.backends import InferenceBackend, OutOfMemoryError
 from ..eval.reporting import summarize_latencies
-from .kv_cache import BlockManager, blocks_for_budget
+from .kv_cache import ALLOCATION_POLICIES, BlockManager, blocks_for_budget, make_allocation_policy
 from .request import Request, Sequence
-from .scheduler import ContinuousBatchingScheduler, SchedulerConfig
+from .scheduler import ContinuousBatchingScheduler, FifoPriorityPolicy, SchedulerConfig
 
 __all__ = ["EngineConfig", "ServingReport", "ServingEngine"]
 
@@ -61,6 +69,12 @@ class EngineConfig:
     admission: str = "queue"
     #: VRAM held back for activations / workspace, in GB.
     reserve_gb: float = 1.0
+    #: KV allocation policy: ``"reserve"`` (full-extent reservation, PR 1
+    #: default) or ``"ondemand"`` (vLLM-style growth with preemption).
+    kv_policy: str = "reserve"
+    #: Sarathi-style chunked prefill: feed at most this many prompt tokens
+    #: per iteration; ``None`` processes the whole prompt in one iteration.
+    prefill_chunk: int | None = None
 
     def __post_init__(self) -> None:
         if self.block_size <= 0:
@@ -71,6 +85,12 @@ class EngineConfig:
             raise ValueError("max_batch_size must be positive")
         if self.admission not in ("queue", "reject"):
             raise ValueError(f"admission must be 'queue' or 'reject', got {self.admission!r}")
+        if self.kv_policy not in ALLOCATION_POLICIES:
+            raise ValueError(
+                f"kv_policy must be one of {sorted(ALLOCATION_POLICIES)}, got {self.kv_policy!r}"
+            )
+        if self.prefill_chunk is not None and self.prefill_chunk <= 0:
+            raise ValueError("prefill_chunk must be positive (or None to disable)")
 
 
 @dataclass
@@ -80,10 +100,14 @@ class ServingReport:
     backend: str
     model: str
     device: str
+    kv_policy: str
+    scheduling_policy: str
     num_requests: int
     completed: int
     rejected: int
     iterations: int
+    preemptions: int
+    recomputed_tokens: int
     sim_time_s: float
     sustained_qps: float
     ttft: dict[str, float]
@@ -94,6 +118,7 @@ class ServingReport:
     kv_num_blocks: int
     kv_block_size: int
     kv_peak_used_blocks: int
+    kv_utilization_peak: float
     completion_order: list[int]
     requests: list[dict]
 
@@ -103,10 +128,13 @@ class ServingReport:
             "backend": self.backend,
             "model": self.model,
             "device": self.device,
+            "policy": {"kv": self.kv_policy, "scheduler": self.scheduling_policy},
             "num_requests": self.num_requests,
             "completed": self.completed,
             "rejected": self.rejected,
             "iterations": self.iterations,
+            "preemptions": self.preemptions,
+            "recomputed_tokens": self.recomputed_tokens,
             "sim_time_s": self.sim_time_s,
             "sustained_qps": self.sustained_qps,
             "ttft_s": dict(self.ttft),
@@ -118,6 +146,7 @@ class ServingReport:
                 "block_size": self.kv_block_size,
                 "peak_used_blocks": self.kv_peak_used_blocks,
             },
+            "kv_utilization_peak": self.kv_utilization_peak,
             "completion_order": list(self.completion_order),
             "requests": [dict(r) for r in self.requests],
         }
@@ -155,23 +184,34 @@ class ServingEngine:
 
     # -- capacity ----------------------------------------------------------------
     def max_batch_size(self, tokens_per_sequence: int) -> int:
-        """Max concurrent sequences of a given total length this engine sustains."""
+        """Max concurrent sequences of a given total length this engine sustains.
+
+        Sized for the reservation policy (each sequence pinning its full
+        extent); the on-demand policy packs at least this many.
+        """
         return min(
             self.config.max_batch_size,
             self.block_manager.max_sequences(tokens_per_sequence),
+        )
+
+    def make_scheduler(self) -> ContinuousBatchingScheduler:
+        """Build the scheduler/policy stack for one run over this engine's pool."""
+        return ContinuousBatchingScheduler(
+            self.block_manager,
+            SchedulerConfig(
+                max_batch_size=self.config.max_batch_size,
+                admission=self.config.admission,
+                prefill_chunk=self.config.prefill_chunk,
+            ),
+            allocation=make_allocation_policy(self.config.kv_policy, self.block_manager),
+            policy=FifoPriorityPolicy(),
         )
 
     # -- simulation --------------------------------------------------------------
     def run(self, requests: Iterable[Request]) -> ServingReport:
         """Serve ``requests`` to completion and report client-visible metrics."""
         pending = sorted(requests, key=lambda r: (r.arrival_time, r.request_id))
-        scheduler = ContinuousBatchingScheduler(
-            self.block_manager,
-            SchedulerConfig(
-                max_batch_size=self.config.max_batch_size,
-                admission=self.config.admission,
-            ),
-        )
+        scheduler = self.make_scheduler()
         clock = 0.0
         next_arrival = 0
         iterations = 0
@@ -184,6 +224,10 @@ class ServingEngine:
             while next_arrival < len(pending) and pending[next_arrival].arrival_time <= clock:
                 scheduler.add_request(pending[next_arrival])
                 next_arrival += 1
+            # Running sequences secure the blocks their next token needs
+            # (preempting the low-precedence tail if the pool is dry) before
+            # any queued request may claim free blocks.
+            scheduler.ensure_capacity()
             scheduler.admit(clock)
             if not scheduler.running:
                 if next_arrival < len(pending):
@@ -204,7 +248,7 @@ class ServingEngine:
             peak_used_blocks = max(peak_used_blocks, self.block_manager.used_blocks)
 
             for seq in scheduler.running:
-                seq.advance(clock)
+                seq.advance(clock, scheduler.config.prefill_chunk)
             scheduler.evict_finished()
 
         self.block_manager.assert_no_leaks()
@@ -253,10 +297,14 @@ class ServingEngine:
             backend=self.backend.name,
             model=self.spec.name,
             device=self.backend.device.name,
+            kv_policy=scheduler.allocation.name,
+            scheduling_policy=scheduler.policy.name,
             num_requests=len(all_seqs),
             completed=len(finished),
             rejected=len(scheduler.rejected),
             iterations=iterations,
+            preemptions=scheduler.preemptions,
+            recomputed_tokens=scheduler.recomputed_tokens,
             sim_time_s=clock,
             sustained_qps=qps,
             ttft=summarize_latencies(ttfts),
@@ -267,6 +315,11 @@ class ServingEngine:
             kv_num_blocks=self.block_manager.num_blocks,
             kv_block_size=self.block_manager.block_size,
             kv_peak_used_blocks=peak_used_blocks,
+            kv_utilization_peak=(
+                peak_used_blocks / self.block_manager.num_blocks
+                if self.block_manager.num_blocks
+                else 0.0
+            ),
             completion_order=[s.request.request_id for s in finished],
             requests=records,
         )

@@ -1,4 +1,4 @@
-"""Paged KV-cache block manager for the serving engine.
+"""Paged KV-cache: physical block pool + pluggable allocation policies.
 
 The serving engine partitions the VRAM left over after the model weights
 (:meth:`repro.runtime.backends.InferenceBackend.free_memory_gb`, which raises
@@ -6,15 +6,25 @@ the shared :class:`~repro.runtime.backends.OutOfMemoryError` when the weights
 alone do not fit) into fixed-size *blocks* of ``block_size`` tokens of KV
 state, vLLM-style.  A sequence holds ``ceil(tokens / block_size)`` blocks.
 
-Admission is **reservation-based**: the scheduler reserves blocks for a
-request's full ``prompt + max_new_tokens`` extent before admitting it, so a
-running sequence can never hit an out-of-blocks condition mid-decode.  That
-is deliberately more conservative than on-demand growth (it trades a little
-capacity for determinism and a trivially-checkable "batch never exceeds KV
-capacity" invariant), and it is exactly the quantity the paper's memory story
-improves: a 3-bit MiLo checkpoint leaves ~2x more free VRAM on a 40 GB A100
-than a 16-bit one, which shows up here as a proportionally larger block pool
-and therefore a larger sustainable batch.
+Two layers live here:
+
+* :class:`BlockManager` — the **physical pool**: pure block accounting
+  (allocate / grow / free / leak checks) with no opinion about *when* blocks
+  are taken.
+* :class:`AllocationPolicy` — the **decision layer** the scheduler talks to.
+  :class:`ReservationPolicy` reserves a request's full ``prompt +
+  max_new_tokens`` extent before admitting it, so a running sequence can
+  never hit an out-of-blocks condition mid-decode (deterministic, trivially
+  checkable, the PR 1 default).  :class:`OnDemandPolicy` allocates blocks
+  only as KV state is actually written, which packs strictly more concurrent
+  sequences into the same pool — the vLLM tradeoff — at the price of
+  mid-decode exhaustion, which the scheduler resolves by preempting the
+  lowest-precedence running sequence (recompute-on-resume).
+
+Either way, the pool is the quantity the paper's memory story improves: a
+3-bit MiLo checkpoint leaves ~2x more free VRAM on a 40 GB A100 than a
+16-bit one, which shows up here as a proportionally larger block pool and
+therefore a larger sustainable batch.
 
 Per-token KV footprint comes from
 :attr:`repro.models.registry.FullModelSpec.kv_bytes_per_token`.
@@ -22,11 +32,23 @@ Per-token KV footprint comes from
 
 from __future__ import annotations
 
+import abc
 from dataclasses import dataclass, field
 
 from ..models.registry import FullModelSpec
+from .request import Request, Sequence
 
-__all__ = ["KVCacheExhausted", "BlockManager", "kv_block_bytes", "blocks_for_budget"]
+__all__ = [
+    "KVCacheExhausted",
+    "BlockManager",
+    "AllocationPolicy",
+    "ReservationPolicy",
+    "OnDemandPolicy",
+    "ALLOCATION_POLICIES",
+    "make_allocation_policy",
+    "kv_block_bytes",
+    "blocks_for_budget",
+]
 
 _GB = 1024**3
 
@@ -61,7 +83,7 @@ class BlockManager:
 
     Only counts are tracked (no block-id free lists): the simulator never
     reads cache contents, so identity of blocks does not matter, while the
-    counts preserve the alloc/free/leak semantics the tests assert.
+    counts preserve the alloc/grow/free/leak semantics the tests assert.
     """
 
     num_blocks: int
@@ -94,6 +116,10 @@ class BlockManager:
         """Sequences currently holding blocks (0 after a clean engine run)."""
         return len(self._allocated)
 
+    def blocks_held(self, seq_id: int) -> int:
+        """Blocks currently held by a sequence (0 if it holds none)."""
+        return self._allocated.get(seq_id, 0)
+
     def can_allocate(self, num_tokens: int) -> bool:
         return self.blocks_needed(num_tokens) <= self.free_blocks
 
@@ -120,6 +146,20 @@ class BlockManager:
         self._allocated[seq_id] = needed
         return needed
 
+    def grow(self, seq_id: int, num_blocks: int) -> int:
+        """Append blocks to an existing allocation (on-demand growth)."""
+        if seq_id not in self._allocated:
+            raise KVCacheExhausted(f"sequence {seq_id} holds no blocks to grow")
+        if num_blocks <= 0:
+            raise ValueError("num_blocks must be positive")
+        if num_blocks > self.free_blocks:
+            raise KVCacheExhausted(
+                f"need {num_blocks} more blocks for sequence {seq_id} but only "
+                f"{self.free_blocks}/{self.num_blocks} are free"
+            )
+        self._allocated[seq_id] += num_blocks
+        return self._allocated[seq_id]
+
     def free(self, seq_id: int) -> int:
         """Release a sequence's blocks; returns blocks returned to the pool."""
         if seq_id not in self._allocated:
@@ -131,3 +171,124 @@ class BlockManager:
         if self._allocated:
             held = ", ".join(str(s) for s in sorted(self._allocated))
             raise KVCacheExhausted(f"KV blocks leaked by sequences: {held}")
+
+
+class AllocationPolicy(abc.ABC):
+    """Decides when KV blocks are taken from / returned to the physical pool.
+
+    The scheduler consults the policy at three points: request intake
+    (:meth:`fits_at_all`), admission (:meth:`can_admit` / :meth:`admit`) and
+    every iteration boundary (:meth:`blocks_deficit` / :meth:`grow`, which
+    only the on-demand policy exercises).  :meth:`release` returns a
+    sequence's blocks on finish *or* preemption.
+    """
+
+    #: Name surfaced in the serving report and on the CLI.
+    name: str = "abstract"
+    #: Whether sequences may need per-iteration growth (enables the
+    #: scheduler's ensure-capacity/preemption path).
+    grows: bool = False
+
+    def __init__(self, pool: BlockManager) -> None:
+        self.pool = pool
+
+    def fits_at_all(self, request: Request) -> bool:
+        """Whether the request could ever complete, even alone in the pool.
+
+        Both policies need the full decoded extent to fit an empty pool — a
+        request that cannot finish solo can never finish at all.
+        """
+        return self.pool.fits_at_all(request.total_tokens)
+
+    @abc.abstractmethod
+    def can_admit(self, seq: Sequence) -> bool:
+        """Whether the pool currently has room to admit the sequence."""
+
+    @abc.abstractmethod
+    def admit(self, seq: Sequence) -> int:
+        """Allocate the sequence's admission-time blocks; returns blocks taken."""
+
+    def blocks_deficit(self, seq: Sequence, prefill_chunk: int | None = None) -> int:
+        """Extra blocks the sequence needs before its next iteration (0 here)."""
+        return 0
+
+    def grow(self, seq: Sequence, num_blocks: int) -> int:
+        """Append blocks for a running sequence (on-demand only)."""
+        raise KVCacheExhausted(f"{self.name} policy never grows allocations")
+
+    def release(self, seq: Sequence) -> int:
+        """Return all of a sequence's blocks to the pool."""
+        return self.pool.free(seq.request.request_id)
+
+
+class ReservationPolicy(AllocationPolicy):
+    """PR 1 semantics: reserve the full decoded extent before admission.
+
+    A running sequence can never exhaust the pool mid-decode, so the batch
+    never shrinks involuntarily and replay is trivially deterministic — at
+    the cost of holding ``max_new_tokens`` worth of blocks that are mostly
+    unwritten.
+    """
+
+    name = "reserve"
+    grows = False
+
+    def can_admit(self, seq: Sequence) -> bool:
+        return self.pool.can_allocate(seq.request.total_tokens)
+
+    def admit(self, seq: Sequence) -> int:
+        return self.pool.allocate(seq.request.request_id, seq.request.total_tokens)
+
+
+class OnDemandPolicy(AllocationPolicy):
+    """vLLM-style growth: allocate blocks as KV state is actually written.
+
+    Admission takes blocks for the sequence's prefill extent plus one decode
+    token; every later appended token grows the allocation one block at a
+    time as it crosses block boundaries.  When the pool runs dry the
+    *scheduler* preempts the lowest-precedence running sequence (this policy
+    only reports the deficit), frees its blocks, and requeues it for
+    recompute-on-resume.
+    """
+
+    name = "ondemand"
+    grows = True
+
+    def _admission_tokens(self, seq: Sequence) -> int:
+        # Prefill extent (prompt, plus recomputed tokens when resuming) + the
+        # first appended token, so a fresh admission never deficits mid-prefill.
+        return seq.prefill_extent + 1
+
+    def can_admit(self, seq: Sequence) -> bool:
+        return self.pool.can_allocate(self._admission_tokens(seq))
+
+    def admit(self, seq: Sequence) -> int:
+        return self.pool.allocate(seq.request.request_id, self._admission_tokens(seq))
+
+    def blocks_deficit(self, seq: Sequence, prefill_chunk: int | None = None) -> int:
+        if not seq.emits_token_this_iteration(prefill_chunk):
+            return 0  # mid-prefill chunks stay within the admission allocation
+        tokens_after = seq.request.prompt_tokens + seq.generated_tokens + 1
+        needed = self.pool.blocks_needed(tokens_after)
+        return max(0, needed - self.pool.blocks_held(seq.request.request_id))
+
+    def grow(self, seq: Sequence, num_blocks: int) -> int:
+        return self.pool.grow(seq.request.request_id, num_blocks)
+
+
+#: CLI-selectable allocation policies, keyed by report/CLI name.
+ALLOCATION_POLICIES: dict[str, type[AllocationPolicy]] = {
+    ReservationPolicy.name: ReservationPolicy,
+    OnDemandPolicy.name: OnDemandPolicy,
+}
+
+
+def make_allocation_policy(name: str, pool: BlockManager) -> AllocationPolicy:
+    """Instantiate a named allocation policy over a physical block pool."""
+    try:
+        policy_cls = ALLOCATION_POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown KV allocation policy {name!r}; known: {sorted(ALLOCATION_POLICIES)}"
+        ) from None
+    return policy_cls(pool)

@@ -2,16 +2,25 @@
 
 A :class:`Request` is what a client submits: an arrival time, a prompt length,
 a decode budget, and an optional priority class.  The engine wraps each
-admitted request in a :class:`Sequence`, which tracks the two phases of its
+admitted request in a :class:`Sequence`, which tracks the phases of its
 lifetime on the simulated device:
 
-* **prefill** — the whole prompt is processed in one continuous-batching
-  iteration (Orca-style iteration-level scheduling); the iteration that
-  finishes prefill also emits the first output token, which defines the
-  request's TTFT (time to first token);
+* **prefill** — the prompt is processed over one or more continuous-batching
+  iterations.  By default the whole prompt is fed in a single iteration
+  (Orca-style); with chunked prefill (Sarathi-style, ``prefill_chunk``) at
+  most ``chunk`` prompt tokens are fed per iteration, piggybacked with the
+  decode tokens of other sequences.  The iteration that finishes prefill also
+  emits the first output token, which defines the request's TTFT (time to
+  first token);
 * **decode** — each subsequent iteration the sequence participates in emits
   one token, until ``max_new_tokens`` have been produced; the average gap
-  between those tokens is the TPOT (time per output token).
+  between those tokens is the TPOT (time per output token);
+* **preempted** (on-demand allocation only) — the scheduler reclaimed the
+  sequence's KV blocks to let a higher-precedence sequence grow.  The
+  sequence is requeued and, on re-admission, *recomputes*: its prefill extent
+  becomes ``prompt + tokens generated so far`` (the already-delivered tokens
+  are re-prefilled, vLLM's recompute-on-resume), after which decode continues
+  from where it left off.  TTFT keeps the original first delivery.
 
 All timestamps are in simulated seconds on the discrete-event clock of
 :class:`repro.serving.engine.ServingEngine`; nothing here reads wall time.
@@ -30,6 +39,7 @@ class RequestState(enum.Enum):
 
     QUEUED = "queued"        # waiting for admission (KV blocks / batch slot)
     RUNNING = "running"      # member of the current continuous batch
+    PREEMPTED = "preempted"  # KV blocks reclaimed; awaiting requeue
     FINISHED = "finished"    # produced all of its tokens
     REJECTED = "rejected"    # admission control refused it
 
@@ -67,10 +77,18 @@ class Sequence:
     request: Request
     state: RequestState = RequestState.QUEUED
     #: Order in which the scheduler first saw the request (dense, per engine
-    #: run); ties on priority are broken by this, making admission FIFO.
+    #: run); ties on priority are broken by this, making admission FIFO.  A
+    #: preempted sequence keeps its index, so it rejoins the queue ahead of
+    #: every later arrival of its priority class (no starvation by churn).
     enqueue_index: int = 0
     prefill_done: bool = False
+    #: Prompt tokens fed so far in the current (re-)prefill pass.
+    prefill_progress: int = 0
+    #: Generated tokens folded into the prefill extent by recompute-on-resume.
+    recompute_base: int = 0
     generated_tokens: int = 0
+    #: Times this sequence was preempted (on-demand allocation only).
+    preemptions: int = 0
     admission_time: float | None = None
     first_token_time: float | None = None
     finish_time: float | None = None
@@ -84,19 +102,50 @@ class Sequence:
     def is_finished(self) -> bool:
         return self.state is RequestState.FINISHED
 
-    def tokens_this_iteration(self) -> int:
+    @property
+    def prefill_extent(self) -> int:
+        """Tokens the current prefill pass must process before decode.
+
+        The prompt for a fresh sequence; ``prompt + generated-so-far`` for a
+        sequence resuming from preemption (recompute).
+        """
+        return self.request.prompt_tokens + self.recompute_base
+
+    @property
+    def remaining_prefill(self) -> int:
+        return max(0, self.prefill_extent - self.prefill_progress)
+
+    def tokens_this_iteration(self, prefill_chunk: int | None = None) -> int:
         """Token rows this sequence contributes to the next iteration's GEMMs."""
         if self.state is not RequestState.RUNNING:
             return 0
-        return self.request.prompt_tokens if not self.prefill_done else 1
+        if not self.prefill_done:
+            remaining = self.remaining_prefill
+            return remaining if prefill_chunk is None else min(prefill_chunk, remaining)
+        return 1
+
+    def emits_token_this_iteration(self, prefill_chunk: int | None = None) -> bool:
+        """Whether the next iteration appends a generated token's KV state."""
+        if self.state is not RequestState.RUNNING:
+            return False
+        if self.prefill_done:
+            return True
+        return self.tokens_this_iteration(prefill_chunk) >= self.remaining_prefill
+
+    def kv_tokens_written(self) -> int:
+        """Tokens of KV state materialized so far (on-demand accounting)."""
+        if not self.prefill_done:
+            return self.prefill_progress
+        return self.request.prompt_tokens + self.generated_tokens
 
     def kv_tokens_held(self) -> int:
-        """Tokens of KV capacity the sequence holds while running.
+        """Tokens of KV capacity the sequence holds under *reservation*.
 
-        Admission is reservation-based (the block manager reserves the full
-        ``prompt + max_new_tokens`` extent up front), so the held capacity is
-        the request's total extent for its whole running life, not the tokens
-        written so far.
+        Reservation-based admission reserves the full ``prompt +
+        max_new_tokens`` extent up front, so the held capacity is the
+        request's total extent for its whole running life, not the tokens
+        written so far.  :class:`~repro.serving.kv_cache.OnDemandPolicy`
+        tracks actual holdings through the block pool instead.
         """
         if self.state is not RequestState.RUNNING:
             return 0
@@ -107,22 +156,49 @@ class Sequence:
         if self.state is not RequestState.QUEUED:
             raise RuntimeError(f"cannot admit a {self.state.value} sequence")
         self.state = RequestState.RUNNING
-        self.admission_time = now
+        if self.admission_time is None:
+            self.admission_time = now
 
     def reject(self) -> None:
         if self.state is not RequestState.QUEUED:
             raise RuntimeError(f"cannot reject a {self.state.value} sequence")
         self.state = RequestState.REJECTED
 
-    def advance(self, now: float) -> None:
+    def preempt(self) -> int:
+        """Drop to PREEMPTED, discarding in-flight KV state.
+
+        Returns the tokens of KV work that must be recomputed on resume:
+        the prompt tokens prefetched so far plus every generated token (they
+        are all re-prefilled by the resumed sequence's recompute pass).
+        """
+        if self.state is not RequestState.RUNNING:
+            raise RuntimeError(f"cannot preempt a {self.state.value} sequence")
+        recomputed = self.kv_tokens_written()
+        self.state = RequestState.PREEMPTED
+        self.recompute_base = self.generated_tokens
+        self.prefill_progress = 0
+        self.prefill_done = False
+        self.preemptions += 1
+        return recomputed
+
+    def requeue(self) -> None:
+        if self.state is not RequestState.PREEMPTED:
+            raise RuntimeError(f"cannot requeue a {self.state.value} sequence")
+        self.state = RequestState.QUEUED
+
+    def advance(self, now: float, prefill_chunk: int | None = None) -> None:
         """Record the outcome of one iteration this sequence participated in."""
         if self.state is not RequestState.RUNNING:
             raise RuntimeError(f"cannot advance a {self.state.value} sequence")
         if not self.prefill_done:
-            # The prefill iteration also produces the first output token.
+            self.prefill_progress += self.tokens_this_iteration(prefill_chunk)
+            if self.prefill_progress < self.prefill_extent:
+                return  # mid-chunk: no token emitted this iteration
+            # The iteration that finishes (re-)prefill also produces one new token.
             self.prefill_done = True
-            self.first_token_time = now
-            self.generated_tokens = 1
+            self.generated_tokens += 1
+            if self.first_token_time is None:
+                self.first_token_time = now
         else:
             self.generated_tokens += 1
         if self.generated_tokens >= self.request.max_new_tokens:

@@ -1,4 +1,4 @@
-"""Iteration-level (continuous-batching) scheduler.
+"""Iteration-level (continuous-batching) scheduler with pluggable policies.
 
 Orca-style continuous batching: the batch is re-formed at every *iteration*
 boundary rather than per request-batch.  Finished sequences are evicted and
@@ -6,33 +6,53 @@ their KV blocks freed as soon as their last token is produced, and queued
 requests join the very next iteration if a batch slot and enough KV blocks
 are available — no waiting for the whole batch to drain.
 
-Scheduling policy and its invariants (all covered by
-``tests/serving/test_scheduler.py``):
+Two policy objects compose the scheduler:
+
+* an :class:`~repro.serving.kv_cache.AllocationPolicy` decides *when KV
+  blocks are taken* (full-extent reservation vs on-demand growth);
+* a :class:`SchedulingPolicy` decides *who goes first*: the admission order
+  of the waiting queue, whether another sequence may join the batch, and —
+  when on-demand allocation runs the pool dry — which running sequence to
+  preempt.
+
+Scheduling invariants (all covered by ``tests/serving/test_scheduler.py``
+and ``tests/serving/test_policies.py``):
 
 * **Strict priority, FIFO within a class.**  The waiting queue is ordered by
   ``(priority, enqueue_index)``; a request can never be overtaken by a
-  later-arriving request of the same or lower priority.
+  later-arriving request of the same or lower priority.  Preempted sequences
+  keep their original ``enqueue_index`` and so rejoin ahead of later
+  arrivals of their class.
 * **No starvation (queue mode).**  Admission stops at the first waiting
   request that does not fit instead of skipping over it, so head-of-line
   requests cannot be starved by smaller late arrivals; since running
-  sequences always finish in bounded time, the head is eventually admitted.
+  sequences always finish in bounded time (preemption victims are always
+  the *lowest*-precedence running sequences, so the highest-precedence one
+  always makes progress), the head is eventually admitted.
 * **Batch never exceeds capacity.**  ``len(running) <= max_batch_size`` and
-  reserved KV blocks never exceed the pool, enforced through the
-  reservation-based :class:`~repro.serving.kv_cache.BlockManager`.
+  allocated KV blocks never exceed the pool; under on-demand allocation
+  :meth:`ContinuousBatchingScheduler.ensure_capacity` preempts before any
+  iteration that would overflow.
 * **Rejection is typed.**  A request whose full extent could never fit in an
   *empty* pool is rejected in either admission mode; in ``"reject"`` mode a
   request is also rejected if it does not fit at the moment it is first
-  considered (load shedding), instead of queueing.
+  considered (load shedding), instead of queueing.  A *preempted* sequence
+  is never load-shed: it was already admitted once and always requeues.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .kv_cache import BlockManager
-from .request import Request, Sequence
+from .kv_cache import AllocationPolicy, BlockManager, ReservationPolicy
+from .request import Request, RequestState, Sequence
 
-__all__ = ["SchedulerConfig", "ContinuousBatchingScheduler"]
+__all__ = [
+    "SchedulerConfig",
+    "SchedulingPolicy",
+    "FifoPriorityPolicy",
+    "ContinuousBatchingScheduler",
+]
 
 
 @dataclass(frozen=True)
@@ -44,24 +64,83 @@ class SchedulerConfig:
     #: ``"queue"`` holds requests until capacity frees up; ``"reject"`` sheds
     #: load by rejecting requests that do not fit when first considered.
     admission: str = "queue"
+    #: Sarathi-style chunked prefill: at most this many prompt tokens are fed
+    #: per iteration (piggybacked with decode tokens); ``None`` feeds the
+    #: whole prompt in one iteration (PR 1 behavior).
+    prefill_chunk: int | None = None
 
     def __post_init__(self) -> None:
         if self.max_batch_size <= 0:
             raise ValueError("max_batch_size must be positive")
         if self.admission not in ("queue", "reject"):
             raise ValueError(f"admission must be 'queue' or 'reject', got {self.admission!r}")
+        if self.prefill_chunk is not None and self.prefill_chunk <= 0:
+            raise ValueError("prefill_chunk must be positive (or None to disable)")
+
+
+class SchedulingPolicy:
+    """Ordering hooks of the continuous-batching scheduler.
+
+    The default is strict priority with FIFO inside a class for admission,
+    batch membership capped by ``max_batch_size``, and
+    lowest-precedence-first preemption (the victim is the request a strict
+    priority queue would serve last).  Subclasses override individual hooks
+    to express other disciplines without touching the scheduler loop.
+    """
+
+    #: Name surfaced in the serving report.
+    name: str = "priority-fifo"
+
+    def queue_key(self, seq: Sequence) -> tuple:
+        """Sort key of the waiting queue; admission follows this order."""
+        return (seq.request.priority, seq.enqueue_index)
+
+    def may_join(self, running: list[Sequence], config: SchedulerConfig) -> bool:
+        """Batch-formation hook: may another sequence join the batch?"""
+        return len(running) < config.max_batch_size
+
+    def select_victim(self, candidates: list[Sequence]) -> Sequence | None:
+        """Pick the running sequence to preempt when the pool runs dry.
+
+        Default: the lowest-precedence sequence — maximal ``queue_key``, i.e.
+        the lowest-priority, latest-enqueued one.
+        """
+        return max(candidates, key=self.queue_key, default=None)
+
+
+class FifoPriorityPolicy(SchedulingPolicy):
+    """The default scheduling discipline, under its explicit name."""
 
 
 class ContinuousBatchingScheduler:
-    """Forms the per-iteration batch over a shared KV block pool."""
+    """Forms the per-iteration batch over a shared KV block pool.
 
-    def __init__(self, block_manager: BlockManager, config: SchedulerConfig | None = None) -> None:
+    ``allocation`` defaults to :class:`ReservationPolicy` over
+    ``block_manager`` (the PR 1 semantics) and ``policy`` to
+    :class:`FifoPriorityPolicy`, so existing two-argument construction keeps
+    its exact behavior.
+    """
+
+    def __init__(
+        self,
+        block_manager: BlockManager,
+        config: SchedulerConfig | None = None,
+        *,
+        allocation: AllocationPolicy | None = None,
+        policy: SchedulingPolicy | None = None,
+    ) -> None:
         self.block_manager = block_manager
         self.config = config or SchedulerConfig()
+        self.allocation = allocation or ReservationPolicy(block_manager)
+        if self.allocation.pool is not block_manager:
+            raise ValueError("allocation policy must wrap the scheduler's block manager")
+        self.policy = policy or FifoPriorityPolicy()
         self.waiting: list[Sequence] = []
         self.running: list[Sequence] = []
         self.rejected: list[Sequence] = []
         self.finished: list[Sequence] = []
+        self.preemptions = 0
+        self.recomputed_tokens = 0
         self._enqueue_counter = 0
 
     # -- intake ------------------------------------------------------------------
@@ -69,41 +148,91 @@ class ContinuousBatchingScheduler:
         """Enqueue a request; rejects immediately if it could never fit."""
         seq = Sequence(request=request, enqueue_index=self._enqueue_counter)
         self._enqueue_counter += 1
-        if not self.block_manager.fits_at_all(request.total_tokens):
+        if not self.allocation.fits_at_all(request):
             seq.reject()
             self.rejected.append(seq)
             return seq
         self.waiting.append(seq)
-        self.waiting.sort(key=lambda s: (s.request.priority, s.enqueue_index))
+        self.waiting.sort(key=self.policy.queue_key)
         return seq
 
     # -- iteration boundary ------------------------------------------------------
     def admit(self, now: float) -> list[Sequence]:
         """Join waiting requests to the batch at an iteration boundary."""
         admitted: list[Sequence] = []
-        while self.waiting and len(self.running) < self.config.max_batch_size:
+        while self.waiting and self.policy.may_join(self.running, self.config):
             head = self.waiting[0]
-            if self.block_manager.can_allocate(head.request.total_tokens):
+            if self.allocation.can_admit(head):
                 self.waiting.pop(0)
-                self.block_manager.allocate(head.request.request_id, head.request.total_tokens)
+                self.allocation.admit(head)
                 head.admit(now)
                 self.running.append(head)
                 admitted.append(head)
-            elif self.config.admission == "reject":
+            elif self.config.admission == "reject" and head.preemptions == 0:
                 self.waiting.pop(0)
                 head.reject()
                 self.rejected.append(head)
             else:
-                # Queue mode: keep FIFO order — do not skip the head to admit a
-                # smaller request behind it (that is how starvation starts).
+                # Queue mode (and previously-admitted preempted sequences in
+                # either mode): keep FIFO order — do not skip the head to
+                # admit a smaller request behind it (that is how starvation
+                # starts).
                 break
         return admitted
+
+    def ensure_capacity(self) -> list[Sequence]:
+        """Secure KV blocks for every token the next iteration will append.
+
+        Under reservation allocation this is a no-op.  Under on-demand
+        allocation, running sequences are visited in precedence order; when
+        the pool cannot cover a deficit, the scheduling policy picks victims
+        from the lower-precedence tail of the batch, whose blocks are freed
+        and who requeue for recompute-on-resume.  A sequence preempts *itself*
+        only when no lower-precedence victim remains (it is the tail).
+
+        Returns the sequences preempted at this boundary.
+        """
+        if not self.allocation.grows or not self.running:
+            return []
+        preempted: list[Sequence] = []
+        chunk = self.config.prefill_chunk
+        for seq in sorted(self.running, key=self.policy.queue_key):
+            if seq.state is not RequestState.RUNNING:
+                continue  # already preempted at this boundary
+            deficit = self.allocation.blocks_deficit(seq, chunk)
+            while deficit > self.block_manager.free_blocks:
+                candidates = [
+                    s
+                    for s in self.running
+                    if s is not seq and self.policy.queue_key(s) > self.policy.queue_key(seq)
+                ]
+                victim = self.policy.select_victim(candidates)
+                if victim is None:
+                    victim = seq  # tail of the batch: yield its own blocks
+                self._preempt(victim)
+                preempted.append(victim)
+                if victim is seq:
+                    deficit = 0
+                    break
+            if deficit > 0:
+                self.allocation.grow(seq, deficit)
+        return preempted
+
+    def _preempt(self, victim: Sequence) -> None:
+        """Reclaim a running sequence's blocks and requeue it."""
+        self.allocation.release(victim)
+        self.recomputed_tokens += victim.preempt()
+        self.preemptions += 1
+        victim.requeue()
+        self.running.remove(victim)
+        self.waiting.append(victim)
+        self.waiting.sort(key=self.policy.queue_key)
 
     def evict_finished(self) -> list[Sequence]:
         """Remove finished sequences from the batch and free their KV blocks."""
         done = [s for s in self.running if s.is_finished]
         for seq in done:
-            self.block_manager.free(seq.request.request_id)
+            self.allocation.release(seq)
             self.finished.append(seq)
         self.running = [s for s in self.running if not s.is_finished]
         return done
@@ -115,4 +244,5 @@ class ContinuousBatchingScheduler:
 
     def batch_tokens(self) -> int:
         """Token rows the current batch contributes to the next iteration."""
-        return sum(seq.tokens_this_iteration() for seq in self.running)
+        chunk = self.config.prefill_chunk
+        return sum(seq.tokens_this_iteration(chunk) for seq in self.running)

@@ -1,28 +1,43 @@
 """Workload generators for the serving engine.
 
-Two sources of traffic:
+Three sources of traffic:
 
 * :func:`poisson_workload` — an open-loop synthetic workload with Poisson
   arrivals at a target QPS and log-normal-ish prompt/decode lengths, all
   drawn from one seeded :class:`numpy.random.Generator` so a (seed, qps,
   num_requests) triple always produces the identical request list;
 * :func:`replay_workload` — an explicit trace of ``(arrival_time,
-  prompt_tokens, max_new_tokens)`` tuples, for deterministic regression tests
-  and for replaying recorded traces.
+  prompt_tokens, max_new_tokens[, priority])`` tuples, for deterministic
+  regression tests and for replaying recorded traces;
+* :func:`load_trace` — a JSONL trace *file* (``milo serve --trace``): one
+  JSON object per line with ``arrival`` / ``prompt`` / ``max_new_tokens``
+  and an optional ``priority``, schema-validated with line-numbered
+  :class:`TraceSchemaError` diagnostics.
 
-Both return plain :class:`~repro.serving.request.Request` lists sorted by
+All return plain :class:`~repro.serving.request.Request` lists sorted by
 arrival time; the engine treats them identically.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence as SequenceType
+import json
+import os
+from typing import IO, Iterable, Sequence as SequenceType, Union
 
 import numpy as np
 
 from .request import Request
 
-__all__ = ["poisson_workload", "replay_workload"]
+__all__ = ["poisson_workload", "replay_workload", "load_trace", "TraceSchemaError"]
+
+
+class TraceSchemaError(ValueError):
+    """A trace file line failed schema validation (reported with its line number)."""
+
+
+#: Required and optional fields of one JSONL trace record.
+_TRACE_REQUIRED = {"arrival": (int, float), "prompt": int, "max_new_tokens": int}
+_TRACE_OPTIONAL = {"priority": int}
 
 
 def poisson_workload(
@@ -79,18 +94,98 @@ def replay_workload(
     trace: Iterable[SequenceType[float]],
     priority: int = 0,
 ) -> list[Request]:
-    """Build a request list from ``(arrival_time, prompt, max_new_tokens)`` rows."""
+    """Build requests from ``(arrival_time, prompt, max_new_tokens[, priority])`` rows.
+
+    A row's optional fourth element overrides the ``priority`` default for
+    that request, so recorded traces can mix priority classes.
+    """
     requests = []
     for i, row in enumerate(trace):
-        arrival, prompt, decode = row
+        if len(row) not in (3, 4):
+            raise ValueError(
+                f"trace row {i} must have 3 or 4 elements "
+                f"(arrival, prompt, max_new_tokens[, priority]), got {len(row)}"
+            )
+        arrival, prompt, decode = row[0], row[1], row[2]
         requests.append(
             Request(
                 request_id=i,
                 arrival_time=float(arrival),
                 prompt_tokens=int(prompt),
                 max_new_tokens=int(decode),
-                priority=priority,
+                priority=int(row[3]) if len(row) == 4 else priority,
             )
         )
     requests.sort(key=lambda r: (r.arrival_time, r.request_id))
     return requests
+
+
+def _validate_trace_record(lineno: int, record: object) -> dict:
+    if not isinstance(record, dict):
+        raise TraceSchemaError(
+            f"trace line {lineno}: expected a JSON object, got {type(record).__name__}"
+        )
+    missing = sorted(set(_TRACE_REQUIRED) - set(record))
+    if missing:
+        raise TraceSchemaError(f"trace line {lineno}: missing fields {missing}")
+    unknown = sorted(set(record) - set(_TRACE_REQUIRED) - set(_TRACE_OPTIONAL))
+    if unknown:
+        raise TraceSchemaError(f"trace line {lineno}: unknown fields {unknown}")
+    for name, types in {**_TRACE_REQUIRED, **_TRACE_OPTIONAL}.items():
+        if name not in record:
+            continue
+        value = record[name]
+        # bool is an int subclass but never a valid token/priority count.
+        if isinstance(value, bool) or not isinstance(value, types):
+            expected = (
+                " or ".join(t.__name__ for t in types)
+                if isinstance(types, tuple)
+                else types.__name__
+            )
+            raise TraceSchemaError(
+                f"trace line {lineno}: field {name!r} must be {expected}, "
+                f"got {value!r}"
+            )
+    if record["arrival"] < 0:
+        raise TraceSchemaError(f"trace line {lineno}: 'arrival' must be non-negative")
+    for name in ("prompt", "max_new_tokens"):
+        if record[name] <= 0:
+            raise TraceSchemaError(f"trace line {lineno}: {name!r} must be positive")
+    return record
+
+
+def load_trace(source: Union[str, os.PathLike, IO[str], Iterable[str]]) -> list[Request]:
+    """Load a JSONL trace of per-request records into a replay workload.
+
+    Each non-empty line is a JSON object ``{"arrival": s, "prompt": n,
+    "max_new_tokens": n, "priority": p?}``.  Malformed JSON, wrong types,
+    missing or unknown fields, and out-of-range values all raise
+    :class:`TraceSchemaError` naming the offending line.
+    """
+    if isinstance(source, (str, os.PathLike)):
+        with open(source) as fh:
+            return load_trace(fh)
+    rows: list[tuple] = []
+    for lineno, line in enumerate(source, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceSchemaError(f"trace line {lineno}: invalid JSON ({exc})") from None
+        record = _validate_trace_record(lineno, record)
+        rows.append(
+            (
+                record["arrival"],
+                record["prompt"],
+                record["max_new_tokens"],
+                record.get("priority", 0),
+            )
+        )
+    if not rows:
+        raise TraceSchemaError("trace contains no records")
+    try:
+        return replay_workload(rows)
+    except ValueError as exc:  # out-of-range values caught by Request validation
+        raise TraceSchemaError(f"invalid trace record: {exc}") from None

@@ -140,3 +140,30 @@ class TestLineup:
     def test_unknown_spec_rejected(self):
         with pytest.raises(KeyError):
             default_backend_lineup("gpt-5")
+
+    def test_device_is_plumbed_to_every_backend(self):
+        from repro.kernels.device import A100_80GB
+
+        lineup = default_backend_lineup("mixtral-8x7b", device=A100_80GB)
+        for backend in lineup.values():
+            assert backend.device is A100_80GB
+            assert backend.kernel.device is A100_80GB
+
+    def test_default_lineup_device_is_a100_40gb(self):
+        for backend in default_backend_lineup().values():
+            assert backend.device.memory_gb == 40.0
+
+    def test_device_reaches_the_oom_path(self):
+        """The lineup's device flows into memory checks: FP16 Mixtral (~87 GB)
+        still OOMs on the 80 GB part, but the error reports the new budget."""
+        from repro.kernels.device import A100_80GB
+
+        lineup = default_backend_lineup(device=A100_80GB)
+        with pytest.raises(OutOfMemoryError) as exc_info:
+            lineup["PyTorch"].free_memory_gb(MIXTRAL)
+        assert exc_info.value.available_gb == 80.0
+        # The quantized backends gain ~40 GB of KV headroom from the bigger part.
+        assert (
+            lineup["MiLo Backend"].free_memory_gb(MIXTRAL)
+            > default_backend_lineup()["MiLo Backend"].free_memory_gb(MIXTRAL) + 39
+        )

@@ -132,15 +132,19 @@ class TestResourceAccounting:
     def test_report_schema(self):
         report = milo_engine().run(replay_workload(TRACE)).to_dict()
         expected_keys = {
-            "backend", "model", "device", "num_requests", "completed",
-            "rejected", "iterations", "sim_time_s", "sustained_qps",
-            "ttft_s", "tpot_s", "e2e_s", "batch", "kv_cache",
-            "completion_order", "requests",
+            "backend", "model", "device", "policy", "num_requests", "completed",
+            "rejected", "iterations", "preemptions", "recomputed_tokens",
+            "sim_time_s", "sustained_qps", "ttft_s", "tpot_s", "e2e_s", "batch",
+            "kv_cache", "kv_utilization_peak", "completion_order", "requests",
         }
         assert set(report) == expected_keys
         for summary in ("ttft_s", "tpot_s", "e2e_s"):
             assert set(report[summary]) == {"p50", "p95", "mean", "max"}
         assert set(report["kv_cache"]) == {"num_blocks", "block_size", "peak_used_blocks"}
+        assert report["policy"] == {"kv": "reserve", "scheduler": "priority-fifo"}
+        # Reservation never preempts; utilization is a ratio of the pool.
+        assert report["preemptions"] == 0 and report["recomputed_tokens"] == 0
+        assert 0 < report["kv_utilization_peak"] <= 1.0
 
 
 class TestBackendInteraction:

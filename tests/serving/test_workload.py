@@ -1,9 +1,9 @@
-"""Tests for the Poisson and replay workload generators."""
+"""Tests for the Poisson, replay and trace-file workload generators."""
 
 import numpy as np
 import pytest
 
-from repro.serving import poisson_workload, replay_workload
+from repro.serving import TraceSchemaError, load_trace, poisson_workload, replay_workload
 
 
 class TestPoissonWorkload:
@@ -73,3 +73,60 @@ class TestReplayWorkload:
     def test_invalid_rows_rejected(self):
         with pytest.raises(ValueError):
             replay_workload([(0.0, 0, 4)])
+
+    def test_optional_priority_column(self):
+        wl = replay_workload([(0.0, 8, 4, 2), (1.0, 8, 4)], priority=7)
+        assert wl[0].priority == 2   # per-row value wins
+        assert wl[1].priority == 7   # default applies to 3-element rows
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError, match="3 or 4 elements"):
+            replay_workload([(0.0, 8)])
+
+
+class TestLoadTrace:
+    GOOD = (
+        '{"arrival": 1.0, "prompt": 8, "max_new_tokens": 4}\n'
+        '\n'
+        '{"arrival": 0.0, "prompt": 16, "max_new_tokens": 2, "priority": 3}\n'
+    )
+
+    def test_loads_jsonl_records(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(self.GOOD)
+        wl = load_trace(path)
+        assert [r.arrival_time for r in wl] == [0.0, 1.0]
+        assert wl[0].priority == 3 and wl[1].priority == 0
+        assert wl[0].prompt_tokens == 16
+
+    def test_accepts_line_iterables(self):
+        wl = load_trace(self.GOOD.splitlines())
+        assert len(wl) == 2
+
+    @pytest.mark.parametrize(
+        "line, match",
+        [
+            ("not json", "invalid JSON"),
+            ("[1, 2, 3]", "expected a JSON object"),
+            ('{"prompt": 8, "max_new_tokens": 4}', "missing fields"),
+            ('{"arrival": 0, "prompt": 8, "max_new_tokens": 4, "x": 1}', "unknown fields"),
+            ('{"arrival": 0, "prompt": "8", "max_new_tokens": 4}', "must be int"),
+            ('{"arrival": 0, "prompt": 8, "max_new_tokens": true}', "must be int"),
+        ],
+    )
+    def test_schema_violations_name_the_line(self, line, match):
+        with pytest.raises(TraceSchemaError, match=match):
+            load_trace([self.GOOD.splitlines()[0], line])
+        with pytest.raises(TraceSchemaError, match="line 2"):
+            load_trace([self.GOOD.splitlines()[0], line])
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(TraceSchemaError, match="no records"):
+            load_trace(["", "   "])
+
+    def test_out_of_range_values_name_the_line(self):
+        good = '{"arrival": 0, "prompt": 8, "max_new_tokens": 4}'
+        with pytest.raises(TraceSchemaError, match="line 2: 'prompt' must be positive"):
+            load_trace([good, '{"arrival": 0, "prompt": 0, "max_new_tokens": 4}'])
+        with pytest.raises(TraceSchemaError, match="line 1: 'arrival' must be non-negative"):
+            load_trace(['{"arrival": -1, "prompt": 8, "max_new_tokens": 4}'])

@@ -67,8 +67,24 @@ class TestServeParser:
         assert args.block_size == 16
         assert args.max_batch == 64
         assert args.admission == "queue"
+        assert args.kv_policy == "reserve"
+        assert args.prefill_chunk is None
         assert args.replay is None
+        assert args.trace is None
         assert args.per_request is False
+
+    @pytest.mark.parametrize("policy", ["reserve", "ondemand"])
+    def test_kv_policy_choices_parse(self, policy):
+        args = build_parser().parse_args(["serve", "--kv-policy", policy])
+        assert args.kv_policy == policy
+
+    def test_kv_policy_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--kv-policy", "paging"])
+
+    def test_prefill_chunk_parses(self):
+        args = build_parser().parse_args(["serve", "--prefill-chunk", "32"])
+        assert args.prefill_chunk == 32
 
     @pytest.mark.parametrize("backend", SERVE_BACKENDS)
     def test_all_serve_backends_parse(self, backend):
@@ -137,9 +153,10 @@ class TestCommands:
 
 class TestServeCommand:
     SUMMARY_KEYS = {
-        "backend", "model", "device", "num_requests", "completed", "rejected",
-        "iterations", "sim_time_s", "sustained_qps", "ttft_s", "tpot_s",
-        "e2e_s", "batch", "kv_cache",
+        "backend", "model", "device", "policy", "num_requests", "completed",
+        "rejected", "iterations", "preemptions", "recomputed_tokens",
+        "sim_time_s", "sustained_qps", "ttft_s", "tpot_s", "e2e_s", "batch",
+        "kv_cache", "kv_utilization_peak",
     }
 
     def serve(self, capsys, *extra):
@@ -192,6 +209,60 @@ class TestServeCommand:
         report = json.loads(capsys.readouterr().out)
         assert report["num_requests"] == 2
         assert report["completion_order"] == [1, 0]
+
+    def test_serve_reports_active_policies(self, capsys):
+        code, out = self.serve(capsys, "--kv-policy", "ondemand")
+        assert code == 0
+        report = json.loads(out)
+        assert report["policy"] == {"kv": "ondemand", "scheduler": "priority-fifo"}
+        assert report["completed"] == 12
+
+    def test_serve_ondemand_is_deterministic(self, capsys):
+        _, first = self.serve(capsys, "--kv-policy", "ondemand", "--prefill-chunk", "32")
+        _, second = self.serve(capsys, "--kv-policy", "ondemand", "--prefill-chunk", "32")
+        assert first == second  # byte-identical JSON
+
+    def test_serve_trace_file(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        trace.write_text(
+            '{"arrival": 0.0, "prompt": 16, "max_new_tokens": 4}\n'
+            '{"arrival": 0.01, "prompt": 8, "max_new_tokens": 2, "priority": 1}\n'
+        )
+        code = main(["serve", "--trace", str(trace), "--per-request"])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["num_requests"] == 2
+        assert report["completion_order"] == [1, 0]
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "not json\n",
+            '{"arrival": 0.0, "prompt": 16}\n',                              # missing field
+            '{"arrival": 0.0, "prompt": 16, "max_new_tokens": "four"}\n',    # wrong type
+            '{"arrival": 0.0, "prompt": 16, "max_new_tokens": 4, "qos": 1}\n',  # unknown field
+            "",                                                              # empty trace
+        ],
+    )
+    def test_serve_malformed_trace_exits_cleanly(self, capsys, tmp_path, payload):
+        trace = tmp_path / "trace.jsonl"
+        trace.write_text(payload)
+        assert main(["serve", "--trace", str(trace)]) == 2
+        assert "invalid trace" in capsys.readouterr().err
+
+    def test_serve_missing_trace_file_exits_cleanly(self, capsys, tmp_path):
+        assert main(["serve", "--trace", str(tmp_path / "nope.jsonl")]) == 2
+        assert "invalid trace" in capsys.readouterr().err
+
+    def test_serve_replay_and_trace_are_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve", "--replay", "a.json", "--trace", "b.jsonl"]
+            )
+
+    def test_serve_invalid_prefill_chunk_exits_cleanly(self, capsys):
+        assert main(["serve", "--prefill-chunk", "0"]) == 2
+        assert "invalid serving config" in capsys.readouterr().err
 
     def test_serve_output_file(self, capsys, tmp_path):
         out_file = tmp_path / "report.json"
