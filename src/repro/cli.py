@@ -32,13 +32,16 @@ from .kernels import UnsupportedBatchError, default_backends
 from .kernels.device import A100_40GB, A100_80GB
 from .models import REFERENCE_FFN_SHAPES, available_models, build_model
 from .models.registry import FULL_MODEL_SPECS
+from .serving.kv_cache import ALLOCATION_POLICIES
 
 __all__ = ["main", "build_parser"]
 
 #: Serving backends selectable from the command line, keyed by CLI name.
 SERVE_BACKENDS = ("milo", "fp16", "gptq3bit", "marlin")
 SERVE_DEVICES = {"a100-40gb": A100_40GB, "a100-80gb": A100_80GB}
-SERVE_KV_POLICIES = ("reserve", "ondemand")
+#: Derived from the allocation-policy registry so policies registered there
+#: appear on ``--kv-policy`` automatically (no hardcoded duplicate to drift).
+SERVE_KV_POLICIES = tuple(sorted(ALLOCATION_POLICIES))
 
 
 def _make_policy(args: argparse.Namespace, config) -> object | None:
@@ -219,6 +222,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 mean_prompt_tokens=args.prompt_tokens,
                 mean_new_tokens=args.max_new_tokens,
                 length_jitter=args.length_jitter,
+                shared_prefix_tokens=args.shared_prefix_tokens,
+                prefix_groups=args.prefix_groups,
             )
     except (ValueError, TypeError, OSError, json.JSONDecodeError) as exc:
         print(f"invalid workload: {exc}", file=sys.stderr)
@@ -281,6 +286,19 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--prompt-tokens", type=int, default=128, help="mean prompt length")
     s.add_argument("--max-new-tokens", type=int, default=64, help="mean decode budget")
     s.add_argument("--length-jitter", type=float, default=0.25)
+    s.add_argument(
+        "--shared-prefix-tokens",
+        type=int,
+        default=0,
+        help="prepend a shared prompt prefix of N tokens to every Poisson request "
+        "(modeling common system prompts; enables prefix caching)",
+    )
+    s.add_argument(
+        "--prefix-groups",
+        type=int,
+        default=1,
+        help="number of distinct shared prefixes requests are drawn from",
+    )
     s.add_argument("--block-size", type=int, default=16, help="KV block size in tokens")
     s.add_argument("--max-batch", type=int, default=64)
     s.add_argument("--admission", default="queue", choices=["queue", "reject"])

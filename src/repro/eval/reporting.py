@@ -40,10 +40,19 @@ def format_table(
 
 
 def format_rows(rows: Sequence[dict[str, Any]], precision: int = 4, title: str | None = None) -> str:
-    """Render a list of dict rows (all sharing the same keys) as a table."""
+    """Render a list of dict rows as a table.
+
+    Headers are the union of all rows' keys in first-seen order, so a key
+    that only appears in later rows still gets a column (earlier rows show
+    an empty cell) instead of being silently dropped.
+    """
     if not rows:
         return title or ""
-    headers = list(rows[0].keys())
+    headers: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in headers:
+                headers.append(key)
     data = [[row.get(h, "") for h in headers] for row in rows]
     return format_table(headers, data, precision=precision, title=title)
 

@@ -20,10 +20,18 @@ Memory and scheduling decisions are *policies*, not hard-wired behavior:
   sequence, frees its blocks and requeues it for recompute-on-resume.
 * :class:`SchedulingPolicy` decides who goes first: admission order
   (strict priority, FIFO within a class), batch formation, and
-  preemption-victim selection (:class:`FifoPriorityPolicy` is the default).
+  preemption-victim selection (:class:`FifoPriorityPolicy` is the default;
+  with prefix sharing it prefers victims holding few shared blocks, since
+  preempting a sharer frees only its private blocks).
 * Sarathi-style chunked prefill (``EngineConfig.prefill_chunk``) feeds at
   most N prompt tokens per iteration, piggybacked with decode tokens, so a
   long prompt does not stall the whole batch.
+* Prefix sharing / copy-on-write: requests declaring a shared prompt prefix
+  (``Request.prefix_id`` / ``prefix_tokens``) map resident prefix blocks
+  read-only through the :class:`BlockManager` prefix index (refcounted
+  block identity, CoW on the first divergent write) and skip the covered
+  prefill compute; the report's ``prefix_cache`` section counts hits,
+  shared blocks, CoW copies and the dedup ratio.
 
 Modules
 -------
@@ -32,9 +40,10 @@ Modules
     ``PREEMPTED`` state and recompute-on-resume) and per-request metrics
     (TTFT, TPOT, end-to-end latency).
 ``kv_cache``
-    Physical paged :class:`BlockManager` pool plus the
-    :class:`AllocationPolicy` implementations over the VRAM the quantized
-    weights leave free.
+    Physical paged :class:`BlockManager` pool — numbered blocks on a free
+    list, per-sequence block tables, per-block refcounts, prefix index and
+    copy-on-write — plus the :class:`AllocationPolicy` implementations over
+    the VRAM the quantized weights leave free.
 ``scheduler``
     :class:`ContinuousBatchingScheduler` — composes an allocation policy
     with a :class:`SchedulingPolicy`; strict priority, FIFO within a class,

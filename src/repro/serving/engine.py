@@ -40,6 +40,14 @@ accounting as the paper's "20.5 GB vs ~90 GB" story: quantized weights
 leave more blocks, more blocks sustain a larger concurrent batch — and the
 on-demand policy converts the *unwritten* tail of every reservation into
 additional concurrency on top of that.
+
+Requests that declare a shared prompt prefix (``Request.prefix_id`` /
+``prefix_tokens``) are admitted through the pool's prefix index: resident
+prefix blocks are mapped read-only instead of re-allocated (and their
+prefill compute is skipped), so K sequences sharing a system prompt store
+its KV once.  The report's ``prefix_cache`` section counts hit tokens and
+blocks, the peak number of physically shared blocks, copy-on-write copies,
+and the dedup ratio (logical blocks mapped per physical block allocated).
 """
 
 from __future__ import annotations
@@ -119,6 +127,11 @@ class ServingReport:
     kv_block_size: int
     kv_peak_used_blocks: int
     kv_utilization_peak: float
+    prefix_hit_tokens: int
+    prefix_hit_blocks: int
+    prefix_shared_blocks_peak: int
+    prefix_cow_copies: int
+    prefix_dedup_ratio: float
     completion_order: list[int]
     requests: list[dict]
 
@@ -147,6 +160,13 @@ class ServingReport:
                 "peak_used_blocks": self.kv_peak_used_blocks,
             },
             "kv_utilization_peak": self.kv_utilization_peak,
+            "prefix_cache": {
+                "hit_tokens": self.prefix_hit_tokens,
+                "hit_blocks": self.prefix_hit_blocks,
+                "shared_blocks_peak": self.prefix_shared_blocks_peak,
+                "cow_copies": self.prefix_cow_copies,
+                "dedup_ratio": self.prefix_dedup_ratio,
+            },
             "completion_order": list(self.completion_order),
             "requests": [dict(r) for r in self.requests],
         }
@@ -212,12 +232,14 @@ class ServingEngine:
         """Serve ``requests`` to completion and report client-visible metrics."""
         pending = sorted(requests, key=lambda r: (r.arrival_time, r.request_id))
         scheduler = self.make_scheduler()
+        self.block_manager.reset_stats()
         clock = 0.0
         next_arrival = 0
         iterations = 0
         total_tokens = 0
         peak_batch = 0
         peak_used_blocks = 0
+        peak_shared_blocks = 0
         latency_cache: dict[int, float] = {}
 
         while next_arrival < len(pending) or scheduler.has_work:
@@ -246,13 +268,17 @@ class ServingEngine:
             total_tokens += tokens
             peak_batch = max(peak_batch, len(scheduler.running))
             peak_used_blocks = max(peak_used_blocks, self.block_manager.used_blocks)
+            peak_shared_blocks = max(peak_shared_blocks, self.block_manager.shared_blocks)
 
             for seq in scheduler.running:
                 seq.advance(clock, scheduler.config.prefill_chunk)
             scheduler.evict_finished()
 
         self.block_manager.assert_no_leaks()
-        return self._build_report(scheduler, clock, iterations, total_tokens, peak_batch, peak_used_blocks)
+        return self._build_report(
+            scheduler, clock, iterations, total_tokens, peak_batch, peak_used_blocks,
+            peak_shared_blocks,
+        )
 
     # -- reporting ---------------------------------------------------------------
     def _build_report(
@@ -263,6 +289,7 @@ class ServingEngine:
         total_tokens: int,
         peak_batch: int,
         peak_used_blocks: int,
+        peak_shared_blocks: int,
     ) -> ServingReport:
         finished = scheduler.finished
         records: list[dict] = []
@@ -319,6 +346,16 @@ class ServingEngine:
                 peak_used_blocks / self.block_manager.num_blocks
                 if self.block_manager.num_blocks
                 else 0.0
+            ),
+            prefix_hit_tokens=self.block_manager.prefix_hit_tokens,
+            prefix_hit_blocks=self.block_manager.prefix_hit_blocks,
+            prefix_shared_blocks_peak=peak_shared_blocks,
+            prefix_cow_copies=self.block_manager.cow_copies,
+            prefix_dedup_ratio=(
+                (self.block_manager.physical_allocs + self.block_manager.prefix_hit_blocks)
+                / self.block_manager.physical_allocs
+                if self.block_manager.physical_allocs
+                else 1.0
             ),
             completion_order=[s.request.request_id for s in finished],
             requests=records,

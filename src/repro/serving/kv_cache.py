@@ -8,9 +8,12 @@ state, vLLM-style.  A sequence holds ``ceil(tokens / block_size)`` blocks.
 
 Two layers live here:
 
-* :class:`BlockManager` — the **physical pool**: pure block accounting
-  (allocate / grow / free / leak checks) with no opinion about *when* blocks
-  are taken.
+* :class:`BlockManager` — the **physical pool**: numbered blocks on a free
+  list, a per-sequence *block table* mapping logical block slots to physical
+  block ids, a per-block reference count, and a hash-keyed *prefix index*
+  that lets sequences sharing a common prompt prefix map the same physical
+  blocks read-only.  The first write into a still-shared block triggers
+  copy-on-write (:meth:`BlockManager.ensure_writable`).
 * :class:`AllocationPolicy` — the **decision layer** the scheduler talks to.
   :class:`ReservationPolicy` reserves a request's full ``prompt +
   max_new_tokens`` extent before admitting it, so a running sequence can
@@ -21,10 +24,26 @@ Two layers live here:
   mid-decode exhaustion, which the scheduler resolves by preempting the
   lowest-precedence running sequence (recompute-on-resume).
 
+Prefix sharing
+--------------
+A :class:`~repro.serving.request.Request` may declare that its first
+``prefix_tokens`` prompt tokens are drawn from a shared prefix identified by
+``prefix_id`` (e.g. one of K system prompts).  The prefix index keys each
+*full* block of that region by ``(prefix_id, block_index)``; admission walks
+the index and maps every resident block read-only (refcount++) instead of
+taking a fresh block, so K concurrent sequences with a common prefix store
+its KV once.  A trailing partially-filled prefix block is shared only when
+the whole prompt *is* the prefix (otherwise divergent prompt tokens would
+land in it during prefill); the first divergent write into such a block is
+copy-on-write: the writer gets a private copy, the sharers keep the original.
+Releasing a sharer (finish *or* preemption) only returns blocks whose
+refcount drops to zero — preempting a sharer frees just its private blocks.
+
 Either way, the pool is the quantity the paper's memory story improves: a
 3-bit MiLo checkpoint leaves ~2x more free VRAM on a 40 GB A100 than a
 16-bit one, which shows up here as a proportionally larger block pool and
-therefore a larger sustainable batch.
+therefore a larger sustainable batch — and deduplicated prefixes stretch
+that pool further still.
 
 Per-token KV footprint comes from
 :attr:`repro.models.registry.FullModelSpec.kv_bytes_per_token`.
@@ -33,7 +52,6 @@ Per-token KV footprint comes from
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
 
 from ..models.registry import FullModelSpec
 from .request import Request, Sequence
@@ -77,26 +95,68 @@ def blocks_for_budget(spec: FullModelSpec, free_gb: float, block_size: int) -> i
     return int(free_gb * _GB // kv_block_bytes(spec, block_size))
 
 
-@dataclass
 class BlockManager:
-    """Fixed-pool paged allocator with per-sequence accounting.
+    """Fixed-pool paged allocator with block identity and prefix sharing.
 
-    Only counts are tracked (no block-id free lists): the simulator never
-    reads cache contents, so identity of blocks does not matter, while the
-    counts preserve the alloc/grow/free/leak semantics the tests assert.
+    Every block has an id; free ids live on a stack (lowest id allocated
+    first), allocated ids carry a refcount, and each sequence owns a block
+    table listing the physical block backing each of its logical block
+    slots.  Blocks registered in the prefix index are immutable while
+    shared; writes into them go through :meth:`ensure_writable` (in-place
+    un-registration at refcount 1, copy-on-write above).
     """
 
-    num_blocks: int
-    block_size: int
-    _allocated: dict[int, int] = field(default_factory=dict, init=False, repr=False)
-
-    def __post_init__(self) -> None:
-        if self.num_blocks < 0:
+    def __init__(self, num_blocks: int, block_size: int) -> None:
+        if num_blocks < 0:
             raise ValueError("num_blocks must be non-negative")
-        if self.block_size <= 0:
+        if block_size <= 0:
             raise ValueError("block_size must be positive")
+        self.block_size = block_size
+        self._num_blocks = num_blocks
+        #: Stack of free block ids; pop() hands out the lowest id first.
+        self._free: list[int] = list(range(num_blocks - 1, -1, -1))
+        #: Refcount per allocated block id.
+        self._ref: dict[int, int] = {}
+        #: Per-sequence block table: seq_id -> [block_id, ...] in token order.
+        self._tables: dict[int, list[int]] = {}
+        #: (prefix_id, block_index) -> block id of a resident shareable block.
+        self._prefix_index: dict[tuple[int, int], int] = {}
+        #: Reverse map of the prefix index (block id -> key).
+        self._prefix_key: dict[int, tuple[int, int]] = {}
+        #: Blocks with refcount > 1, maintained at the 1<->2 transitions so
+        #: the per-iteration :attr:`shared_blocks` probe is O(1).
+        self._shared_count = 0
+        self.reset_stats()
+
+    def reset_stats(self) -> None:
+        """Zero the cumulative sharing counters (per engine run)."""
+        #: Physical blocks ever taken from the free list.
+        self.physical_allocs = 0
+        #: Admissions served from the prefix index instead of the free list.
+        self.prefix_hit_blocks = 0
+        #: Tokens of KV state those hits covered.
+        self.prefix_hit_tokens = 0
+        #: Copy-on-write block copies performed.
+        self.cow_copies = 0
 
     # -- queries -----------------------------------------------------------------
+    @property
+    def num_blocks(self) -> int:
+        return self._num_blocks
+
+    @num_blocks.setter
+    def num_blocks(self, value: int) -> None:
+        """Resize the pool; allocated blocks must all fit the new range."""
+        if value < 0:
+            raise ValueError("num_blocks must be non-negative")
+        if any(block_id >= value for block_id in self._ref):
+            raise KVCacheExhausted(
+                f"cannot shrink pool to {value} blocks: allocated ids exceed it"
+            )
+        self._num_blocks = value
+        allocated = set(self._ref)
+        self._free = [b for b in range(value - 1, -1, -1) if b not in allocated]
+
     def blocks_needed(self, num_tokens: int) -> int:
         """Blocks required to hold ``num_tokens`` tokens of KV state."""
         if num_tokens <= 0:
@@ -105,72 +165,292 @@ class BlockManager:
 
     @property
     def used_blocks(self) -> int:
-        return sum(self._allocated.values())
+        """Physical blocks taken from the pool (shared blocks count once)."""
+        return self._num_blocks - len(self._free)
 
     @property
     def free_blocks(self) -> int:
-        return self.num_blocks - self.used_blocks
+        return len(self._free)
+
+    @property
+    def shared_blocks(self) -> int:
+        """Physical blocks currently mapped by more than one sequence."""
+        return self._shared_count
 
     @property
     def outstanding_sequences(self) -> int:
         """Sequences currently holding blocks (0 after a clean engine run)."""
-        return len(self._allocated)
+        return len(self._tables)
 
     def blocks_held(self, seq_id: int) -> int:
-        """Blocks currently held by a sequence (0 if it holds none)."""
-        return self._allocated.get(seq_id, 0)
+        """Logical blocks in a sequence's table (0 if it holds none)."""
+        table = self._tables.get(seq_id)
+        return len(table) if table is not None else 0
+
+    def shared_blocks_held(self, seq_id: int) -> int:
+        """Blocks in a sequence's table that other sequences also map."""
+        table = self._tables.get(seq_id)
+        if not table:
+            return 0
+        return sum(1 for block_id in table if self._ref[block_id] > 1)
+
+    def block_table(self, seq_id: int) -> tuple[int, ...]:
+        """The sequence's physical block ids, in token order (read-only view)."""
+        return tuple(self._tables.get(seq_id, ()))
 
     def can_allocate(self, num_tokens: int) -> bool:
         return self.blocks_needed(num_tokens) <= self.free_blocks
 
     def fits_at_all(self, num_tokens: int) -> bool:
         """Whether an empty pool could ever hold ``num_tokens`` tokens."""
-        return self.blocks_needed(num_tokens) <= self.num_blocks
+        return self.blocks_needed(num_tokens) <= self._num_blocks
 
     def max_sequences(self, tokens_per_sequence: int) -> int:
         """Concurrent sequences of a given length an empty pool sustains."""
         needed = self.blocks_needed(tokens_per_sequence)
-        return self.num_blocks // needed if needed else 0
+        return self._num_blocks // needed if needed else 0
+
+    # -- prefix sharing ----------------------------------------------------------
+    def _shareable_blocks(self, prefix_tokens: int, share_partial: bool) -> int:
+        """Prefix-region blocks eligible for the index (full + optional tail)."""
+        full = prefix_tokens // self.block_size
+        partial = 1 if share_partial and prefix_tokens % self.block_size else 0
+        return full + partial
+
+    def prefix_hits(self, prefix_id: int, prefix_tokens: int, share_partial: bool = False) -> int:
+        """Resident shareable blocks for this prefix, as a contiguous run from 0.
+
+        Sharing stops at the first non-resident block so the covered tokens
+        always form a prefix of the KV stream (a hit for block 2 without
+        block 1 would be unusable).
+        """
+        hits = 0
+        for idx in range(self._shareable_blocks(prefix_tokens, share_partial)):
+            if (prefix_id, idx) not in self._prefix_index:
+                break
+            hits += 1
+        return hits
+
+    def _hit_tokens(self, hits: int, prefix_tokens: int) -> int:
+        """Tokens of valid prefix KV covered by ``hits`` leading blocks."""
+        return min(hits * self.block_size, prefix_tokens)
+
+    def can_allocate_shared(
+        self,
+        num_tokens: int,
+        prefix_id: int,
+        prefix_tokens: int,
+        share_partial: bool = False,
+    ) -> bool:
+        """Whether the pool can admit ``num_tokens`` given resident prefix hits."""
+        needed = self.blocks_needed(num_tokens)
+        hits = min(self.prefix_hits(prefix_id, prefix_tokens, share_partial), needed)
+        return needed - hits <= self.free_blocks
+
+    def allocate_shared(
+        self,
+        seq_id: int,
+        num_tokens: int,
+        prefix_id: int,
+        prefix_tokens: int,
+        share_partial: bool = False,
+    ) -> tuple[int, int]:
+        """Build a block table mapping resident prefix blocks read-only.
+
+        Walks the prefix index from block 0: every resident block is mapped
+        by reference (refcount++); the first miss ends sharing and every
+        later block — including the rest of the prefix region, which is
+        registered in the index for future sharers — comes fresh off the
+        free list.  Returns ``(fresh_blocks_taken, hit_tokens)`` where
+        ``hit_tokens`` counts the prefix KV tokens already resident.
+        """
+        if seq_id in self._tables:
+            raise KVCacheExhausted(f"sequence {seq_id} already holds blocks")
+        needed = self.blocks_needed(num_tokens)
+        shareable = min(self._shareable_blocks(prefix_tokens, share_partial), needed)
+        hits = min(self.prefix_hits(prefix_id, prefix_tokens, share_partial), needed)
+        fresh = needed - hits
+        if fresh > self.free_blocks:
+            raise KVCacheExhausted(
+                f"need {fresh} blocks for sequence {seq_id} (after {hits} prefix "
+                f"hits) but only {self.free_blocks}/{self._num_blocks} are free"
+            )
+        table: list[int] = []
+        for idx in range(hits):
+            block_id = self._prefix_index[(prefix_id, idx)]
+            self._ref[block_id] += 1
+            if self._ref[block_id] == 2:
+                self._shared_count += 1
+            table.append(block_id)
+        for idx in range(hits, needed):
+            block_id = self._take_free_block()
+            key = (prefix_id, idx)
+            if idx < shareable and key not in self._prefix_index:
+                # Fresh prefix block: register it so later sharers hit it.
+                # (A broken hit chain may leave a later index entry resident;
+                # it is left alone and this block stays private.)
+                self._prefix_index[key] = block_id
+                self._prefix_key[block_id] = key
+            table.append(block_id)
+        self._tables[seq_id] = table
+        hit_tokens = self._hit_tokens(hits, prefix_tokens)
+        self.prefix_hit_blocks += hits
+        self.prefix_hit_tokens += hit_tokens
+        return fresh, hit_tokens
+
+    def cow_cost(self, seq_id: int, token_index: int) -> int:
+        """Free blocks a write at ``token_index`` would consume (0 or 1).
+
+        1 when the backing block is a still-shared prefix block (refcount >
+        1): the writer needs a private copy.  0 for private blocks and for
+        index-registered blocks held by a single sequence (un-registered and
+        mutated in place, no copy).
+        """
+        table = self._tables.get(seq_id)
+        if table is None:
+            raise KVCacheExhausted(f"sequence {seq_id} holds no blocks")
+        idx = token_index // self.block_size
+        if idx >= len(table):
+            return 0  # the write lands in a block growth has yet to append
+        block_id = table[idx]
+        return 1 if block_id in self._prefix_key and self._ref[block_id] > 1 else 0
+
+    def ensure_writable(self, seq_id: int, token_index: int) -> int:
+        """Make the block backing ``token_index`` privately writable.
+
+        Copy-on-write: a still-shared prefix block is replaced in this
+        sequence's table by a fresh private copy (sharers keep the original,
+        which stays in the prefix index); a prefix block with refcount 1 is
+        simply un-registered — its content is about to diverge from the pure
+        prefix, so future admissions must not hit it.  Returns the free
+        blocks consumed (1 for a copy, else 0).
+        """
+        table = self._tables.get(seq_id)
+        if table is None:
+            raise KVCacheExhausted(f"sequence {seq_id} holds no blocks")
+        idx = token_index // self.block_size
+        if idx >= len(table):
+            raise KVCacheExhausted(
+                f"sequence {seq_id} write at token {token_index} exceeds its "
+                f"{len(table)}-block table (grow before writing)"
+            )
+        block_id = table[idx]
+        key = self._prefix_key.get(block_id)
+        if key is None:
+            return 0  # already private
+        if self._ref[block_id] == 1:
+            # Sole holder: mutate in place, but drop it from the index first.
+            del self._prefix_index[key]
+            del self._prefix_key[block_id]
+            return 0
+        copy_id = self._take_free_block()
+        self._ref[block_id] -= 1
+        if self._ref[block_id] == 1:
+            self._shared_count -= 1
+        table[idx] = copy_id
+        self.cow_copies += 1
+        return 1
 
     # -- mutations ---------------------------------------------------------------
+    def _take_free_block(self) -> int:
+        if not self._free:
+            raise KVCacheExhausted(
+                f"no free blocks left in a {self._num_blocks}-block pool"
+            )
+        block_id = self._free.pop()
+        self._ref[block_id] = 1
+        self.physical_allocs += 1
+        return block_id
+
     def allocate(self, seq_id: int, num_tokens: int) -> int:
-        """Reserve blocks for ``num_tokens`` tokens; returns blocks taken."""
-        if seq_id in self._allocated:
+        """Reserve private blocks for ``num_tokens`` tokens; returns blocks taken."""
+        if seq_id in self._tables:
             raise KVCacheExhausted(f"sequence {seq_id} already holds blocks")
         needed = self.blocks_needed(num_tokens)
         if needed > self.free_blocks:
             raise KVCacheExhausted(
                 f"need {needed} blocks for sequence {seq_id} but only "
-                f"{self.free_blocks}/{self.num_blocks} are free"
+                f"{self.free_blocks}/{self._num_blocks} are free"
             )
-        self._allocated[seq_id] = needed
+        self._tables[seq_id] = [self._take_free_block() for _ in range(needed)]
         return needed
 
     def grow(self, seq_id: int, num_blocks: int) -> int:
-        """Append blocks to an existing allocation (on-demand growth)."""
-        if seq_id not in self._allocated:
+        """Append private blocks to an existing table (on-demand growth)."""
+        table = self._tables.get(seq_id)
+        if table is None:
             raise KVCacheExhausted(f"sequence {seq_id} holds no blocks to grow")
         if num_blocks <= 0:
             raise ValueError("num_blocks must be positive")
         if num_blocks > self.free_blocks:
             raise KVCacheExhausted(
                 f"need {num_blocks} more blocks for sequence {seq_id} but only "
-                f"{self.free_blocks}/{self.num_blocks} are free"
+                f"{self.free_blocks}/{self._num_blocks} are free"
             )
-        self._allocated[seq_id] += num_blocks
-        return self._allocated[seq_id]
+        table.extend(self._take_free_block() for _ in range(num_blocks))
+        return len(table)
 
     def free(self, seq_id: int) -> int:
-        """Release a sequence's blocks; returns blocks returned to the pool."""
-        if seq_id not in self._allocated:
-            raise KVCacheExhausted(f"sequence {seq_id} holds no blocks")
-        return self._allocated.pop(seq_id)
+        """Release a sequence's table; returns blocks returned to the pool.
 
+        Shared blocks only drop a reference — a sharer's release (finish or
+        preemption) physically frees just the blocks it held alone, and a
+        prefix block leaves the index only when its last holder lets go.
+        """
+        table = self._tables.pop(seq_id, None)
+        if table is None:
+            raise KVCacheExhausted(f"sequence {seq_id} holds no blocks")
+        freed = 0
+        for block_id in table:
+            self._ref[block_id] -= 1
+            if self._ref[block_id] == 1:
+                self._shared_count -= 1
+            if self._ref[block_id] == 0:
+                del self._ref[block_id]
+                key = self._prefix_key.pop(block_id, None)
+                if key is not None:
+                    del self._prefix_index[key]
+                self._free.append(block_id)
+                freed += 1
+        return freed
+
+    # -- invariants --------------------------------------------------------------
     def assert_no_leaks(self) -> None:
         """Raise if any sequence still holds blocks (used by engine teardown)."""
-        if self._allocated:
-            held = ", ".join(str(s) for s in sorted(self._allocated))
+        if self._tables:
+            held = ", ".join(str(s) for s in sorted(self._tables))
             raise KVCacheExhausted(f"KV blocks leaked by sequences: {held}")
+        self.check_invariants()
+
+    def check_invariants(self) -> None:
+        """Structural self-check: free + allocated partition the pool exactly.
+
+        Meant for tests to call after every mutation; raises
+        :class:`KVCacheExhausted` on any violation.
+        """
+        free = set(self._free)
+        allocated = set(self._ref)
+        if len(free) != len(self._free):
+            raise KVCacheExhausted("free list contains duplicate block ids")
+        if free & allocated:
+            raise KVCacheExhausted("block ids both free and allocated")
+        if free | allocated != set(range(self._num_blocks)):
+            raise KVCacheExhausted("free + allocated blocks do not cover the pool")
+        if any(count <= 0 for count in self._ref.values()):
+            raise KVCacheExhausted("allocated block with non-positive refcount")
+        mapped: dict[int, int] = {}
+        for table in self._tables.values():
+            for block_id in table:
+                mapped[block_id] = mapped.get(block_id, 0) + 1
+        if mapped != self._ref:
+            raise KVCacheExhausted("refcounts disagree with block-table references")
+        for key, block_id in self._prefix_index.items():
+            if self._prefix_key.get(block_id) != key:
+                raise KVCacheExhausted("prefix index and reverse map disagree")
+            if block_id not in self._ref:
+                raise KVCacheExhausted("prefix index points at a free block")
+        if self._shared_count != sum(1 for c in self._ref.values() if c > 1):
+            raise KVCacheExhausted("shared-block counter disagrees with refcounts")
 
 
 class AllocationPolicy(abc.ABC):
@@ -181,6 +461,11 @@ class AllocationPolicy(abc.ABC):
     every iteration boundary (:meth:`blocks_deficit` / :meth:`grow`, which
     only the on-demand policy exercises).  :meth:`release` returns a
     sequence's blocks on finish *or* preemption.
+
+    Requests carrying a ``prefix_id`` are admitted through the pool's
+    prefix-sharing path in either policy; requests without one take the
+    exact pre-sharing code path, so non-shared workloads reproduce the
+    original accounting bit for bit.
     """
 
     #: Name surfaced in the serving report and on the CLI.
@@ -196,17 +481,57 @@ class AllocationPolicy(abc.ABC):
         """Whether the request could ever complete, even alone in the pool.
 
         Both policies need the full decoded extent to fit an empty pool — a
-        request that cannot finish solo can never finish at all.
+        request that cannot finish solo can never finish at all (sharing is
+        ignored: residency of another sequence's blocks is not guaranteed).
         """
         return self.pool.fits_at_all(request.total_tokens)
 
-    @abc.abstractmethod
+    def _share_partial(self, seq: Sequence) -> bool:
+        """Whether the trailing partial prefix block may be mapped read-only.
+
+        Only when the whole prompt *is* the shared prefix: otherwise the
+        sequence's own divergent prompt tokens land in that block during
+        prefill, which would force an immediate copy.  The reservation
+        policy never shares it (eager private copy) so it keeps its
+        no-mid-decode-allocation invariant.
+        """
+        return False
+
+    def _admit_tokens(self, seq: Sequence) -> int:
+        """KV tokens the admission-time allocation must cover."""
+        return seq.request.total_tokens
+
     def can_admit(self, seq: Sequence) -> bool:
         """Whether the pool currently has room to admit the sequence."""
+        request = seq.request
+        if request.prefix_id is None:
+            return self.pool.can_allocate(self._admit_tokens(seq))
+        return self.pool.can_allocate_shared(
+            self._admit_tokens(seq),
+            request.prefix_id,
+            request.prefix_tokens,
+            self._share_partial(seq),
+        )
 
-    @abc.abstractmethod
     def admit(self, seq: Sequence) -> int:
-        """Allocate the sequence's admission-time blocks; returns blocks taken."""
+        """Allocate the sequence's admission-time blocks; returns blocks taken.
+
+        Prefix-carrying requests map resident shared blocks read-only and
+        skip the covered prefill tokens (at least one prompt token is always
+        recomputed, so the finishing iteration still emits the first token).
+        """
+        request = seq.request
+        if request.prefix_id is None:
+            return self.pool.allocate(request.request_id, self._admit_tokens(seq))
+        fresh, hit_tokens = self.pool.allocate_shared(
+            request.request_id,
+            self._admit_tokens(seq),
+            request.prefix_id,
+            request.prefix_tokens,
+            self._share_partial(seq),
+        )
+        seq.apply_prefix_hit(hit_tokens)
+        return fresh
 
     def blocks_deficit(self, seq: Sequence, prefill_chunk: int | None = None) -> int:
         """Extra blocks the sequence needs before its next iteration (0 here)."""
@@ -227,17 +552,13 @@ class ReservationPolicy(AllocationPolicy):
     A running sequence can never exhaust the pool mid-decode, so the batch
     never shrinks involuntarily and replay is trivially deterministic — at
     the cost of holding ``max_new_tokens`` worth of blocks that are mostly
-    unwritten.
+    unwritten.  Prefix sharing maps only *full* prefix blocks (the trailing
+    partial block is copied eagerly), so no copy-on-write can ever be needed
+    mid-decode and the invariant survives sharing.
     """
 
     name = "reserve"
     grows = False
-
-    def can_admit(self, seq: Sequence) -> bool:
-        return self.pool.can_allocate(seq.request.total_tokens)
-
-    def admit(self, seq: Sequence) -> int:
-        return self.pool.allocate(seq.request.request_id, seq.request.total_tokens)
 
 
 class OnDemandPolicy(AllocationPolicy):
@@ -245,35 +566,82 @@ class OnDemandPolicy(AllocationPolicy):
 
     Admission takes blocks for the sequence's prefill extent plus one decode
     token; every later appended token grows the allocation one block at a
-    time as it crosses block boundaries.  When the pool runs dry the
-    *scheduler* preempts the lowest-precedence running sequence (this policy
-    only reports the deficit), frees its blocks, and requeues it for
-    recompute-on-resume.
+    time as it crosses block boundaries, or copies a still-shared prefix
+    block the moment the sequence first writes into it (copy-on-write).
+    When the pool runs dry the *scheduler* preempts the lowest-precedence
+    running sequence (this policy only reports the deficit), frees its
+    blocks, and requeues it for recompute-on-resume.
     """
 
     name = "ondemand"
     grows = True
 
-    def _admission_tokens(self, seq: Sequence) -> int:
+    def _admit_tokens(self, seq: Sequence) -> int:
         # Prefill extent (prompt, plus recomputed tokens when resuming) + the
         # first appended token, so a fresh admission never deficits mid-prefill.
         return seq.prefill_extent + 1
 
-    def can_admit(self, seq: Sequence) -> bool:
-        return self.pool.can_allocate(self._admission_tokens(seq))
-
-    def admit(self, seq: Sequence) -> int:
-        return self.pool.allocate(seq.request.request_id, self._admission_tokens(seq))
+    def _share_partial(self, seq: Sequence) -> bool:
+        # The *prefill extent*, not the prompt, must equal the prefix: a
+        # sequence resuming from preemption re-prefills its generated tokens
+        # (recompute_base > 0), and those divergent writes land in the tail
+        # block — mapping it shared would poison the index for later hits.
+        request = seq.request
+        return (
+            seq.prefill_extent == request.prefix_tokens
+            and request.prefix_tokens % self.pool.block_size != 0
+        )
 
     def blocks_deficit(self, seq: Sequence, prefill_chunk: int | None = None) -> int:
+        """Blocks the next emitting iteration needs (growth or one CoW copy).
+
+        Not a pure query: when the write needs no blocks but targets a
+        registered prefix block this sequence holds alone, the block is
+        un-registered *here* — the scheduler only calls :meth:`grow` on a
+        positive deficit, and the iteration boundary is the last point
+        before the divergent write.  The scheduler calls this exactly once
+        per running sequence per boundary.
+        """
         if not seq.emits_token_this_iteration(prefill_chunk):
             return 0  # mid-prefill chunks stay within the admission allocation
         tokens_after = seq.request.prompt_tokens + seq.generated_tokens + 1
         needed = self.pool.blocks_needed(tokens_after)
-        return max(0, needed - self.pool.blocks_held(seq.request.request_id))
+        growth = max(0, needed - self.pool.blocks_held(seq.request.request_id))
+        if growth:
+            return growth  # the appended token lands in a fresh private block
+        # The token lands in an existing block.  A still-shared prefix block
+        # must be copied before the write (copy-on-write, costs one block); a
+        # registered block held by this sequence alone costs nothing but must
+        # leave the prefix index *now* — its content is about to diverge, and
+        # the scheduler never calls ``grow`` on a zero deficit, so the free
+        # un-registration happens here.
+        write_pos = tokens_after - 1
+        if self.pool.cow_cost(seq.request.request_id, write_pos):
+            return 1
+        self.pool.ensure_writable(seq.request.request_id, write_pos)
+        return 0
 
     def grow(self, seq: Sequence, num_blocks: int) -> int:
-        return self.pool.grow(seq.request.request_id, num_blocks)
+        """Secure the deficit :meth:`blocks_deficit` reported.
+
+        ``num_blocks`` is deliberately advisory: preemptions between the
+        deficit computation and this call can shrink the real need (a
+        victim's release may drop a shared block's last other holder, making
+        the planned copy a free un-registration), so the executor re-derives
+        boundary growth and falls back to :meth:`BlockManager.ensure_writable`
+        for the copy-on-write case.
+        """
+        seq_id = seq.request.request_id
+        tokens_after = seq.request.prompt_tokens + seq.generated_tokens + 1
+        needed = self.pool.blocks_needed(tokens_after)
+        growth = max(0, needed - self.pool.blocks_held(seq_id))
+        if growth:
+            self.pool.grow(seq_id, growth)
+        else:
+            # Deficit without boundary growth: the write needs copy-on-write
+            # (a no-op if a preemption just dropped the block's last sharer).
+            self.pool.ensure_writable(seq_id, tokens_after - 1)
+        return self.pool.blocks_held(seq_id)
 
 
 #: CLI-selectable allocation policies, keyed by report/CLI name.

@@ -55,6 +55,13 @@ class Request:
     #: Lower value = more urgent.  The scheduler is FIFO *within* a priority
     #: class and strict-priority across classes.
     priority: int = 0
+    #: Identity of a shared prompt prefix (e.g. one of K system prompts).
+    #: Requests declaring the same ``prefix_id`` assert that their first
+    #: ``prefix_tokens`` prompt tokens are identical, so their KV blocks may
+    #: be mapped read-only by every concurrent holder (prefix caching).
+    prefix_id: int | None = None
+    #: Leading prompt tokens drawn from the shared prefix (<= prompt_tokens).
+    prefix_tokens: int = 0
 
     def __post_init__(self) -> None:
         if self.prompt_tokens <= 0:
@@ -63,6 +70,17 @@ class Request:
             raise ValueError("max_new_tokens must be positive")
         if self.arrival_time < 0:
             raise ValueError("arrival_time must be non-negative")
+        if self.prefix_id is None:
+            if self.prefix_tokens != 0:
+                raise ValueError("prefix_tokens requires a prefix_id")
+        else:
+            if self.prefix_id < 0:
+                raise ValueError("prefix_id must be non-negative")
+            if not 0 < self.prefix_tokens <= self.prompt_tokens:
+                raise ValueError(
+                    "prefix_tokens must lie in [1, prompt_tokens] when a "
+                    "prefix_id is given"
+                )
 
     @property
     def total_tokens(self) -> int:
@@ -84,6 +102,9 @@ class Sequence:
     prefill_done: bool = False
     #: Prompt tokens fed so far in the current (re-)prefill pass.
     prefill_progress: int = 0
+    #: Prefix tokens whose KV was resident at the last admission (prefix
+    #: cache hit); they are skipped by the current prefill pass.
+    prefix_hit_tokens: int = 0
     #: Generated tokens folded into the prefill extent by recompute-on-resume.
     recompute_base: int = 0
     generated_tokens: int = 0
@@ -151,6 +172,20 @@ class Sequence:
             return 0
         return self.request.total_tokens
 
+    def apply_prefix_hit(self, hit_tokens: int) -> None:
+        """Skip prefill for prefix tokens whose KV is already resident.
+
+        Called by the allocation policy at admission time, after the block
+        table has mapped the resident shared blocks.  At least one prompt
+        token is always recomputed — the iteration that finishes prefill
+        must still run to emit the first output token (vLLM recomputes the
+        last prompt token of a full-prompt cache hit for the same reason).
+        """
+        if hit_tokens < 0:
+            raise ValueError("hit_tokens must be non-negative")
+        self.prefix_hit_tokens = min(hit_tokens, self.prefill_extent - 1)
+        self.prefill_progress = self.prefix_hit_tokens
+
     # -- lifecycle transitions ---------------------------------------------------
     def admit(self, now: float) -> None:
         if self.state is not RequestState.QUEUED:
@@ -177,6 +212,7 @@ class Sequence:
         self.state = RequestState.PREEMPTED
         self.recompute_base = self.generated_tokens
         self.prefill_progress = 0
+        self.prefix_hit_tokens = 0  # re-admission re-queries the prefix index
         self.prefill_done = False
         self.preemptions += 1
         return recomputed

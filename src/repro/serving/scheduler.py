@@ -99,13 +99,36 @@ class SchedulingPolicy:
         """Batch-formation hook: may another sequence join the batch?"""
         return len(running) < config.max_batch_size
 
-    def select_victim(self, candidates: list[Sequence]) -> Sequence | None:
+    def select_victim(
+        self, candidates: list[Sequence], pool: BlockManager | None = None
+    ) -> Sequence | None:
         """Pick the running sequence to preempt when the pool runs dry.
 
         Default: the lowest-precedence sequence — maximal ``queue_key``, i.e.
-        the lowest-priority, latest-enqueued one.
+        the lowest-priority, latest-enqueued one.  When the pool is given,
+        ties inside a priority class prefer the candidate holding the fewest
+        *shared* prefix blocks: preempting a sharer returns only its private
+        blocks (the shared ones stay referenced by other sequences), so the
+        low-sharing victim frees the most memory per preemption.  Without
+        sharing every count is zero and the order is exactly the classic
+        (priority, enqueue_index) one.
+
+        The pool-aware order is expressed in terms of the *default*
+        discipline; a subclass that overrides :meth:`queue_key` should
+        override this hook too, or its victims will still be picked by
+        (priority, sharing, enqueue_index).
         """
-        return max(candidates, key=self.queue_key, default=None)
+        if pool is None:
+            return max(candidates, key=self.queue_key, default=None)
+        return max(
+            candidates,
+            key=lambda seq: (
+                seq.request.priority,
+                -pool.shared_blocks_held(seq.request.request_id),
+                seq.enqueue_index,
+            ),
+            default=None,
+        )
 
 
 class FifoPriorityPolicy(SchedulingPolicy):
@@ -187,8 +210,11 @@ class ContinuousBatchingScheduler:
         allocation, running sequences are visited in precedence order; when
         the pool cannot cover a deficit, the scheduling policy picks victims
         from the lower-precedence tail of the batch, whose blocks are freed
-        and who requeue for recompute-on-resume.  A sequence preempts *itself*
-        only when no lower-precedence victim remains (it is the tail).
+        and who requeue for recompute-on-resume.  A victim that shares
+        prefix blocks returns only its private ones (the policy therefore
+        prefers low-sharing victims), so several preemptions may be needed
+        to cover one deficit.  A sequence preempts *itself* only when no
+        lower-precedence victim remains (it is the tail).
 
         Returns the sequences preempted at this boundary.
         """
@@ -206,7 +232,7 @@ class ContinuousBatchingScheduler:
                     for s in self.running
                     if s is not seq and self.policy.queue_key(s) > self.policy.queue_key(seq)
                 ]
-                victim = self.policy.select_victim(candidates)
+                victim = self.policy.select_victim(candidates, self.block_manager)
                 if victim is None:
                     victim = seq  # tail of the batch: yield its own blocks
                 self._preempt(victim)

@@ -7,12 +7,19 @@ Three sources of traffic:
   drawn from one seeded :class:`numpy.random.Generator` so a (seed, qps,
   num_requests) triple always produces the identical request list;
 * :func:`replay_workload` — an explicit trace of ``(arrival_time,
-  prompt_tokens, max_new_tokens[, priority])`` tuples, for deterministic
-  regression tests and for replaying recorded traces;
+  prompt_tokens, max_new_tokens[, priority[, prefix_id[, prefix_tokens]]])``
+  tuples, for deterministic regression tests and for replaying recorded
+  traces;
 * :func:`load_trace` — a JSONL trace *file* (``milo serve --trace``): one
   JSON object per line with ``arrival`` / ``prompt`` / ``max_new_tokens``
-  and an optional ``priority``, schema-validated with line-numbered
-  :class:`TraceSchemaError` diagnostics.
+  and optional ``priority`` / ``prefix_id`` / ``prefix_tokens`` (shared
+  prompt-prefix identity for the engine's prefix cache), schema-validated
+  with line-numbered :class:`TraceSchemaError` diagnostics.
+
+The Poisson generator can also model a shared-system-prompt population
+(``shared_prefix_tokens`` / ``prefix_groups``): K prefix groups whose
+members carry the same ``prefix_id``, so their common KV blocks are stored
+once under prefix caching.
 
 All return plain :class:`~repro.serving.request.Request` lists sorted by
 arrival time; the engine treats them identically.
@@ -37,7 +44,7 @@ class TraceSchemaError(ValueError):
 
 #: Required and optional fields of one JSONL trace record.
 _TRACE_REQUIRED = {"arrival": (int, float), "prompt": int, "max_new_tokens": int}
-_TRACE_OPTIONAL = {"priority": int}
+_TRACE_OPTIONAL = {"priority": int, "prefix_id": int, "prefix_tokens": int}
 
 
 def poisson_workload(
@@ -48,12 +55,30 @@ def poisson_workload(
     mean_new_tokens: int = 64,
     length_jitter: float = 0.25,
     priority: int = 0,
+    shared_prefix_tokens: int = 0,
+    prefix_groups: int = 1,
 ) -> list[Request]:
     """Open-loop Poisson arrivals with jittered prompt/decode lengths.
 
     ``length_jitter`` is the coefficient of variation of the (log-normally
     distributed) lengths; 0 makes every request identical.  Lengths are
     clipped to at least 1 token.
+
+    ``shared_prefix_tokens > 0`` models a system-prompt population: each
+    request is assigned to one of ``prefix_groups`` prefix groups (uniformly
+    at random from the same seeded generator) and its prompt becomes
+    ``shared_prefix_tokens`` shared tokens followed by the jittered private
+    part, with ``prefix_id`` / ``prefix_tokens`` set so the engine's prefix
+    cache can deduplicate the shared KV.  With ``shared_prefix_tokens=0``
+    (default) the draws — and therefore the workload — are bit-identical to
+    the pre-prefix generator.
+
+    Arrivals are re-based so the first request opens the experiment at t=0
+    without discarding its exponential draw: the whole cumulative-sum is
+    shifted by the first arrival, keeping every inter-arrival gap an
+    honest exponential sample (a previous version zeroed ``arrivals[0]``,
+    which made the first gap the sum of two draws and biased achieved QPS
+    below the target).
     """
     if num_requests <= 0:
         raise ValueError("num_requests must be positive")
@@ -63,10 +88,14 @@ def poisson_workload(
         raise ValueError("mean token lengths must be positive")
     if length_jitter < 0:
         raise ValueError("length_jitter must be non-negative")
+    if shared_prefix_tokens < 0:
+        raise ValueError("shared_prefix_tokens must be non-negative")
+    if prefix_groups <= 0:
+        raise ValueError("prefix_groups must be positive")
     rng = np.random.default_rng(seed)
     interarrivals = rng.exponential(1.0 / qps, size=num_requests)
     arrivals = np.cumsum(interarrivals)
-    arrivals[0] = 0.0  # the first request opens the experiment
+    arrivals -= arrivals[0]  # the first request opens the experiment
 
     def lengths(mean: int) -> np.ndarray:
         if length_jitter == 0:
@@ -78,13 +107,19 @@ def poisson_workload(
 
     prompts = lengths(mean_prompt_tokens)
     decodes = lengths(mean_new_tokens)
+    if shared_prefix_tokens:
+        # Drawn after the legacy streams so arrivals/lengths stay identical
+        # to the same-seed workload without sharing.
+        groups = rng.integers(0, prefix_groups, size=num_requests)
     return [
         Request(
             request_id=i,
             arrival_time=float(arrivals[i]),
-            prompt_tokens=int(prompts[i]),
+            prompt_tokens=int(prompts[i]) + shared_prefix_tokens,
             max_new_tokens=int(decodes[i]),
             priority=priority,
+            prefix_id=int(groups[i]) if shared_prefix_tokens else None,
+            prefix_tokens=shared_prefix_tokens,
         )
         for i in range(num_requests)
     ]
@@ -94,26 +129,39 @@ def replay_workload(
     trace: Iterable[SequenceType[float]],
     priority: int = 0,
 ) -> list[Request]:
-    """Build requests from ``(arrival_time, prompt, max_new_tokens[, priority])`` rows.
+    """Build requests from ``(arrival_time, prompt, max_new_tokens[, priority
+    [, prefix_id[, prefix_tokens]]])`` rows.
 
     A row's optional fourth element overrides the ``priority`` default for
-    that request, so recorded traces can mix priority classes.
+    that request, so recorded traces can mix priority classes.  The optional
+    fifth element names a shared prompt prefix (``None`` disables sharing
+    for the row); the sixth gives the shared token count and defaults to the
+    whole prompt when omitted.
     """
     requests = []
     for i, row in enumerate(trace):
-        if len(row) not in (3, 4):
+        if not 3 <= len(row) <= 6:
             raise ValueError(
-                f"trace row {i} must have 3 or 4 elements "
-                f"(arrival, prompt, max_new_tokens[, priority]), got {len(row)}"
+                f"trace row {i} must have 3 to 6 elements (arrival, prompt, "
+                f"max_new_tokens[, priority[, prefix_id[, prefix_tokens]]]), "
+                f"got {len(row)}"
             )
         arrival, prompt, decode = row[0], row[1], row[2]
+        prefix_id = row[4] if len(row) >= 5 else None
+        if prefix_id is not None:
+            prefix_id = int(prefix_id)
+            prefix_tokens = int(row[5]) if len(row) == 6 else int(prompt)
+        else:
+            prefix_tokens = 0
         requests.append(
             Request(
                 request_id=i,
                 arrival_time=float(arrival),
                 prompt_tokens=int(prompt),
                 max_new_tokens=int(decode),
-                priority=int(row[3]) if len(row) == 4 else priority,
+                priority=int(row[3]) if len(row) >= 4 else priority,
+                prefix_id=prefix_id,
+                prefix_tokens=prefix_tokens,
             )
         )
     requests.sort(key=lambda r: (r.arrival_time, r.request_id))
@@ -151,6 +199,20 @@ def _validate_trace_record(lineno: int, record: object) -> dict:
     for name in ("prompt", "max_new_tokens"):
         if record[name] <= 0:
             raise TraceSchemaError(f"trace line {lineno}: {name!r} must be positive")
+    if "prefix_tokens" in record and "prefix_id" not in record:
+        raise TraceSchemaError(
+            f"trace line {lineno}: 'prefix_tokens' requires a 'prefix_id'"
+        )
+    if "prefix_id" in record:
+        if record["prefix_id"] < 0:
+            raise TraceSchemaError(
+                f"trace line {lineno}: 'prefix_id' must be non-negative"
+            )
+        prefix_tokens = record.get("prefix_tokens", record["prompt"])
+        if not 0 < prefix_tokens <= record["prompt"]:
+            raise TraceSchemaError(
+                f"trace line {lineno}: 'prefix_tokens' must lie in [1, prompt]"
+            )
     return record
 
 
@@ -175,12 +237,15 @@ def load_trace(source: Union[str, os.PathLike, IO[str], Iterable[str]]) -> list[
         except json.JSONDecodeError as exc:
             raise TraceSchemaError(f"trace line {lineno}: invalid JSON ({exc})") from None
         record = _validate_trace_record(lineno, record)
+        prefix_id = record.get("prefix_id")
         rows.append(
             (
                 record["arrival"],
                 record["prompt"],
                 record["max_new_tokens"],
                 record.get("priority", 0),
+                prefix_id,
+                record.get("prefix_tokens", record["prompt"]) if prefix_id is not None else 0,
             )
         )
     if not rows:

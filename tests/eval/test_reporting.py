@@ -28,3 +28,19 @@ class TestFormatRows:
 
     def test_empty_rows_returns_title(self):
         assert format_rows([], title="nothing") == "nothing"
+
+    def test_keys_unioned_in_first_seen_order(self):
+        """A key appearing only in later rows still gets a column."""
+        rows = [{"a": 1}, {"a": 2, "b": 3}, {"c": 4}]
+        text = format_rows(rows)
+        header = text.splitlines()[0].split()
+        assert header == ["a", "b", "c"]
+        # The first row simply shows empty cells for the later keys.
+        assert "3" in text and "4" in text
+
+    def test_missing_cells_render_empty(self):
+        rows = [{"x": 1}, {"y": 2}]
+        lines = format_rows(rows).splitlines()
+        assert lines[0].split() == ["x", "y"]
+        assert lines[2].split() == ["1"]
+        assert lines[3].split() == ["2"]

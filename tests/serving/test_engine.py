@@ -135,16 +135,26 @@ class TestResourceAccounting:
             "backend", "model", "device", "policy", "num_requests", "completed",
             "rejected", "iterations", "preemptions", "recomputed_tokens",
             "sim_time_s", "sustained_qps", "ttft_s", "tpot_s", "e2e_s", "batch",
-            "kv_cache", "kv_utilization_peak", "completion_order", "requests",
+            "kv_cache", "kv_utilization_peak", "prefix_cache",
+            "completion_order", "requests",
         }
         assert set(report) == expected_keys
         for summary in ("ttft_s", "tpot_s", "e2e_s"):
             assert set(report[summary]) == {"p50", "p95", "mean", "max"}
         assert set(report["kv_cache"]) == {"num_blocks", "block_size", "peak_used_blocks"}
+        assert set(report["prefix_cache"]) == {
+            "hit_tokens", "hit_blocks", "shared_blocks_peak", "cow_copies",
+            "dedup_ratio",
+        }
         assert report["policy"] == {"kv": "reserve", "scheduler": "priority-fifo"}
         # Reservation never preempts; utilization is a ratio of the pool.
         assert report["preemptions"] == 0 and report["recomputed_tokens"] == 0
         assert 0 < report["kv_utilization_peak"] <= 1.0
+        # No prefix-carrying requests: the cache reports all-zero / neutral.
+        assert report["prefix_cache"] == {
+            "hit_tokens": 0, "hit_blocks": 0, "shared_blocks_peak": 0,
+            "cow_copies": 0, "dedup_ratio": 1.0,
+        }
 
 
 class TestBackendInteraction:

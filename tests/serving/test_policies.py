@@ -312,3 +312,210 @@ class TestPolicyComparisonProperties:
         assert report.completed == 30
         assert report.preemptions == 0
         assert report.recomputed_tokens == 0
+
+
+def strip_prefixes(workload):
+    """The identical workload with prefix identity removed (no sharing)."""
+    from dataclasses import replace
+
+    return [replace(r, prefix_id=None, prefix_tokens=0) for r in workload]
+
+
+class TestPrefixSharingAdmission:
+    def test_shared_admission_packs_more_concurrent_sequences(self):
+        """Sharers only charge the pool for their private blocks."""
+        # Prompt = 16 shared + 8 private = 24 tokens; +1 decode token on
+        # admission -> 4 blocks each, but 2 of them shared across the group.
+        sched = make_scheduler("ondemand", num_blocks=8, block_size=8)
+        plain = make_scheduler("ondemand", num_blocks=8, block_size=8)
+        for i in range(3):
+            sched.add_request(
+                Request(
+                    request_id=i, arrival_time=0.0, prompt_tokens=24,
+                    max_new_tokens=8, prefix_id=0, prefix_tokens=16,
+                )
+            )
+            plain.add_request(req(i, prompt=24, decode=8))
+        sched.admit(now=0.0)
+        plain.admit(now=0.0)
+        assert len(plain.running) == 2   # 8 blocks / 4 per seq
+        assert len(sched.running) == 3   # 2 shared + 3 x 2 private = 8 blocks
+        assert sched.block_manager.shared_blocks == 2
+
+    def test_prefix_hit_skips_prefill_compute(self):
+        sched = make_scheduler("ondemand", num_blocks=16, block_size=8)
+        for i in range(2):
+            sched.add_request(
+                Request(
+                    request_id=i, arrival_time=0.0, prompt_tokens=24,
+                    max_new_tokens=4, prefix_id=0, prefix_tokens=16,
+                )
+            )
+        sched.admit(now=0.0)
+        first, second = sched.running
+        assert first.prefix_hit_tokens == 0      # registrar computes everything
+        assert second.prefix_hit_tokens == 16    # sharer skips the resident KV
+        assert first.tokens_this_iteration() == 24
+        assert second.tokens_this_iteration() == 8
+
+    def test_full_prompt_hit_still_computes_one_token(self):
+        """A 100% resident prompt must still run its final prefill token
+        (the iteration that emits the first output token)."""
+        sched = make_scheduler("ondemand", num_blocks=16, block_size=8)
+        for i in range(2):
+            sched.add_request(
+                Request(
+                    request_id=i, arrival_time=0.0, prompt_tokens=16,
+                    max_new_tokens=4, prefix_id=0, prefix_tokens=16,
+                )
+            )
+        sched.admit(now=0.0)
+        sharer = sched.running[1]
+        assert sharer.prefix_hit_tokens == 15
+        assert sharer.tokens_this_iteration() == 1
+
+    @pytest.mark.parametrize("policy", ["reserve", "ondemand"])
+    def test_shared_runs_drain_without_leaks(self, policy):
+        workload = poisson_workload(
+            30, qps=50.0, seed=6, mean_prompt_tokens=32, mean_new_tokens=48,
+            shared_prefix_tokens=64, prefix_groups=3,
+        )
+        engine = tiny_engine(policy, num_blocks=80)
+        report = engine.run(workload)
+        assert report.completed == 30
+        assert report.prefix_hit_tokens > 0
+        assert report.prefix_dedup_ratio > 1.0
+        engine.block_manager.assert_no_leaks()
+
+    @pytest.mark.parametrize("policy", ["reserve", "ondemand"])
+    def test_shared_runs_are_deterministic(self, policy):
+        workload = poisson_workload(
+            25, qps=50.0, seed=7, mean_new_tokens=48,
+            shared_prefix_tokens=48, prefix_groups=2,
+        )
+        first = tiny_engine(policy, num_blocks=80).run(workload).to_dict()
+        second = tiny_engine(policy, num_blocks=80).run(workload).to_dict()
+        assert first == second
+
+    def test_sole_holder_divergence_unregisters_before_late_sharer(self):
+        """A lone registrar writing into its partial prefix block must pull
+        it from the index (free, no copy) so a later group member does not
+        hit KV that has diverged from the pure prefix."""
+        sched = make_scheduler("ondemand", num_blocks=32, block_size=8)
+        shared_req = lambda i: Request(  # noqa: E731 - local literal helper
+            request_id=i, arrival_time=0.0, prompt_tokens=20,
+            max_new_tokens=6, prefix_id=0, prefix_tokens=20,
+        )
+        early = sched.add_request(shared_req(0))
+        sched.admit(now=0.0)
+        # The deficit pass before early's first emitting iteration performs
+        # the free un-registration of the about-to-diverge tail block.
+        assert sched.ensure_capacity() == []
+        early.advance(now=1.0)
+        late = sched.add_request(shared_req(1))
+        sched.admit(now=2.0)
+        assert late.prefix_hit_tokens == 16  # full blocks only, not the tail
+        assert sched.block_manager.cow_copies == 0
+        sched.block_manager.check_invariants()
+
+    def test_resumed_sequence_never_shares_the_partial_tail(self):
+        """Recompute-on-resume re-prefills generated tokens into the tail
+        block; admission must map it privately (prefill extent != prefix)
+        even though the prompt alone equals the prefix."""
+        sched = make_scheduler("ondemand", num_blocks=32, block_size=8)
+        sharers = [
+            sched.add_request(
+                Request(
+                    request_id=i, arrival_time=0.0, prompt_tokens=20,
+                    max_new_tokens=8, prefix_id=0, prefix_tokens=20,
+                )
+            )
+            for i in range(2)
+        ]
+        sched.admit(now=0.0)
+        keeper, victim = sharers
+        for seq in sharers:  # prefill: each emits its first token
+            seq.advance(now=1.0)
+        sched._preempt(victim)
+        assert victim.recompute_base == 1
+        sched.admit(now=2.0)
+        assert victim.state is RequestState.RUNNING
+        pool = sched.block_manager
+        k_table = pool.block_table(keeper.request.request_id)
+        v_table = pool.block_table(victim.request.request_id)
+        assert v_table[:2] == k_table[:2]   # full prefix blocks still shared
+        assert v_table[2] != k_table[2]     # the divergent tail is private
+        pool.check_invariants()
+
+    def test_cow_fires_end_to_end(self):
+        """Two sequences whose whole prompt is a partial-tailed prefix share
+        the tail block; the first decode write copies it (CoW) and both
+        finish with the sharer's KV intact."""
+        trace = [
+            (0.0, 20, 6, 0, 0, 20),
+            (0.0, 20, 6, 0, 0, 20),
+        ]
+        engine = tiny_engine("ondemand", num_blocks=40)
+        report = engine.run(replay_workload(trace))
+        assert report.completed == 2
+        assert report.prefix_cow_copies >= 1
+        assert report.prefix_hit_tokens > 0
+        engine.block_manager.assert_no_leaks()
+
+
+class TestPrefixSharingProperties:
+    """Shared-prefix traffic beats the identical unshared traffic under
+    on-demand allocation at equal VRAM (the ISSUE 3 acceptance property)."""
+
+    WORKLOAD = poisson_workload(
+        60, qps=40.0, seed=11, mean_prompt_tokens=16, mean_new_tokens=32,
+        shared_prefix_tokens=96, prefix_groups=2,
+    )
+
+    def test_sharing_beats_no_sharing_batch_blocks_qps(self):
+        shared_engine = tiny_engine("ondemand", num_blocks=100)
+        shared = shared_engine.run(self.WORKLOAD)
+        unshared_engine = tiny_engine("ondemand", num_blocks=100)
+        unshared = unshared_engine.run(strip_prefixes(self.WORKLOAD))
+        assert shared.completed == unshared.completed == 60
+        assert shared.peak_batch > unshared.peak_batch
+        # Strictly fewer physical block allocations serve the same workload
+        # (both runs saturate the pool, so the cumulative count is the
+        # meaningful "allocates fewer blocks" measure).
+        assert (
+            shared_engine.block_manager.physical_allocs
+            < unshared_engine.block_manager.physical_allocs
+        )
+        assert shared.kv_peak_used_blocks <= unshared.kv_peak_used_blocks
+        assert shared.sustained_qps > unshared.sustained_qps
+        assert shared.prefix_hit_tokens > 0
+        assert shared.prefix_shared_blocks_peak > 0
+        assert unshared.prefix_hit_tokens == 0
+        assert unshared.prefix_dedup_ratio == 1.0
+
+    def test_victim_selection_prefers_low_sharing_holder(self):
+        """Preempting a sharer frees little; the policy picks the private
+        holder when priorities tie, even if it enqueued earlier."""
+        pool = BlockManager(num_blocks=16, block_size=8)
+        sched = ContinuousBatchingScheduler(
+            pool,
+            SchedulerConfig(max_batch_size=8),
+            allocation=make_allocation_policy("ondemand", pool),
+        )
+        private = sched.add_request(req(0, prompt=24, decode=8))
+        sharers = [
+            sched.add_request(
+                Request(
+                    request_id=i, arrival_time=0.0, prompt_tokens=24,
+                    max_new_tokens=8, prefix_id=0, prefix_tokens=24,
+                )
+            )
+            for i in (1, 2)
+        ]
+        sched.admit(now=0.0)
+        assert len(sched.running) == 3
+        candidates = list(sched.running)
+        victim = sched.policy.select_victim(candidates, pool)
+        assert victim is private  # lowest-sharing holder despite earliest enqueue
+        # Without the pool the classic (priority, enqueue_index) order rules.
+        assert sched.policy.select_victim(candidates) is sharers[-1]

@@ -29,6 +29,24 @@ class TestRequestValidation:
         with pytest.raises(ValueError):
             make_request(**kwargs)
 
+    def test_prefix_identity_accepted(self):
+        req = make_request(prompt_tokens=16, prefix_id=3, prefix_tokens=8)
+        assert (req.prefix_id, req.prefix_tokens) == (3, 8)
+        assert make_request().prefix_id is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"prefix_tokens": 4},                                  # id missing
+            {"prefix_id": -1, "prefix_tokens": 4},                 # bad id
+            {"prefix_id": 0, "prefix_tokens": 0},                  # empty prefix
+            {"prompt_tokens": 8, "prefix_id": 0, "prefix_tokens": 9},  # > prompt
+        ],
+    )
+    def test_invalid_prefix_identity_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            make_request(**kwargs)
+
 
 class TestSequenceLifecycle:
     def test_prefill_iteration_emits_first_token(self):

@@ -29,6 +29,31 @@ class TestPoissonWorkload:
         mean_gap = np.diff(arrivals).mean()
         assert mean_gap == pytest.approx(1 / 5.0, rel=0.1)
 
+    def test_first_arrival_rebased_not_discarded(self):
+        """Regression for the first-arrival bias: re-basing must shift the
+        cumulative sum by the first draw, not zero it out — otherwise the
+        gap between requests 0 and 1 is the sum of two exponential draws
+        and achieved QPS undershoots the target."""
+        qps, n, seed = 5.0, 200, 12
+        rng = np.random.default_rng(seed)
+        draws = rng.exponential(1.0 / qps, size=n)
+        expected = np.cumsum(draws) - draws[0]
+        arrivals = np.array([r.arrival_time for r in poisson_workload(n, qps=qps, seed=seed)])
+        assert arrivals == pytest.approx(expected)
+        # In particular the first gap is exactly the second draw, not d1+d2.
+        assert arrivals[1] - arrivals[0] == pytest.approx(draws[1])
+
+    def test_mean_interarrival_unbiased_across_seeds(self):
+        """The n-1 gaps of an n-request workload average 1/qps without the
+        systematic one-extra-draw inflation the old generator had."""
+        gaps = []
+        for seed in range(20):
+            arrivals = np.array(
+                [r.arrival_time for r in poisson_workload(500, qps=8.0, seed=seed)]
+            )
+            gaps.append(np.diff(arrivals).mean())
+        assert np.mean(gaps) == pytest.approx(1 / 8.0, rel=0.02)
+
     def test_zero_jitter_gives_constant_lengths(self):
         wl = poisson_workload(20, qps=1.0, seed=0, mean_prompt_tokens=64,
                               mean_new_tokens=16, length_jitter=0.0)
@@ -50,11 +75,45 @@ class TestPoissonWorkload:
             {"num_requests": 5, "qps": 1.0, "length_jitter": -0.1},
             {"num_requests": 5, "qps": 1.0, "mean_prompt_tokens": 0},
             {"num_requests": 5, "qps": 1.0, "mean_new_tokens": -4},
+            {"num_requests": 5, "qps": 1.0, "shared_prefix_tokens": -1},
+            {"num_requests": 5, "qps": 1.0, "prefix_groups": 0},
         ],
     )
     def test_invalid_parameters_rejected(self, kwargs):
         with pytest.raises(ValueError):
             poisson_workload(**kwargs)
+
+
+class TestSharedPrefixWorkload:
+    def test_prefix_fields_and_prompt_extension(self):
+        wl = poisson_workload(
+            40, qps=4.0, seed=0, mean_prompt_tokens=32,
+            shared_prefix_tokens=128, prefix_groups=3,
+        )
+        assert all(r.prefix_tokens == 128 for r in wl)
+        assert all(r.prompt_tokens > 128 for r in wl)
+        groups = {r.prefix_id for r in wl}
+        assert groups <= {0, 1, 2} and len(groups) > 1
+
+    def test_base_streams_unchanged_by_prefix_params(self):
+        """Group assignment draws after the legacy streams, so arrivals and
+        lengths match the same-seed workload without sharing exactly."""
+        plain = poisson_workload(30, qps=4.0, seed=5, mean_prompt_tokens=32)
+        shared = poisson_workload(
+            30, qps=4.0, seed=5, mean_prompt_tokens=32,
+            shared_prefix_tokens=64, prefix_groups=4,
+        )
+        for p, s in zip(plain, shared):
+            assert s.arrival_time == p.arrival_time
+            assert s.max_new_tokens == p.max_new_tokens
+            assert s.prompt_tokens == p.prompt_tokens + 64
+
+    def test_zero_prefix_is_bit_identical_to_legacy(self):
+        plain = poisson_workload(20, qps=4.0, seed=9)
+        explicit = poisson_workload(20, qps=4.0, seed=9, shared_prefix_tokens=0,
+                                    prefix_groups=7)
+        assert plain == explicit
+        assert all(r.prefix_id is None for r in plain)
 
 
 class TestReplayWorkload:
@@ -80,8 +139,26 @@ class TestReplayWorkload:
         assert wl[1].priority == 7   # default applies to 3-element rows
 
     def test_wrong_arity_rejected(self):
-        with pytest.raises(ValueError, match="3 or 4 elements"):
+        with pytest.raises(ValueError, match="3 to 6 elements"):
             replay_workload([(0.0, 8)])
+        with pytest.raises(ValueError, match="3 to 6 elements"):
+            replay_workload([(0.0, 8, 4, 0, 1, 8, 99)])
+
+    def test_optional_prefix_columns(self):
+        wl = replay_workload([
+            (0.0, 16, 4, 0, 3, 8),   # explicit prefix_tokens
+            (1.0, 16, 4, 0, 3),      # defaults to the whole prompt
+            (2.0, 16, 4, 0, None),   # sharing disabled for the row
+            (3.0, 16, 4),            # legacy row
+        ])
+        assert (wl[0].prefix_id, wl[0].prefix_tokens) == (3, 8)
+        assert (wl[1].prefix_id, wl[1].prefix_tokens) == (3, 16)
+        assert (wl[2].prefix_id, wl[2].prefix_tokens) == (None, 0)
+        assert (wl[3].prefix_id, wl[3].prefix_tokens) == (None, 0)
+
+    def test_invalid_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            replay_workload([(0.0, 16, 4, 0, 1, 32)])  # prefix > prompt
 
 
 class TestLoadTrace:
@@ -130,3 +207,42 @@ class TestLoadTrace:
             load_trace([good, '{"arrival": 0, "prompt": 0, "max_new_tokens": 4}'])
         with pytest.raises(TraceSchemaError, match="line 1: 'arrival' must be non-negative"):
             load_trace(['{"arrival": -1, "prompt": 8, "max_new_tokens": 4}'])
+
+    def test_prefix_fields_load(self):
+        wl = load_trace([
+            '{"arrival": 0, "prompt": 16, "max_new_tokens": 4, "prefix_id": 2, "prefix_tokens": 8}',
+            '{"arrival": 1, "prompt": 16, "max_new_tokens": 4, "prefix_id": 2}',
+            '{"arrival": 2, "prompt": 16, "max_new_tokens": 4}',
+        ])
+        assert (wl[0].prefix_id, wl[0].prefix_tokens) == (2, 8)
+        assert (wl[1].prefix_id, wl[1].prefix_tokens) == (2, 16)  # whole prompt
+        assert (wl[2].prefix_id, wl[2].prefix_tokens) == (None, 0)
+
+    @pytest.mark.parametrize(
+        "line, match",
+        [
+            (
+                '{"arrival": 0, "prompt": 8, "max_new_tokens": 4, "prefix_tokens": 4}',
+                "requires a 'prefix_id'",
+            ),
+            (
+                '{"arrival": 0, "prompt": 8, "max_new_tokens": 4, "prefix_id": -1}',
+                "'prefix_id' must be non-negative",
+            ),
+            (
+                '{"arrival": 0, "prompt": 8, "max_new_tokens": 4, "prefix_id": 0, "prefix_tokens": 9}',
+                r"'prefix_tokens' must lie in \[1, prompt\]",
+            ),
+            (
+                '{"arrival": 0, "prompt": 8, "max_new_tokens": 4, "prefix_id": 0, "prefix_tokens": 0}',
+                r"'prefix_tokens' must lie in \[1, prompt\]",
+            ),
+            (
+                '{"arrival": 0, "prompt": 8, "max_new_tokens": 4, "prefix_id": "a"}',
+                "must be int",
+            ),
+        ],
+    )
+    def test_invalid_prefix_fields_name_the_line(self, line, match):
+        with pytest.raises(TraceSchemaError, match=match):
+            load_trace([line])

@@ -9,7 +9,8 @@ import json
 
 import pytest
 
-from repro.cli import SERVE_BACKENDS, build_parser, main
+from repro.cli import SERVE_BACKENDS, SERVE_KV_POLICIES, build_parser, main
+from repro.serving import ALLOCATION_POLICIES
 
 
 class TestParser:
@@ -73,14 +74,26 @@ class TestServeParser:
         assert args.trace is None
         assert args.per_request is False
 
-    @pytest.mark.parametrize("policy", ["reserve", "ondemand"])
+    @pytest.mark.parametrize("policy", sorted(ALLOCATION_POLICIES))
     def test_kv_policy_choices_parse(self, policy):
         args = build_parser().parse_args(["serve", "--kv-policy", policy])
         assert args.kv_policy == policy
 
+    def test_kv_policy_choices_derive_from_registry(self):
+        """No hardcoded duplicate of the policy registry to drift out of sync."""
+        assert set(SERVE_KV_POLICIES) == set(ALLOCATION_POLICIES)
+
     def test_kv_policy_rejects_unknown(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["serve", "--kv-policy", "paging"])
+
+    def test_shared_prefix_flags_parse(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.shared_prefix_tokens == 0 and args.prefix_groups == 1
+        args = build_parser().parse_args(
+            ["serve", "--shared-prefix-tokens", "256", "--prefix-groups", "4"]
+        )
+        assert args.shared_prefix_tokens == 256 and args.prefix_groups == 4
 
     def test_prefill_chunk_parses(self):
         args = build_parser().parse_args(["serve", "--prefill-chunk", "32"])
@@ -156,7 +169,7 @@ class TestServeCommand:
         "backend", "model", "device", "policy", "num_requests", "completed",
         "rejected", "iterations", "preemptions", "recomputed_tokens",
         "sim_time_s", "sustained_qps", "ttft_s", "tpot_s", "e2e_s", "batch",
-        "kv_cache", "kv_utilization_peak",
+        "kv_cache", "kv_utilization_peak", "prefix_cache",
     }
 
     def serve(self, capsys, *extra):
@@ -302,6 +315,37 @@ class TestServeCommand:
         trace.write_text(payload)
         assert main(["serve", "--replay", str(trace)]) == 2
         assert "invalid workload" in capsys.readouterr().err
+
+    def test_serve_shared_prefix_workload_reports_hits(self, capsys):
+        code, out = self.serve(
+            capsys, "--kv-policy", "ondemand",
+            "--shared-prefix-tokens", "128", "--prefix-groups", "2",
+        )
+        assert code == 0
+        report = json.loads(out)
+        assert report["completed"] == 12
+        cache = report["prefix_cache"]
+        assert cache["hit_tokens"] > 0 and cache["hit_blocks"] > 0
+        assert cache["dedup_ratio"] > 1.0
+
+    def test_serve_shared_prefix_is_deterministic(self, capsys):
+        flags = ("--kv-policy", "ondemand", "--shared-prefix-tokens", "64",
+                 "--prefix-groups", "3")
+        _, first = self.serve(capsys, *flags)
+        _, second = self.serve(capsys, *flags)
+        assert first == second  # byte-identical JSON
+
+    def test_serve_trace_with_prefix_fields(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        trace.write_text(
+            '{"arrival": 0.0, "prompt": 64, "max_new_tokens": 4, "prefix_id": 0, "prefix_tokens": 48}\n'
+            '{"arrival": 0.0, "prompt": 64, "max_new_tokens": 4, "prefix_id": 0, "prefix_tokens": 48}\n'
+        )
+        code = main(["serve", "--trace", str(trace), "--kv-policy", "ondemand"])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["completed"] == 2
+        assert report["prefix_cache"]["hit_tokens"] > 0
 
     def test_serve_all_rejected_report_is_valid_json(self, capsys):
         """Zero completions must serialize as null, not the invalid-JSON NaN."""
