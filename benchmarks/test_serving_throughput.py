@@ -20,7 +20,12 @@ translate into *serving capacity*:
 * on shared-prefix traffic (K system prompts), prefix caching stores each
   group's common KV blocks once: the same VRAM sustains a strictly larger
   peak batch with strictly fewer physical block allocations and higher QPS
-  than the identical traffic without sharing (the prefix-sharing section).
+  than the identical traffic without sharing (the prefix-sharing section);
+* sharding the KV pool and the routed experts across 1/2/4 devices scales
+  sustained QPS, and — at equal total VRAM — frequency-aware expert
+  placement strictly beats round-robin under the paper's Fig. 3 routing
+  skew, because the iteration cost is the max over per-device expert loads
+  (the cluster-scaling section).
 """
 
 from dataclasses import replace
@@ -28,6 +33,7 @@ from dataclasses import replace
 import pytest
 
 from _helpers import format_rows, save_result
+from repro.analysis.expert_frequency import fig3_reference_frequencies
 from repro.runtime import OutOfMemoryError
 from repro.runtime.backends import (
     GPTQ3bitBackend,
@@ -162,15 +168,69 @@ def run_prefix_sharing_comparison():
     return rows, results
 
 
+def run_cluster_scaling():
+    """QPS at 1/2/4 devices under Fig. 3-skewed routing, per placement.
+
+    DeepSeek-grade skew (11.7x max/min) over Mixtral's 8 experts.  The
+    iteration cost is the max over per-device costs, so whichever device the
+    round-robin placement hands the hot experts becomes the straggler every
+    iteration; frequency-aware (LPT) placement flattens the expert mass.
+    The acceptance comparison is *equal total VRAM*: both placements run on
+    the identical 4-device group, and the only difference is which device
+    hosts which expert.
+    """
+    freqs = tuple(fig3_reference_frequencies(8, imbalance_ratio=11.7))
+    workload = poisson_workload(
+        250, qps=32.0, seed=0, mean_prompt_tokens=128, mean_new_tokens=192,
+        length_jitter=0.0,
+    )
+    rows = []
+    reports = {}
+    for devices in (1, 2, 4):
+        for placement in ("balanced", "frequency"):
+            if devices == 1 and placement == "frequency":
+                continue  # one device hosts every expert either way
+            config = EngineConfig(
+                max_batch_size=100_000, kv_policy="ondemand", reserve_gb=17.0,
+                devices=devices, placement=placement, expert_frequencies=freqs,
+            )
+            report = ServingEngine(MiLoBackend(), "mixtral-8x7b", config).run(workload)
+            reports[(devices, placement)] = report
+            cluster = report.to_dict().get("cluster")
+            rows.append(
+                {
+                    "devices": devices,
+                    "placement": placement if devices > 1 else "-",
+                    "qps": round(report.sustained_qps, 2),
+                    "ttft_p50_s": round(report.ttft["p50"], 2),
+                    "peak_batch": report.peak_batch,
+                    "straggler": round(cluster["straggler_ratio"], 3) if cluster else 1.0,
+                    "alltoall_tok": int(cluster["alltoall_tokens"]) if cluster else 0,
+                    "experts/dev": (
+                        "/".join(str(p["experts"]) for p in cluster["per_device"])
+                        if cluster
+                        else "8"
+                    ),
+                }
+            )
+    return rows, reports
+
+
 @pytest.mark.benchmark(group="serving")
 def test_serving_throughput_under_load(benchmark):
     def run_all():
-        return run_serving_comparison(), run_policy_comparison(), run_prefix_sharing_comparison()
+        return (
+            run_serving_comparison(),
+            run_policy_comparison(),
+            run_prefix_sharing_comparison(),
+            run_cluster_scaling(),
+        )
 
     (
         (rows, reports, capacity),
         (policy_rows, policy_reports),
         (prefix_rows, prefix_results),
+        (cluster_rows, cluster_reports),
     ) = benchmark.pedantic(run_all, rounds=1, iterations=1)
     save_result(
         "serving_throughput",
@@ -194,8 +254,39 @@ def test_serving_throughput_under_load(benchmark):
                 "512 shared + 64 private prompt tokens across 4 prefix groups "
                 "(same KV-bound 40 GB device, with vs without prefix caching)"
             ),
+        )
+        + "\n\n"
+        + format_rows(
+            cluster_rows,
+            title=(
+                "Cluster scaling: MiLo ondemand, Poisson 32 QPS, 250 requests of "
+                "128+192 tokens, Fig. 3 skew 11.7x over 8 experts "
+                "(expert-parallel A100-40GB group; placement compared at equal "
+                "total VRAM per device count)"
+            ),
         ),
     )
+
+    # Expert-parallel scaling: more devices sustain strictly higher QPS on
+    # the same skewed traffic, and at 4 devices (equal total VRAM between
+    # the two placements) frequency-aware placement strictly beats
+    # round-robin — routing skew turned into a measured straggler cost.
+    assert cluster_reports[(2, "balanced")].sustained_qps > cluster_reports[
+        (1, "balanced")
+    ].sustained_qps
+    balanced4 = cluster_reports[(4, "balanced")]
+    frequency4 = cluster_reports[(4, "frequency")]
+    assert frequency4.sustained_qps > balanced4.sustained_qps
+    assert frequency4.sim_time_s < balanced4.sim_time_s
+    b4 = balanced4.to_dict()["cluster"]
+    f4 = frequency4.to_dict()["cluster"]
+    assert f4["straggler_ratio"] < b4["straggler_ratio"]
+    # Equal total VRAM: the placements shard the same pool sizes in total.
+    assert sum(p["kv_blocks"] for p in f4["per_device"]) == pytest.approx(
+        sum(p["kv_blocks"] for p in b4["per_device"]), rel=0.02
+    )
+    for rep in cluster_reports.values():
+        assert rep.completed == 250 and rep.rejected == 0
 
     # Prefix caching on shared-prefix traffic: strictly larger peak batch
     # from strictly fewer physical block allocations, and higher sustained

@@ -7,7 +7,11 @@ from .distribution import (
     kurtosis_error_correlation,
     sample_layer_weights,
 )
-from .expert_frequency import ExpertFrequencyProfile, profile_expert_frequency
+from .expert_frequency import (
+    ExpertFrequencyProfile,
+    fig3_reference_frequencies,
+    profile_expert_frequency,
+)
 from .kurtosis import MatrixKurtosis, kurtosis_by_kind, model_kurtosis_records
 from .residual_rank import (
     ResidualRankRecord,
@@ -26,6 +30,7 @@ __all__ = [
     "residual_rank_by_kind",
     "ExpertFrequencyProfile",
     "profile_expert_frequency",
+    "fig3_reference_frequencies",
     "WeightSample",
     "sample_layer_weights",
     "histogram_overlap",

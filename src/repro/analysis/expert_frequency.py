@@ -16,7 +16,40 @@ import numpy as np
 
 from ..models.transformer import MoETransformer
 
-__all__ = ["ExpertFrequencyProfile", "profile_expert_frequency"]
+__all__ = [
+    "ExpertFrequencyProfile",
+    "profile_expert_frequency",
+    "fig3_reference_frequencies",
+]
+
+
+def fig3_reference_frequencies(
+    num_experts: int, imbalance_ratio: float = 4.0
+) -> np.ndarray:
+    """A deterministic Fig. 3-style skewed expert-frequency distribution.
+
+    Geometric decay in expert id with an exact ``max/min == imbalance_ratio``
+    (``f_i \\propto ratio^{-i/(E-1)}``), normalized to sum to 1.  The paper's
+    Fig. 3 reports mild skew for Mixtral's 8 coarse experts (a few x) and an
+    11.7x max/min ratio for DeepSeek's fine-grained experts; the default of
+    4.0 sits in Mixtral's regime, and callers studying DeepSeek-like routing
+    pass ``imbalance_ratio=11.7``.
+
+    This is the routing-skew model the multi-GPU serving engine uses when no
+    measured :class:`ExpertFrequencyProfile` is supplied: the per-iteration
+    expert token load is apportioned by these frequencies, so a frequency-
+    blind expert placement concentrates hot experts onto straggler devices
+    exactly the way the measured skew would.
+    """
+    if num_experts <= 0:
+        raise ValueError("num_experts must be positive")
+    if imbalance_ratio < 1.0:
+        raise ValueError("imbalance_ratio must be >= 1")
+    if num_experts == 1:
+        return np.ones(1)
+    exponents = np.arange(num_experts) / (num_experts - 1)
+    freqs = imbalance_ratio ** (-exponents)
+    return freqs / freqs.sum()
 
 
 @dataclass

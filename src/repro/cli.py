@@ -32,6 +32,7 @@ from .kernels import UnsupportedBatchError, default_backends
 from .kernels.device import A100_40GB, A100_80GB
 from .models import REFERENCE_FFN_SHAPES, available_models, build_model
 from .models.registry import FULL_MODEL_SPECS
+from .serving.cluster import PLACEMENT_POLICIES
 from .serving.kv_cache import ALLOCATION_POLICIES
 
 __all__ = ["main", "build_parser"]
@@ -42,6 +43,8 @@ SERVE_DEVICES = {"a100-40gb": A100_40GB, "a100-80gb": A100_80GB}
 #: Derived from the allocation-policy registry so policies registered there
 #: appear on ``--kv-policy`` automatically (no hardcoded duplicate to drift).
 SERVE_KV_POLICIES = tuple(sorted(ALLOCATION_POLICIES))
+#: Likewise derived from the expert-placement registry (``--placement``).
+SERVE_PLACEMENTS = tuple(sorted(PLACEMENT_POLICIES))
 
 
 def _make_policy(args: argparse.Namespace, config) -> object | None:
@@ -183,6 +186,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             reserve_gb=args.reserve_gb,
             kv_policy=args.kv_policy,
             prefill_chunk=args.prefill_chunk,
+            devices=args.devices,
+            placement=args.placement,
         )
     except ValueError as exc:
         print(f"invalid serving config: {exc}", file=sys.stderr)
@@ -199,6 +204,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
                     "detail": str(exc),
                     "required_gb": exc.required_gb,
                     "available_gb": exc.available_gb,
+                    "device": exc.device,
                 },
                 indent=2,
             )
@@ -314,6 +320,21 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="feed at most N prompt tokens per iteration (Sarathi-style chunked prefill)",
+    )
+    s.add_argument(
+        "--devices",
+        type=int,
+        default=1,
+        help="serve expert-parallel on N copies of the device: KV block pool "
+        "sharded per device, experts placed by --placement, iteration cost = "
+        "max over per-device costs (1 = the single-device engine, bit-for-bit)",
+    )
+    s.add_argument(
+        "--placement",
+        default="balanced",
+        choices=SERVE_PLACEMENTS,
+        help="expert placement across devices: round-robin by id ('balanced') "
+        "or Fig. 3 skew-aware greedy packing ('frequency')",
     )
     workload_source = s.add_mutually_exclusive_group()
     workload_source.add_argument(

@@ -39,6 +39,11 @@ class DeviceSpec:
     kernel_launch_overhead: float
     #: Latency of one inter-thread-block global synchronization in seconds.
     global_sync_latency: float
+    #: Achievable per-direction device-to-device interconnect bandwidth in
+    #: bytes/s (NVLink 3.0 on the A100: 300 GB/s nominal, ~80% achievable).
+    #: Used by the multi-GPU serving engine to price expert-parallel
+    #: all-to-all token dispatch; irrelevant on a single device.
+    interconnect_bandwidth: float = 240e9
 
     @property
     def effective_bandwidth(self) -> float:

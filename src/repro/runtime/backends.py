@@ -63,11 +63,15 @@ class OutOfMemoryError(RuntimeError):
         backend: str | None = None,
         required_gb: float | None = None,
         available_gb: float | None = None,
+        device: str | None = None,
     ) -> None:
         super().__init__(message)
         self.backend = backend
         self.required_gb = required_gb
         self.available_gb = available_gb
+        #: Which device ran out (e.g. ``"gpu2"`` in a multi-GPU serving
+        #: cluster); ``None`` when the demand is not device-specific.
+        self.device = device
 
     @property
     def deficit_gb(self) -> float | None:

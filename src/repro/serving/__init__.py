@@ -32,6 +32,14 @@ Memory and scheduling decisions are *policies*, not hard-wired behavior:
   block identity, CoW on the first divergent write) and skip the covered
   prefill compute; the report's ``prefix_cache`` section counts hits,
   shared blocks, CoW copies and the dedup ratio.
+* Multi-GPU expert parallelism (``EngineConfig.devices > 1``): the KV pool
+  becomes a :class:`ShardedBlockManager` (one per-device pool, sequences
+  pinned to a least-loaded home device) and the routed experts are placed
+  by an :class:`ExpertPlacement` from the :data:`PLACEMENT_POLICIES`
+  registry (``balanced`` round-robin vs ``frequency`` Fig. 3 skew-aware
+  packing); the iteration cost is the max over per-device costs plus an
+  all-to-all dispatch term, and the report gains a ``cluster`` section.
+  One device reduces to the single-device engine byte-for-byte.
 
 Modules
 -------
@@ -54,9 +62,22 @@ Modules
     preemption/recompute counters and peak KV utilization.
 ``workload``
     Seeded Poisson, replay-trace and JSONL trace-file workload loaders.
+``cluster``
+    :class:`DeviceGroup`, :class:`ExpertPlacement` policies and the
+    :class:`ShardedBlockManager` per-device KV pools.
 """
 
-from .engine import EngineConfig, ServingEngine, ServingReport
+from .cluster import (
+    PLACEMENT_POLICIES,
+    BalancedPlacement,
+    DeviceGroup,
+    ExpertPlacement,
+    FrequencyPlacement,
+    ShardedBlockManager,
+    make_expert_placement,
+    split_tokens,
+)
+from .engine import EngineConfig, ServingEngine, ServingReport, expert_weight_fraction
 from .kv_cache import (
     ALLOCATION_POLICIES,
     AllocationPolicy,
@@ -97,6 +118,15 @@ __all__ = [
     "EngineConfig",
     "ServingEngine",
     "ServingReport",
+    "expert_weight_fraction",
+    "DeviceGroup",
+    "ExpertPlacement",
+    "BalancedPlacement",
+    "FrequencyPlacement",
+    "PLACEMENT_POLICIES",
+    "make_expert_placement",
+    "split_tokens",
+    "ShardedBlockManager",
     "poisson_workload",
     "replay_workload",
     "load_trace",

@@ -48,6 +48,20 @@ prefill compute is skipped), so K sequences sharing a system prompt store
 its KV once.  The report's ``prefix_cache`` section counts hit tokens and
 blocks, the peak number of physically shared blocks, copy-on-write copies,
 and the dedup ratio (logical blocks mapped per physical block allocated).
+
+Multi-GPU (``devices > 1``)
+---------------------------
+The routed experts are sharded across N copies of the backend's device by an
+:class:`~repro.serving.cluster.ExpertPlacement` (``balanced`` round-robin or
+``frequency`` skew-aware packing) and the KV pool becomes a
+:class:`~repro.serving.cluster.ShardedBlockManager` — one per-device pool,
+sized from that device's *own* leftover VRAM (replicated weights + its
+experts' share), each admission pinned to the least-loaded home device.  The
+iteration cost becomes the max over per-device costs: every device runs its
+experts' share of the token load (split by Fig. 3 routing-frequency mass, so
+skew creates stragglers) plus an all-to-all term for tokens dispatched to
+remote experts.  ``devices=1`` reduces to the exact pre-sharding engine,
+byte for byte (``tests/serving/test_golden_equivalence.py`` pins this).
 """
 
 from __future__ import annotations
@@ -55,14 +69,37 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable
 
+from ..analysis.expert_frequency import fig3_reference_frequencies
 from ..models.registry import FULL_MODEL_SPECS, FullModelSpec
 from ..runtime.backends import InferenceBackend, OutOfMemoryError
+from ..runtime.memory import build_inventory
 from ..eval.reporting import summarize_latencies
+from .cluster import (
+    PLACEMENT_POLICIES,
+    DeviceGroup,
+    ShardedBlockManager,
+    make_expert_placement,
+    split_tokens,
+)
 from .kv_cache import ALLOCATION_POLICIES, BlockManager, blocks_for_budget, make_allocation_policy
 from .request import Request, Sequence
 from .scheduler import ContinuousBatchingScheduler, FifoPriorityPolicy, SchedulerConfig
 
-__all__ = ["EngineConfig", "ServingReport", "ServingEngine"]
+__all__ = ["EngineConfig", "ServingReport", "ServingEngine", "expert_weight_fraction"]
+
+
+def expert_weight_fraction(spec: FullModelSpec) -> float:
+    """Fraction of the model's parameters held in routed-expert matrices.
+
+    Expert parallelism shards exactly this fraction across the device group;
+    everything else (attention, shared experts, embeddings, norms, router,
+    LM head) is replicated on every device.  For Mixtral-8x7B the routed
+    experts are ~96% of the checkpoint, which is why sharding them lets even
+    the FP16 model fit a group of 40 GB devices that it OOMs individually.
+    """
+    inventory = build_inventory(spec)
+    expert_params = sum(m * n for m, n in inventory.expert_shapes)
+    return min(1.0, expert_params / (spec.params_billions * 1e9))
 
 
 @dataclass(frozen=True)
@@ -83,6 +120,20 @@ class EngineConfig:
     #: Sarathi-style chunked prefill: feed at most this many prompt tokens
     #: per iteration; ``None`` processes the whole prompt in one iteration.
     prefill_chunk: int | None = None
+    #: Number of devices serving the model expert-parallel.  ``1`` (default)
+    #: is the single-device engine, bit-for-bit; ``N > 1`` shards the KV
+    #: block pool and the routed experts across N copies of the backend's
+    #: device, with the iteration cost the max over per-device costs.
+    devices: int = 1
+    #: Expert placement policy: ``"balanced"`` round-robin or ``"frequency"``
+    #: (Fig. 3 skew-aware greedy packing) — see
+    #: :data:`~repro.serving.cluster.PLACEMENT_POLICIES`.
+    placement: str = "balanced"
+    #: Per-expert routing frequencies driving expert load and the
+    #: ``frequency`` placement; ``None`` uses the paper's Fig. 3 reference
+    #: skew (:func:`~repro.analysis.expert_frequency.fig3_reference_frequencies`).
+    #: Must have one entry per routed expert of the served model.
+    expert_frequencies: tuple[float, ...] | None = None
 
     def __post_init__(self) -> None:
         if self.block_size <= 0:
@@ -99,6 +150,20 @@ class EngineConfig:
             )
         if self.prefill_chunk is not None and self.prefill_chunk <= 0:
             raise ValueError("prefill_chunk must be positive (or None to disable)")
+        if self.devices <= 0:
+            raise ValueError("devices must be positive")
+        if self.placement not in PLACEMENT_POLICIES:
+            raise ValueError(
+                f"placement must be one of {sorted(PLACEMENT_POLICIES)}, "
+                f"got {self.placement!r}"
+            )
+        if self.expert_frequencies is not None:
+            # len() rather than truthiness: callers pass numpy arrays
+            # straight from fig3_reference_frequencies / measured profiles.
+            if len(self.expert_frequencies) == 0:
+                raise ValueError("expert_frequencies must be non-empty when given")
+            if any(f <= 0 for f in self.expert_frequencies):
+                raise ValueError("expert_frequencies must all be positive")
 
 
 @dataclass
@@ -134,10 +199,15 @@ class ServingReport:
     prefix_dedup_ratio: float
     completion_order: list[int]
     requests: list[dict]
+    #: Multi-GPU section: per-device KV utilization, expert counts, straggler
+    #: ratio and all-to-all traffic.  ``None`` on a single-device engine, and
+    #: then absent from :meth:`to_dict` — keeping single-device reports
+    #: byte-identical to the pre-sharding engine.
+    cluster: dict | None = None
 
     def to_dict(self) -> dict:
         """JSON-serializable view (the ``milo serve`` report schema)."""
-        return {
+        out = {
             "backend": self.backend,
             "model": self.model,
             "device": self.device,
@@ -170,6 +240,9 @@ class ServingReport:
             "completion_order": list(self.completion_order),
             "requests": [dict(r) for r in self.requests],
         }
+        if self.cluster is not None:
+            out["cluster"] = dict(self.cluster)
+        return out
 
 
 class ServingEngine:
@@ -189,18 +262,78 @@ class ServingEngine:
         self.spec = spec
         self.config = config or EngineConfig()
 
-        free_gb = backend.free_memory_gb(spec)  # raises OutOfMemoryError on misfit
-        kv_budget_gb = free_gb - self.config.reserve_gb
-        num_blocks = blocks_for_budget(spec, kv_budget_gb, self.config.block_size)
-        if num_blocks <= 0:
-            raise OutOfMemoryError(
-                f"{backend.name}: {spec.name} weights fit but leave no VRAM for "
-                f"KV cache ({free_gb:.1f} GB free, {self.config.reserve_gb:.1f} GB reserved)",
-                backend=backend.name,
-                required_gb=backend.model_memory_gb(spec) + self.config.reserve_gb,
-                available_gb=backend.device.memory_gb,
+        if self.config.expert_frequencies is not None:
+            if len(self.config.expert_frequencies) != spec.num_experts:
+                raise ValueError(
+                    f"expert_frequencies has {len(self.config.expert_frequencies)} "
+                    f"entries but {spec.name} routes over {spec.num_experts} experts"
+                )
+            frequencies = tuple(float(f) for f in self.config.expert_frequencies)
+        else:
+            frequencies = tuple(fig3_reference_frequencies(spec.num_experts))
+        self.device_group = DeviceGroup.replicate(backend.device, self.config.devices)
+        self.placement = make_expert_placement(
+            self.config.placement, frequencies, self.config.devices
+        )
+        #: Interconnect time to dispatch one routed token to a remote expert
+        #: and combine its output back (hidden activations cross twice, FP16).
+        self._alltoall_s_per_token = (
+            2 * spec.hidden_size * 2 / backend.device.interconnect_bandwidth
+        )
+
+        if self.config.devices == 1:
+            # Single device: the exact pre-sharding construction (one global
+            # free-memory check, one physical pool).
+            free_gb = backend.free_memory_gb(spec)  # raises OutOfMemoryError on misfit
+            kv_budget_gb = free_gb - self.config.reserve_gb
+            num_blocks = blocks_for_budget(spec, kv_budget_gb, self.config.block_size)
+            if num_blocks <= 0:
+                raise OutOfMemoryError(
+                    f"{backend.name}: {spec.name} weights fit but leave no VRAM for "
+                    f"KV cache ({free_gb:.1f} GB free, {self.config.reserve_gb:.1f} GB reserved)",
+                    backend=backend.name,
+                    required_gb=backend.model_memory_gb(spec) + self.config.reserve_gb,
+                    available_gb=backend.device.memory_gb,
+                    device=self.device_group.names[0],
+                )
+            self.block_manager: BlockManager | ShardedBlockManager = BlockManager(
+                num_blocks=num_blocks, block_size=self.config.block_size
             )
-        self.block_manager = BlockManager(num_blocks=num_blocks, block_size=self.config.block_size)
+        else:
+            # Expert parallelism: the routed experts are sharded by the
+            # placement, everything else replicated, so each device's weight
+            # footprint — and therefore its KV pool — depends on how many
+            # experts it hosts.  Admission capacity is re-checked *per
+            # device*: a global average can say "fits" while the device the
+            # frequency placement loaded with extra experts has no room.
+            total_weights_gb = backend.model_memory_gb(spec)
+            expert_frac = expert_weight_fraction(spec)
+            pools = []
+            for d, name in enumerate(self.device_group.names):
+                local_experts = self.placement.experts_on(d)
+                weights_gb = total_weights_gb * (
+                    (1.0 - expert_frac) + expert_frac * local_experts / spec.num_experts
+                )
+                free_gb = backend.device.memory_gb - weights_gb
+                kv_budget_gb = free_gb - self.config.reserve_gb
+                num_blocks = blocks_for_budget(spec, kv_budget_gb, self.config.block_size)
+                if num_blocks <= 0:
+                    raise OutOfMemoryError(
+                        f"{backend.name}: {name} hosts {local_experts}/{spec.num_experts} "
+                        f"experts of {spec.name} ({weights_gb:.1f} GB of weights) and has "
+                        f"no VRAM left for KV cache ({free_gb:.1f} GB free, "
+                        f"{self.config.reserve_gb:.1f} GB reserved)",
+                        backend=backend.name,
+                        required_gb=weights_gb + self.config.reserve_gb,
+                        available_gb=backend.device.memory_gb,
+                        device=name,
+                    )
+                pools.append(
+                    BlockManager(num_blocks=num_blocks, block_size=self.config.block_size)
+                )
+            self.block_manager = ShardedBlockManager(
+                pools, device_names=self.device_group.names
+            )
 
     # -- capacity ----------------------------------------------------------------
     def max_batch_size(self, tokens_per_sequence: int) -> int:
@@ -240,6 +373,12 @@ class ServingEngine:
         peak_batch = 0
         peak_used_blocks = 0
         peak_shared_blocks = 0
+        num_devices = len(self.device_group)
+        device_mass = self.placement.device_mass
+        peak_used_per_device = [0] * num_devices
+        straggler_max_s = 0.0
+        straggler_sum_s = 0.0
+        alltoall_tokens = 0.0
         latency_cache: dict[int, float] = {}
 
         while next_arrival < len(pending) or scheduler.has_work:
@@ -258,27 +397,107 @@ class ServingEngine:
                     continue
                 break
 
+            # The iteration costs the *max* over per-device costs: each
+            # device runs its resident experts' share of the token load
+            # (split by routing frequency mass — skew makes stragglers) plus
+            # the all-to-all dispatch of routed tokens whose home device is
+            # not the expert's.  One device degenerates to the whole batch
+            # at zero dispatch — the exact pre-sharding iteration latency.
             tokens = scheduler.batch_tokens()
-            step = latency_cache.get(tokens)
-            if step is None:
-                step = self.backend.iteration_latency(self.spec, tokens).total
-                latency_cache[tokens] = step
+            chunk = scheduler.config.prefill_chunk
+            if num_devices == 1:
+                home_tokens = [tokens]
+            else:
+                home_tokens = [0] * num_devices
+                for seq in scheduler.running:
+                    home_tokens[seq.home_device] += seq.tokens_this_iteration(chunk)
+            step = 0.0
+            max_compute = 0.0
+            for d, load in enumerate(split_tokens(tokens, device_mass)):
+                if load:
+                    compute = latency_cache.get(load)
+                    if compute is None:
+                        compute = self.backend.iteration_latency(self.spec, load).total
+                        latency_cache[load] = compute
+                else:
+                    compute = 0.0
+                remote = (
+                    load * self.spec.experts_per_token * (tokens - home_tokens[d]) / tokens
+                )
+                alltoall_tokens += remote
+                straggler_sum_s += compute
+                max_compute = max(max_compute, compute)
+                step = max(step, compute + remote * self._alltoall_s_per_token)
+            straggler_max_s += max_compute
             clock += step
             iterations += 1
             total_tokens += tokens
             peak_batch = max(peak_batch, len(scheduler.running))
             peak_used_blocks = max(peak_used_blocks, self.block_manager.used_blocks)
             peak_shared_blocks = max(peak_shared_blocks, self.block_manager.shared_blocks)
+            if num_devices > 1:
+                for d in range(num_devices):
+                    peak_used_per_device[d] = max(
+                        peak_used_per_device[d], self.block_manager.used_blocks_on(d)
+                    )
 
             for seq in scheduler.running:
                 seq.advance(clock, scheduler.config.prefill_chunk)
             scheduler.evict_finished()
 
         self.block_manager.assert_no_leaks()
+        cluster = None
+        if num_devices > 1:
+            cluster = self._cluster_section(
+                peak_used_per_device, straggler_max_s, straggler_sum_s, alltoall_tokens
+            )
         return self._build_report(
             scheduler, clock, iterations, total_tokens, peak_batch, peak_used_blocks,
-            peak_shared_blocks,
+            peak_shared_blocks, cluster,
         )
+
+    def _cluster_section(
+        self,
+        peak_used_per_device: list[int],
+        straggler_max_s: float,
+        straggler_sum_s: float,
+        alltoall_tokens: float,
+    ) -> dict:
+        """The report's ``cluster`` section (multi-device runs only)."""
+        num_devices = len(self.device_group)
+        per_device = []
+        for d, name in enumerate(self.device_group.names):
+            blocks = self.block_manager.num_blocks_on(d)
+            per_device.append(
+                {
+                    "device": name,
+                    "experts": self.placement.experts_on(d),
+                    "expert_load_share": round(self.placement.device_mass[d], 6),
+                    "kv_blocks": blocks,
+                    "kv_peak_used_blocks": peak_used_per_device[d],
+                    "kv_utilization_peak": (
+                        peak_used_per_device[d] / blocks if blocks else 0.0
+                    ),
+                }
+            )
+        # The skew baseline is the mean over devices that host expert mass:
+        # a device the placement left expert-less (possible when devices >
+        # experts) is idle by construction, and counting its zero compute
+        # would inflate the ratio with an artifact of the denominator.
+        active_devices = sum(1 for mass in self.placement.device_mass if mass > 0)
+        return {
+            "devices": num_devices,
+            "placement": self.placement.name,
+            # Time lost to routing skew: the slowest device's compute over
+            # the active-device mean compute (1.0 = no skew).
+            "straggler_ratio": (
+                straggler_max_s / (straggler_sum_s / active_devices)
+                if straggler_sum_s and active_devices
+                else 1.0
+            ),
+            "alltoall_tokens": round(alltoall_tokens, 3),
+            "per_device": per_device,
+        }
 
     # -- reporting ---------------------------------------------------------------
     def _build_report(
@@ -290,6 +509,7 @@ class ServingEngine:
         peak_batch: int,
         peak_used_blocks: int,
         peak_shared_blocks: int,
+        cluster: dict | None = None,
     ) -> ServingReport:
         finished = scheduler.finished
         records: list[dict] = []
@@ -297,19 +517,25 @@ class ServingEngine:
             scheduler.finished + scheduler.rejected,
             key=lambda s: s.request.request_id,
         )
+        multi_device = len(self.device_group) > 1
         for seq in all_seqs:
-            records.append(
-                {
-                    "request_id": seq.request.request_id,
-                    "state": seq.state.value,
-                    "arrival_s": seq.request.arrival_time,
-                    "prompt_tokens": seq.request.prompt_tokens,
-                    "new_tokens": seq.generated_tokens,
-                    "ttft_s": seq.ttft,
-                    "tpot_s": seq.tpot,
-                    "e2e_s": seq.e2e_latency,
-                }
-            )
+            record = {
+                "request_id": seq.request.request_id,
+                "state": seq.state.value,
+                "arrival_s": seq.request.arrival_time,
+                "prompt_tokens": seq.request.prompt_tokens,
+                "new_tokens": seq.generated_tokens,
+                "ttft_s": seq.ttft,
+                "tpot_s": seq.tpot,
+                "e2e_s": seq.e2e_latency,
+            }
+            if multi_device:
+                # Home of the request's KV (its last admission); rejected
+                # requests never held blocks on any device.
+                record["device"] = (
+                    self.device_group.names[seq.home_device] if seq.is_finished else None
+                )
+            records.append(record)
         ttfts = [s.ttft for s in finished if s.ttft is not None]
         tpots = [s.tpot for s in finished if s.tpot is not None]
         e2es = [s.e2e_latency for s in finished if s.e2e_latency is not None]
@@ -359,4 +585,5 @@ class ServingEngine:
             ),
             completion_order=[s.request.request_id for s in finished],
             requests=records,
+            cluster=cluster,
         )

@@ -182,6 +182,28 @@ class BlockManager:
         """Sequences currently holding blocks (0 after a clean engine run)."""
         return len(self._tables)
 
+    def sequences(self) -> tuple[int, ...]:
+        """Ids of the sequences currently holding blocks, in sorted order."""
+        return tuple(sorted(self._tables))
+
+    def home_device(self, seq_id: int) -> int:
+        """Device index of this pool — always 0 for the single-device pool.
+
+        The scheduler's placement-aware preemption math asks for a
+        sequence's home device and the free blocks on it; a plain pool
+        answers 0 / :attr:`free_blocks`, so the single-device scheduler
+        reduces bit-for-bit to the pre-sharding behavior
+        (:class:`~repro.serving.cluster.ShardedBlockManager` answers with
+        real per-device state).
+        """
+        return 0
+
+    def free_blocks_on(self, device: int) -> int:
+        """Free blocks on one device — the whole pool for a single device."""
+        if device != 0:
+            raise KVCacheExhausted(f"single-device pool has no device {device}")
+        return len(self._free)
+
     def blocks_held(self, seq_id: int) -> int:
         """Logical blocks in a sequence's table (0 if it holds none)."""
         table = self._tables.get(seq_id)

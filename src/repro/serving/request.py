@@ -110,6 +110,10 @@ class Sequence:
     generated_tokens: int = 0
     #: Times this sequence was preempted (on-demand allocation only).
     preemptions: int = 0
+    #: Device index of the pool holding this sequence's KV blocks (set by the
+    #: scheduler at each admission; a preempted sequence may re-home).  Always
+    #: 0 on a single-device engine.
+    home_device: int = 0
     admission_time: float | None = None
     first_token_time: float | None = None
     finish_time: float | None = None

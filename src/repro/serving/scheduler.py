@@ -188,6 +188,11 @@ class ContinuousBatchingScheduler:
             if self.allocation.can_admit(head):
                 self.waiting.pop(0)
                 self.allocation.admit(head)
+                # Record where the allocation landed: the pool picks the
+                # least-loaded fitting device (always 0 on a single pool),
+                # and the engine charges this sequence's attention tokens to
+                # that device.  A preempted sequence may re-home on resume.
+                head.home_device = self.block_manager.home_device(head.request.request_id)
                 head.admit(now)
                 self.running.append(head)
                 admitted.append(head)
@@ -216,6 +221,13 @@ class ContinuousBatchingScheduler:
         to cover one deficit.  A sequence preempts *itself* only when no
         lower-precedence victim remains (it is the tail).
 
+        Placement-awareness: a sequence's KV is pinned to its home device,
+        so the deficit is measured against *that device's* free blocks and
+        victims are drawn only from sequences homed there — preempting a
+        sequence on another device frees blocks the grower can never use.
+        On a single-device pool every home is 0 and this reduces exactly to
+        the pre-sharding behavior.
+
         Returns the sequences preempted at this boundary.
         """
         if not self.allocation.grows or not self.running:
@@ -226,11 +238,14 @@ class ContinuousBatchingScheduler:
             if seq.state is not RequestState.RUNNING:
                 continue  # already preempted at this boundary
             deficit = self.allocation.blocks_deficit(seq, chunk)
-            while deficit > self.block_manager.free_blocks:
+            home = seq.home_device
+            while deficit > self.block_manager.free_blocks_on(home):
                 candidates = [
                     s
                     for s in self.running
-                    if s is not seq and self.policy.queue_key(s) > self.policy.queue_key(seq)
+                    if s is not seq
+                    and s.home_device == home
+                    and self.policy.queue_key(s) > self.policy.queue_key(seq)
                 ]
                 victim = self.policy.select_victim(candidates, self.block_manager)
                 if victim is None:

@@ -1,0 +1,223 @@
+"""Randomized op-sequence property tests for the paged KV allocators.
+
+The serving layer now has three interacting subsystems (block identity,
+allocation policies, prefix sharing) multiplied by per-device sharding.
+Example-based tests cannot cover that state space, so this tier drives the
+allocators — the single-device :class:`BlockManager` and the
+:class:`ShardedBlockManager` over 2/4 (and uneven) pools — through thousands
+of seeded random ``allocate`` / ``allocate_shared`` / ``grow`` / CoW /
+``free`` steps, calling ``check_invariants()`` after *every* operation, plus
+the cross-device invariant: a sequence's block table lives in exactly its
+home pool, never references a block outside it, and no other pool knows the
+sequence.
+
+CI runs the fixed fast-tier seeds on every push (``-m "not slow"``); the
+weekly benchmark-smoke workflow runs the longer randomized sweep
+(``-m slow``).  Every failure message includes the seed, so a red run is
+replayable bit-for-bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.runtime.backends import MiLoBackend
+from repro.serving import (
+    BlockManager,
+    EngineConfig,
+    ServingEngine,
+    ShardedBlockManager,
+    poisson_workload,
+)
+from repro.serving.kv_cache import KVCacheExhausted
+
+BLOCK_SIZE = 4
+
+#: Pool layouts under test: a plain single-device pool and sharded managers
+#: over even and deliberately uneven per-device pools.
+LAYOUTS = {
+    "single": (48,),
+    "sharded2": (24, 24),
+    "sharded4": (12, 12, 12, 12),
+    "uneven3": (8, 22, 18),
+}
+
+
+def build_manager(layout):
+    sizes = LAYOUTS[layout]
+    if len(sizes) == 1:
+        return BlockManager(num_blocks=sizes[0], block_size=BLOCK_SIZE)
+    return ShardedBlockManager(
+        [BlockManager(num_blocks=n, block_size=BLOCK_SIZE) for n in sizes]
+    )
+
+
+def pool_sizes(manager):
+    if isinstance(manager, ShardedBlockManager):
+        return [pool.num_blocks for pool in manager.pools]
+    return [manager.num_blocks]
+
+
+def assert_cross_device_invariants(manager, live):
+    """Sharding-specific partition checks on top of ``check_invariants``."""
+    manager.check_invariants()
+    sizes = pool_sizes(manager)
+    for seq_id in live:
+        home = manager.home_device(seq_id)
+        assert 0 <= home < len(sizes)
+        table = manager.block_table(seq_id)
+        assert table, f"live sequence {seq_id} holds no blocks"
+        # No block table ever references a block outside its home pool.
+        assert all(0 <= block_id < sizes[home] for block_id in table)
+        if isinstance(manager, ShardedBlockManager):
+            assert manager.pools[home].block_table(seq_id) == table
+            for d, pool in enumerate(manager.pools):
+                if d != home:
+                    assert pool.blocks_held(seq_id) == 0
+
+
+def drive_random_ops(layout, seed, steps):
+    """One randomized episode; returns the number of mutating ops applied."""
+    rng = np.random.default_rng(seed)
+    manager = build_manager(layout)
+    live: dict[int, int] = {}  # seq_id -> tokens covered by its table
+    next_id = 0
+    applied = 0
+    note = f"layout={layout} seed={seed}"
+
+    for step in range(steps):
+        op = rng.choice(["alloc", "alloc_shared", "grow", "cow", "free"])
+        try:
+            if op == "alloc":
+                tokens = int(rng.integers(1, 40))
+                if manager.can_allocate(tokens):
+                    manager.allocate(next_id, tokens)
+                    live[next_id] = tokens
+                    next_id += 1
+                else:
+                    with pytest.raises(KVCacheExhausted):
+                        manager.allocate(next_id, tokens)
+                applied += 1
+            elif op == "alloc_shared":
+                tokens = int(rng.integers(1, 40))
+                prefix_id = int(rng.integers(0, 3))
+                prefix_tokens = int(rng.integers(1, tokens + 1))
+                share_partial = bool(rng.integers(0, 2))
+                if manager.can_allocate_shared(
+                    tokens, prefix_id, prefix_tokens, share_partial
+                ):
+                    manager.allocate_shared(
+                        next_id, tokens, prefix_id, prefix_tokens, share_partial
+                    )
+                    live[next_id] = tokens
+                    next_id += 1
+                    applied += 1
+            elif op == "grow" and live:
+                seq_id = int(rng.choice(sorted(live)))
+                blocks = int(rng.integers(1, 3))
+                home_free = manager.free_blocks_on(manager.home_device(seq_id))
+                if blocks <= home_free:
+                    manager.grow(seq_id, blocks)
+                    live[seq_id] += blocks * BLOCK_SIZE
+                else:
+                    with pytest.raises(KVCacheExhausted):
+                        manager.grow(seq_id, blocks)
+                applied += 1
+            elif op == "cow" and live:
+                seq_id = int(rng.choice(sorted(live)))
+                held_tokens = manager.blocks_held(seq_id) * BLOCK_SIZE
+                token_index = int(rng.integers(0, held_tokens))
+                cost = manager.cow_cost(seq_id, token_index)
+                assert cost in (0, 1)
+                if cost <= manager.free_blocks_on(manager.home_device(seq_id)):
+                    manager.ensure_writable(seq_id, token_index)
+                    applied += 1
+            elif op == "free" and live:
+                seq_id = int(rng.choice(sorted(live)))
+                manager.free(seq_id)
+                del live[seq_id]
+                applied += 1
+        except AssertionError:
+            raise
+        except Exception as exc:  # pragma: no cover - diagnostic wrapper
+            raise AssertionError(f"{note} step={step} op={op}: {exc!r}") from exc
+        assert_cross_device_invariants(manager, live)
+
+    for seq_id in sorted(live):
+        manager.free(seq_id)
+    manager.assert_no_leaks()
+    assert manager.free_blocks == sum(pool_sizes(manager))
+    return applied
+
+
+class TestRandomOpSequences:
+    """Seeded fast-tier episodes (run in CI on every push)."""
+
+    @pytest.mark.parametrize("layout", sorted(LAYOUTS))
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_invariants_hold_after_every_op(self, layout, seed):
+        applied = drive_random_ops(layout, seed=seed, steps=1200)
+        # The episode must actually exercise the allocator, not no-op out.
+        assert applied > 400
+
+
+@pytest.mark.slow
+class TestRandomOpSequencesLong:
+    """The long randomized sweep (weekly benchmark-smoke workflow)."""
+
+    @pytest.mark.parametrize("layout", sorted(LAYOUTS))
+    @pytest.mark.parametrize("seed", range(2, 12))
+    def test_long_episodes(self, layout, seed):
+        drive_random_ops(layout, seed=seed, steps=5000)
+
+
+class TestRandomEngineRuns:
+    """End-to-end randomized property: whole engines drain leak-free."""
+
+    @pytest.mark.parametrize("devices", [2, 3])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_sharded_engine_drains_under_pressure(self, devices, seed):
+        engine = ServingEngine(
+            MiLoBackend(),
+            "mixtral-8x7b",
+            EngineConfig(
+                block_size=8, kv_policy="ondemand", max_batch_size=1000, devices=devices
+            ),
+        )
+        for pool in engine.block_manager.pools:
+            pool.num_blocks = 30  # make every per-device pool bind
+        workload = poisson_workload(
+            25, qps=80.0, seed=seed, mean_prompt_tokens=48, mean_new_tokens=96,
+            shared_prefix_tokens=32, prefix_groups=2,
+        )
+        report = engine.run(workload)
+        # A request whose extent exceeds one shrunken per-device pool can
+        # never run (KV is pinned to a home device) and is typed-rejected;
+        # everything admissible completes.
+        assert report.completed + report.rejected == 25
+        assert report.completed >= 23
+        assert report.preemptions > 0  # the pressure regime was reached
+        cluster = report.to_dict()["cluster"]
+        assert len(cluster["per_device"]) == devices
+        for entry in cluster["per_device"]:
+            assert 0 <= entry["kv_utilization_peak"] <= 1.0
+        engine.block_manager.assert_no_leaks()
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_sharded_engine_matches_itself(self, seed):
+        """Replay determinism under sharding (preemptions, homes and all)."""
+        workload = poisson_workload(20, qps=60.0, seed=seed, mean_new_tokens=64)
+
+        def run():
+            engine = ServingEngine(
+                MiLoBackend(),
+                "mixtral-8x7b",
+                EngineConfig(
+                    block_size=8, kv_policy="ondemand", max_batch_size=1000,
+                    devices=2, placement="frequency",
+                ),
+            )
+            for pool in engine.block_manager.pools:
+                pool.num_blocks = 40
+            return engine.run(workload).to_dict()
+
+        assert run() == run()

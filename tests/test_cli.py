@@ -235,6 +235,51 @@ class TestServeCommand:
         _, second = self.serve(capsys, "--kv-policy", "ondemand", "--prefill-chunk", "32")
         assert first == second  # byte-identical JSON
 
+    def test_serve_multi_device_reports_cluster_section(self, capsys):
+        code, out = self.serve(capsys, "--devices", "4", "--placement", "frequency")
+        assert code == 0
+        report = json.loads(out)
+        assert set(report) == self.SUMMARY_KEYS | {"cluster"}
+        cluster = report["cluster"]
+        assert cluster["devices"] == 4 and cluster["placement"] == "frequency"
+        assert cluster["straggler_ratio"] >= 1.0 and cluster["alltoall_tokens"] > 0
+        assert [set(d) for d in cluster["per_device"]] == [
+            {"device", "experts", "expert_load_share", "kv_blocks",
+             "kv_peak_used_blocks", "kv_utilization_peak"}
+        ] * 4
+        assert report["completed"] == 12
+
+    def test_serve_multi_device_is_deterministic(self, capsys):
+        _, first = self.serve(capsys, "--devices", "2", "--kv-policy", "ondemand")
+        _, second = self.serve(capsys, "--devices", "2", "--kv-policy", "ondemand")
+        assert first == second  # byte-identical JSON
+
+    def test_serve_single_device_report_is_unchanged_by_the_devices_flag(self, capsys):
+        _, implicit = self.serve(capsys)
+        _, explicit = self.serve(capsys, "--devices", "1")
+        assert implicit == explicit
+        assert "cluster" not in json.loads(explicit)
+
+    def test_serve_unknown_placement_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--placement", "random"])
+
+    def test_serve_invalid_devices_exits_cleanly(self, capsys):
+        assert main(["serve", "--devices", "0"]) == 2
+        assert "invalid serving config" in capsys.readouterr().err
+
+    def test_serve_multi_device_oom_names_the_device(self, capsys):
+        # Two 40 GB devices still cannot host FP16 Mixtral (~3.2 GB replicated
+        # + ~43.5 GB of experts per device); the typed report names the
+        # first overloaded device.
+        code = main(["serve", "--backend", "fp16", "--model", "mixtral-8x7b",
+                     "--devices", "2", "--requests", "5"])
+        assert code == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["error"] == "out-of-memory"
+        assert report["device"] == "gpu0"
+        assert report["required_gb"] > report["available_gb"] == 40.0
+
     def test_serve_trace_file(self, capsys, tmp_path):
         trace = tmp_path / "trace.jsonl"
         trace.write_text(
