@@ -188,6 +188,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             prefill_chunk=args.prefill_chunk,
             devices=args.devices,
             placement=args.placement,
+            debug_checks=not args.no_debug_checks,
+            fast_path=not args.no_fast_path,
         )
     except ValueError as exc:
         print(f"invalid serving config: {exc}", file=sys.stderr)
@@ -343,7 +345,21 @@ def build_parser() -> argparse.ArgumentParser:
     workload_source.add_argument(
         "--trace",
         default=None,
-        help="JSONL trace file of {arrival, prompt, max_new_tokens, priority?} records",
+        help="JSONL trace file of {arrival, prompt, max_new_tokens, priority?, "
+        "prefix_id?, prefix_tokens?} records (streamed one line at a time)",
+    )
+    s.add_argument(
+        "--no-debug-checks",
+        action="store_true",
+        help="skip per-run engine invariant checks (KV-leak audit); the "
+        "report is bit-identical either way — benchmarks turn this on",
+    )
+    s.add_argument(
+        "--no-fast-path",
+        action="store_true",
+        help="force the general per-iteration engine loop instead of the "
+        "event-driven steady-state fast path (debugging aid; reports are "
+        "bit-identical either way)",
     )
     s.add_argument("--per-request", action="store_true", help="include per-request records")
     s.add_argument("--output", default=None, help="also write the JSON report to a file")

@@ -204,6 +204,10 @@ def split_tokens(total: int, shares: SequenceType[float]) -> list[int]:
     """
     if total < 0:
         raise ValueError("total must be non-negative")
+    if len(shares) == 1 and shares[0] == 1.0:
+        # Single device owns everything: skip the float apportioning (the
+        # general path floors float(total) back to total with remainder 0).
+        return [total]
     quotas = [total * share for share in shares]
     floors = [int(q) for q in quotas]
     remainder = total - sum(floors)

@@ -66,6 +66,7 @@ byte for byte (``tests/serving/test_golden_equivalence.py`` pins this).
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Iterable
 
@@ -82,8 +83,13 @@ from .cluster import (
     split_tokens,
 )
 from .kv_cache import ALLOCATION_POLICIES, BlockManager, blocks_for_budget, make_allocation_policy
-from .request import Request, Sequence
-from .scheduler import ContinuousBatchingScheduler, FifoPriorityPolicy, SchedulerConfig
+from .request import Request, RequestState, Sequence
+from .scheduler import (
+    ContinuousBatchingScheduler,
+    FifoPriorityPolicy,
+    SchedulerConfig,
+    SchedulingPolicy,
+)
 
 __all__ = ["EngineConfig", "ServingReport", "ServingEngine", "expert_weight_fraction"]
 
@@ -134,6 +140,18 @@ class EngineConfig:
     #: skew (:func:`~repro.analysis.expert_frequency.fig3_reference_frequencies`).
     #: Must have one entry per routed expert of the served model.
     expert_frequencies: tuple[float, ...] | None = None
+    #: Run the KV pool's structural self-checks (``assert_no_leaks`` /
+    #: ``check_invariants``) at the end of every run.  On by default (and in
+    #: every test); benchmarks turn it off — it never changes the report,
+    #: only whether accounting bugs raise.
+    debug_checks: bool = True
+    #: Use the steady-state fast path (reservation allocation + default
+    #: scheduling policy only): uneventful pure-decode iterations are
+    #: compressed into a tight loop that repeats the exact per-iteration
+    #: float operations, so reports stay bit-identical to the general
+    #: per-iteration loop (``False`` forces that loop; used by the
+    #: equivalence tests and as an escape hatch).
+    fast_path: bool = True
 
     def __post_init__(self) -> None:
         if self.block_size <= 0:
@@ -178,6 +196,12 @@ class ServingReport:
     num_requests: int
     completed: int
     rejected: int
+    #: Requests still in the waiting queue when the run ended — never
+    #: admitted, never rejected.  0 for every in-tree scheduling policy
+    #: (and then absent from :meth:`to_dict`, keeping historical reports
+    #: byte-identical); a conservative custom policy can strand work, and
+    #: ``completed + rejected + stranded == num_requests`` always holds.
+    stranded: int
     iterations: int
     preemptions: int
     recomputed_tokens: int
@@ -240,6 +264,8 @@ class ServingReport:
             "completion_order": list(self.completion_order),
             "requests": [dict(r) for r in self.requests],
         }
+        if self.stranded:
+            out["stranded"] = self.stranded
         if self.cluster is not None:
             out["cluster"] = dict(self.cluster)
         return out
@@ -335,6 +361,16 @@ class ServingEngine:
                 pools, device_names=self.device_group.names
             )
 
+        #: Memoized backend step latency per token-load (pure in the load for
+        #: a fixed backend/spec, so it persists across runs).
+        self._latency_cache: dict[int, float] = {}
+        #: Memoized per-iteration cost beyond the single-int latency cache:
+        #: keyed by the batch token count (single device) or by
+        #: ``(tokens, per-device home token counts)`` (multi-device), holding
+        #: the full ``(step, max_compute, mean_compute, remotes)`` result of
+        #: the device loop.
+        self._cost_cache: dict = {}
+
     # -- capacity ----------------------------------------------------------------
     def max_batch_size(self, tokens_per_sequence: int) -> int:
         """Max concurrent sequences of a given total length this engine sustains.
@@ -366,101 +402,438 @@ class ServingEngine:
         pending = sorted(requests, key=lambda r: (r.arrival_time, r.request_id))
         scheduler = self.make_scheduler()
         self.block_manager.reset_stats()
+        # The steady-state fast path requires two properties the general loop
+        # does not: blocks move only at admission/eviction (reservation
+        # allocation — no growth, preemption or copy-on-write mid-decode),
+        # and the admission outcome is a pure function of (waiting, running,
+        # pool) state (the default policy), so a failed admit need not be
+        # retried until that state changes.  Everything else takes the
+        # general per-iteration loop.  Both produce bit-identical reports
+        # (goldens + equivalence tests pin this).
+        if (
+            self.config.fast_path
+            and not scheduler.allocation.grows
+            and type(scheduler.policy) in (SchedulingPolicy, FifoPriorityPolicy)
+        ):
+            totals = self._run_fast(pending, scheduler)
+        else:
+            totals = self._run_general(pending, scheduler)
+        (clock, iterations, total_tokens, peak_batch, peak_used_blocks,
+         peak_shared_blocks, peak_used_per_device,
+         straggler_max_s, straggler_mean_s, alltoall_tokens) = totals
+        scheduler.drain_stranded()
+        if self.config.debug_checks:
+            self.block_manager.assert_no_leaks()
+        cluster = None
+        if len(self.device_group) > 1:
+            cluster = self._cluster_section(
+                peak_used_per_device, straggler_max_s, straggler_mean_s, alltoall_tokens
+            )
+        return self._build_report(
+            scheduler, clock, iterations, total_tokens, peak_batch, peak_used_blocks,
+            peak_shared_blocks, cluster,
+            first_submitted=pending[0].arrival_time if pending else None,
+            num_submitted=len(pending),
+        )
+
+    def _iteration_cost(
+        self, tokens: int, home_key: tuple[int, ...] | None
+    ) -> tuple[float, float, float, tuple[float, ...] | None]:
+        """Memoized cost of one iteration over ``tokens`` batch token rows.
+
+        The iteration costs the *max* over per-device costs: each device
+        runs its resident experts' share of the token load (split by routing
+        frequency mass — skew makes stragglers) plus the all-to-all dispatch
+        of routed tokens whose home device is not the expert's.  One device
+        degenerates to the whole batch at zero dispatch — the exact
+        pre-sharding iteration latency.
+
+        ``home_key`` is ``None`` on a single device (the cost depends only
+        on the token count) and the tuple of per-device home token counts
+        otherwise.  Returns ``(step, max_compute, mean_compute, remotes)``:
+        the clock advance, the slowest device's compute, the mean compute
+        over devices that received load, and the per-device remote-token
+        counts (``None`` single-device) — everything the caller accumulates
+        per iteration, so the memoized replay performs the identical float
+        operations the un-memoized loop did.
+        """
+        key = tokens if home_key is None else (tokens, home_key)
+        entry = self._cost_cache.get(key)
+        if entry is not None:
+            return entry
+        latency_cache = self._latency_cache
+        if home_key is None:
+            compute = latency_cache.get(tokens)
+            if compute is None:
+                compute = self.backend.iteration_latency(self.spec, tokens).total
+                latency_cache[tokens] = compute
+            entry = (compute, compute, compute, None)
+        else:
+            step = 0.0
+            max_compute = 0.0
+            iter_compute_s = 0.0
+            iter_loaded = 0
+            remotes: list[float] = []
+            experts_per_token = self.spec.experts_per_token
+            alltoall_s = self._alltoall_s_per_token
+            for d, load in enumerate(split_tokens(tokens, self.placement.device_mass)):
+                if load:
+                    compute = latency_cache.get(load)
+                    if compute is None:
+                        compute = self.backend.iteration_latency(self.spec, load).total
+                        latency_cache[load] = compute
+                    # Straggler accounting covers only devices that received
+                    # token load this iteration: `split_tokens` hands a
+                    # low-mass device zero tokens in a small batch, and its
+                    # 0.0 compute must not deflate the mean.
+                    iter_compute_s += compute
+                    iter_loaded += 1
+                else:
+                    compute = 0.0
+                remote = load * experts_per_token * (tokens - home_key[d]) / tokens
+                remotes.append(remote)
+                max_compute = max(max_compute, compute)
+                step = max(step, compute + remote * alltoall_s)
+            mean_compute = iter_compute_s / iter_loaded if iter_loaded else 0.0
+            entry = (step, max_compute, mean_compute, tuple(remotes))
+        if len(self._cost_cache) >= 262144:
+            # Multi-device home mixes are unbounded in principle; keep the
+            # memo's footprint flat on adversarial workloads.
+            self._cost_cache.clear()
+        self._cost_cache[key] = entry
+        return entry
+
+    def _run_general(
+        self, pending: list[Request], scheduler: ContinuousBatchingScheduler
+    ) -> tuple:
+        """The per-iteration loop: correct for every policy combination.
+
+        Structurally the pre-PR-6 loop with the per-iteration work fused
+        into one walk over the batch (token counting + per-device home
+        tokens), the device cost loop memoized, eviction skipped on
+        iterations nothing finished, and ``ensure_capacity`` skipped for
+        non-growing allocation.
+        """
         clock = 0.0
         next_arrival = 0
+        n_pending = len(pending)
         iterations = 0
         total_tokens = 0
         peak_batch = 0
         peak_used_blocks = 0
         peak_shared_blocks = 0
         num_devices = len(self.device_group)
-        device_mass = self.placement.device_mass
         peak_used_per_device = [0] * num_devices
         straggler_max_s = 0.0
-        straggler_sum_s = 0.0
+        straggler_mean_s = 0.0
         alltoall_tokens = 0.0
-        latency_cache: dict[int, float] = {}
+        chunk = scheduler.config.prefill_chunk
+        grows = scheduler.allocation.grows
+        multi = num_devices > 1
+        block_manager = self.block_manager
+        finished_state = RequestState.FINISHED
 
-        while next_arrival < len(pending) or scheduler.has_work:
-            while next_arrival < len(pending) and pending[next_arrival].arrival_time <= clock:
+        while next_arrival < n_pending or scheduler.has_work:
+            while next_arrival < n_pending and pending[next_arrival].arrival_time <= clock:
                 scheduler.add_request(pending[next_arrival])
                 next_arrival += 1
-            # Running sequences secure the blocks their next token needs
-            # (preempting the low-precedence tail if the pool is dry) before
-            # any queued request may claim free blocks.
-            scheduler.ensure_capacity()
+            if grows:
+                # Running sequences secure the blocks their next token needs
+                # (preempting the low-precedence tail if the pool is dry)
+                # before any queued request may claim free blocks.
+                scheduler.ensure_capacity()
             scheduler.admit(clock)
-            if not scheduler.running:
-                if next_arrival < len(pending):
+            running = scheduler.running
+            if not running:
+                if next_arrival < n_pending:
                     # Idle: jump the clock to the next arrival.
                     clock = max(clock, pending[next_arrival].arrival_time)
                     continue
                 break
 
-            # The iteration costs the *max* over per-device costs: each
-            # device runs its resident experts' share of the token load
-            # (split by routing frequency mass — skew makes stragglers) plus
-            # the all-to-all dispatch of routed tokens whose home device is
-            # not the expert's.  One device degenerates to the whole batch
-            # at zero dispatch — the exact pre-sharding iteration latency.
-            tokens = scheduler.batch_tokens()
-            chunk = scheduler.config.prefill_chunk
-            if num_devices == 1:
-                home_tokens = [tokens]
-            else:
+            if multi:
+                tokens = 0
                 home_tokens = [0] * num_devices
-                for seq in scheduler.running:
-                    home_tokens[seq.home_device] += seq.tokens_this_iteration(chunk)
-            step = 0.0
-            max_compute = 0.0
-            for d, load in enumerate(split_tokens(tokens, device_mass)):
-                if load:
-                    compute = latency_cache.get(load)
-                    if compute is None:
-                        compute = self.backend.iteration_latency(self.spec, load).total
-                        latency_cache[load] = compute
-                else:
-                    compute = 0.0
-                remote = (
-                    load * self.spec.experts_per_token * (tokens - home_tokens[d]) / tokens
+                for seq in running:
+                    t = seq.tokens_this_iteration(chunk)
+                    tokens += t
+                    home_tokens[seq.home_device] += t
+                step, max_compute, mean_compute, remotes = self._iteration_cost(
+                    tokens, tuple(home_tokens)
                 )
-                alltoall_tokens += remote
-                straggler_sum_s += compute
-                max_compute = max(max_compute, compute)
-                step = max(step, compute + remote * self._alltoall_s_per_token)
-            straggler_max_s += max_compute
+                for remote in remotes:
+                    alltoall_tokens += remote
+                straggler_max_s += max_compute
+                straggler_mean_s += mean_compute
+            else:
+                tokens = 0
+                for seq in running:
+                    tokens += seq.tokens_this_iteration(chunk)
+                step = self._iteration_cost(tokens, None)[0]
             clock += step
             iterations += 1
             total_tokens += tokens
-            peak_batch = max(peak_batch, len(scheduler.running))
-            peak_used_blocks = max(peak_used_blocks, self.block_manager.used_blocks)
-            peak_shared_blocks = max(peak_shared_blocks, self.block_manager.shared_blocks)
-            if num_devices > 1:
+            batch = len(running)
+            if batch > peak_batch:
+                peak_batch = batch
+            used = block_manager.used_blocks
+            if used > peak_used_blocks:
+                peak_used_blocks = used
+            shared = block_manager.shared_blocks
+            if shared > peak_shared_blocks:
+                peak_shared_blocks = shared
+            if multi:
                 for d in range(num_devices):
-                    peak_used_per_device[d] = max(
-                        peak_used_per_device[d], self.block_manager.used_blocks_on(d)
-                    )
+                    u = block_manager.used_blocks_on(d)
+                    if u > peak_used_per_device[d]:
+                        peak_used_per_device[d] = u
 
-            for seq in scheduler.running:
-                seq.advance(clock, scheduler.config.prefill_chunk)
-            scheduler.evict_finished()
+            finished_any = False
+            for seq in running:
+                seq.advance(clock, chunk)
+                if seq.state is finished_state:
+                    finished_any = True
+            if finished_any:
+                scheduler.evict_finished()
 
-        self.block_manager.assert_no_leaks()
-        cluster = None
-        if num_devices > 1:
-            cluster = self._cluster_section(
-                peak_used_per_device, straggler_max_s, straggler_sum_s, alltoall_tokens
-            )
-        return self._build_report(
-            scheduler, clock, iterations, total_tokens, peak_batch, peak_used_blocks,
-            peak_shared_blocks, cluster,
+        return (
+            clock, iterations, total_tokens, peak_batch, peak_used_blocks,
+            peak_shared_blocks, peak_used_per_device,
+            straggler_max_s, straggler_mean_s, alltoall_tokens,
+        )
+
+    def _run_fast(
+        self, pending: list[Request], scheduler: ContinuousBatchingScheduler
+    ) -> tuple:
+        """Event-driven loop for reservation allocation + the default policy.
+
+        Rests on two invariants of that combination (asserted by ``run``):
+
+        * KV blocks move only at admission and eviction — mid-decode there
+          is no growth, preemption or copy-on-write, so peak trackers only
+          need sampling when the batch membership changes;
+        * a failed admission stays failed until an arrival or an eviction
+          changes the (waiting, running, pool) state, so ``admit`` is only
+          called when ``admit_dirty`` marks such a change.
+
+        Decode progress is tracked as *finish events* on an iteration-index
+        heap instead of a per-sequence walk: a sequence completing prefill
+        at iteration ``i`` finishes at iteration ``i + max_new_tokens - 1``
+        exactly, so between events nothing per-sequence happens at all and
+        uneventful stretches are compressed into a tight loop repeating the
+        exact per-iteration float operations (bit-identical clock).  The
+        decode token counts the per-iteration walk would read are
+        materialized onto the sequence at its finish event.
+        """
+        clock = 0.0
+        next_arrival = 0
+        n_pending = len(pending)
+        iterations = 0
+        total_tokens = 0
+        peak_batch = 0
+        peak_used_blocks = 0
+        peak_shared_blocks = 0
+        num_devices = len(self.device_group)
+        peak_used_per_device = [0] * num_devices
+        straggler_max_s = 0.0
+        straggler_mean_s = 0.0
+        alltoall_tokens = 0.0
+        chunk = scheduler.config.prefill_chunk
+        multi = num_devices > 1
+        block_manager = self.block_manager
+        finished_state = RequestState.FINISHED
+        running = scheduler.running
+        #: Running sequences still prefilling (walked per iteration; small).
+        prefilling: list[Sequence] = []
+        #: Running sequences in pure decode, and their split by home device.
+        decode_count = 0
+        home_decode = [0] * num_devices
+        #: (finish_iteration, enqueue_index, seq) of every decoding sequence.
+        finish_heap: list[tuple[int, int, Sequence]] = []
+        admit_dirty = False
+        cost_cache = self._cost_cache
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        waiting = scheduler.waiting
+        inf = float("inf")
+        #: Arrival time of ``pending[next_arrival]`` (``inf`` when drained),
+        #: kept in a local so the steady-state loops compare plain floats.
+        next_at = pending[0].arrival_time if pending else inf
+
+        while next_arrival < n_pending or scheduler.has_work:
+            while next_at <= clock:
+                scheduler.add_request(pending[next_arrival])
+                next_arrival += 1
+                next_at = (
+                    pending[next_arrival].arrival_time
+                    if next_arrival < n_pending
+                    else inf
+                )
+                admit_dirty = True
+            if admit_dirty:
+                admit_dirty = False
+                # `admit` with an empty queue is a no-op (the default policy
+                # has no side effects there); most evictions at low load
+                # find nothing waiting, so skip the call.
+                admitted = scheduler.admit(clock) if waiting else None
+                if admitted:
+                    prefilling.extend(admitted)
+                    # Blocks move only at admission/eviction under
+                    # reservation allocation, so peaks move only here.
+                    batch = len(running)
+                    if batch > peak_batch:
+                        peak_batch = batch
+                    used = block_manager.used_blocks
+                    if used > peak_used_blocks:
+                        peak_used_blocks = used
+                    shared = block_manager.shared_blocks
+                    if shared > peak_shared_blocks:
+                        peak_shared_blocks = shared
+                    if multi:
+                        for d in range(num_devices):
+                            u = block_manager.used_blocks_on(d)
+                            if u > peak_used_per_device[d]:
+                                peak_used_per_device[d] = u
+            if not running:
+                if next_arrival < n_pending:
+                    # Idle: jump the clock to the next arrival.
+                    clock = max(clock, next_at)
+                    continue
+                break
+
+            tokens = decode_count
+            if prefilling:
+                for seq in prefilling:
+                    tokens += seq.tokens_this_iteration(chunk)
+            if multi:
+                if prefilling:
+                    home_tokens = home_decode[:]
+                    for seq in prefilling:
+                        home_tokens[seq.home_device] += seq.tokens_this_iteration(chunk)
+                else:
+                    home_tokens = home_decode
+                key = (tokens, tuple(home_tokens))
+                entry = cost_cache.get(key)
+                if entry is None:
+                    entry = self._iteration_cost(*key)
+                step, max_compute, mean_compute, remotes = entry
+                for remote in remotes:
+                    alltoall_tokens += remote
+                straggler_max_s += max_compute
+                straggler_mean_s += mean_compute
+            else:
+                entry = cost_cache.get(tokens)
+                if entry is None:
+                    entry = self._iteration_cost(tokens, None)
+                step = entry[0]
+            clock += step
+            iterations += 1
+            total_tokens += tokens
+
+            finished_any = False
+            if prefilling:
+                still_prefilling = []
+                for seq in prefilling:
+                    seq.advance(clock, chunk)
+                    if seq.state is finished_state:
+                        finished_any = True  # single-token request
+                    elif seq.prefill_done:
+                        # Entered decode: schedule its finish event.  The
+                        # completing iteration emitted token 1, so the
+                        # remaining max_new - 1 tokens land one per
+                        # iteration from here.
+                        decode_count += 1
+                        home_decode[seq.home_device] += 1
+                        seq.finish_iteration = (
+                            iterations + seq.request.max_new_tokens - 1
+                        )
+                        heappush(
+                            finish_heap,
+                            (seq.finish_iteration, seq.enqueue_index, seq),
+                        )
+                    else:
+                        still_prefilling.append(seq)
+                prefilling = still_prefilling
+            while finish_heap and finish_heap[0][0] == iterations:
+                seq = heappop(finish_heap)[2]
+                # Materialize the decode state the per-iteration walk would
+                # have accumulated token by token.
+                seq.generated_tokens = seq.request.max_new_tokens
+                seq.state = finished_state
+                seq.finish_time = clock
+                seq.finish_iteration = None
+                decode_count -= 1
+                home_decode[seq.home_device] -= 1
+                finished_any = True
+            if finished_any:
+                scheduler.evict_finished()
+                admit_dirty = True  # freed blocks / batch slots
+                continue
+
+            # -- steady-state macro step ---------------------------------------
+            # Pure decode, nothing admitted or finished this iteration: the
+            # batch is frozen until the next finish event or arrival, and
+            # every iteration until then repeats the same float operations.
+            if prefilling or not finish_heap:
+                continue
+            span = finish_heap[0][0] - iterations - 1
+            if span <= 0:
+                continue
+            tokens = decode_count
+            if multi:
+                key = (tokens, tuple(home_decode))
+                entry = cost_cache.get(key)
+                if entry is None:
+                    entry = self._iteration_cost(*key)
+                step, max_compute, mean_compute, remotes = entry
+            else:
+                entry = cost_cache.get(tokens)
+                if entry is None:
+                    entry = self._iteration_cost(tokens, None)
+                step = entry[0]
+            done = 0
+            if multi:
+                while done < span and next_at > clock:
+                    for remote in remotes:
+                        alltoall_tokens += remote
+                    straggler_max_s += max_compute
+                    straggler_mean_s += mean_compute
+                    clock += step
+                    done += 1
+            else:
+                # Conservative unchecked prefix: after k additions the
+                # accumulated rounding error is far below one step, so
+                # ``(next_at - clock)/step - 2`` iterations provably keep
+                # ``clock < next_at`` throughout — run them without the
+                # per-iteration comparison, then finish checked.  The adds
+                # themselves stay the exact sequential ``clock += step`` the
+                # uncompressed loop performs (bit-identical clock).
+                bulk = span
+                if next_at is not inf and step > 0.0:
+                    safe = int((next_at - clock) / step) - 2
+                    if safe < bulk:
+                        bulk = safe
+                if bulk > 0:
+                    for _ in range(bulk):
+                        clock += step
+                    done = bulk
+                while done < span and next_at > clock:
+                    clock += step
+                    done += 1
+            iterations += done
+            total_tokens += tokens * done
+
+        return (
+            clock, iterations, total_tokens, peak_batch, peak_used_blocks,
+            peak_shared_blocks, peak_used_per_device,
+            straggler_max_s, straggler_mean_s, alltoall_tokens,
         )
 
     def _cluster_section(
         self,
         peak_used_per_device: list[int],
         straggler_max_s: float,
-        straggler_sum_s: float,
+        straggler_mean_s: float,
         alltoall_tokens: float,
     ) -> dict:
         """The report's ``cluster`` section (multi-device runs only)."""
@@ -480,20 +853,21 @@ class ServingEngine:
                     ),
                 }
             )
-        # The skew baseline is the mean over devices that host expert mass:
-        # a device the placement left expert-less (possible when devices >
-        # experts) is idle by construction, and counting its zero compute
-        # would inflate the ratio with an artifact of the denominator.
-        active_devices = sum(1 for mass in self.placement.device_mass if mass > 0)
+        # The skew baseline is the per-iteration mean over devices that
+        # actually received token load: a device the placement left
+        # expert-less is idle by construction, and `split_tokens` hands a
+        # low-mass device zero tokens in a small batch — either way its 0.0
+        # compute would deflate the mean and inflate the ratio with a
+        # denominator artifact.  ``straggler_mean_s`` accumulates
+        # Σ_iter (Σ_loaded compute / loaded), so max >= mean holds inside
+        # every iteration and the ratio is always >= 1.0.
         return {
             "devices": num_devices,
             "placement": self.placement.name,
             # Time lost to routing skew: the slowest device's compute over
-            # the active-device mean compute (1.0 = no skew).
+            # the loaded-device mean compute (1.0 = no skew).
             "straggler_ratio": (
-                straggler_max_s / (straggler_sum_s / active_devices)
-                if straggler_sum_s and active_devices
-                else 1.0
+                straggler_max_s / straggler_mean_s if straggler_mean_s else 1.0
             ),
             "alltoall_tokens": round(alltoall_tokens, 3),
             "per_device": per_device,
@@ -510,13 +884,27 @@ class ServingEngine:
         peak_used_blocks: int,
         peak_shared_blocks: int,
         cluster: dict | None = None,
+        *,
+        first_submitted: float | None = None,
+        num_submitted: int | None = None,
     ) -> ServingReport:
         finished = scheduler.finished
         records: list[dict] = []
         all_seqs: list[Sequence] = sorted(
-            scheduler.finished + scheduler.rejected,
+            scheduler.finished + scheduler.rejected + scheduler.stranded,
             key=lambda s: s.request.request_id,
         )
+        if num_submitted is not None:
+            # Conservation: every submitted request must land in exactly one
+            # terminal state — nothing may silently vanish from the report.
+            assert (
+                len(scheduler.finished) + len(scheduler.rejected) + len(scheduler.stranded)
+                == num_submitted
+            ), (
+                f"request accounting leak: {len(scheduler.finished)} finished + "
+                f"{len(scheduler.rejected)} rejected + {len(scheduler.stranded)} "
+                f"stranded != {num_submitted} submitted"
+            )
         multi_device = len(self.device_group) > 1
         for seq in all_seqs:
             record = {
@@ -536,13 +924,31 @@ class ServingEngine:
                     self.device_group.names[seq.home_device] if seq.is_finished else None
                 )
             records.append(record)
-        ttfts = [s.ttft for s in finished if s.ttft is not None]
-        tpots = [s.tpot for s in finished if s.tpot is not None]
-        e2es = [s.e2e_latency for s in finished if s.e2e_latency is not None]
+        # Summary lists keep *finish order* (their float reduction order is
+        # pinned by the goldens); evaluate each latency property once per
+        # sequence instead of twice (filter + collect).
+        ttfts: list[float] = []
+        tpots: list[float] = []
+        e2es: list[float] = []
+        for s in finished:
+            ttft = s.ttft
+            if ttft is not None:
+                ttfts.append(ttft)
+            tpot = s.tpot
+            if tpot is not None:
+                tpots.append(tpot)
+            e2e = s.e2e_latency
+            if e2e is not None:
+                e2es.append(e2e)
         if finished:
-            first_arrival = min(s.request.arrival_time for s in finished)
+            # The sustained-QPS window opens at the first *submitted* arrival
+            # (not the first finished one): when early arrivals are rejected
+            # or load-shed, the system was already accepting traffic, and
+            # shrinking the window to the survivors overstates throughput.
+            if first_submitted is None:
+                first_submitted = min(s.request.arrival_time for s in finished)
             last_finish = max(s.finish_time for s in finished)
-            makespan = max(last_finish - first_arrival, 1e-12)
+            makespan = max(last_finish - first_submitted, 1e-12)
             qps = len(finished) / makespan
         else:
             qps = 0.0
@@ -555,6 +961,7 @@ class ServingEngine:
             num_requests=len(all_seqs),
             completed=len(finished),
             rejected=len(scheduler.rejected),
+            stranded=len(scheduler.stranded),
             iterations=iterations,
             preemptions=scheduler.preemptions,
             recomputed_tokens=scheduler.recomputed_tokens,

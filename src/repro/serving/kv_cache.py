@@ -384,6 +384,27 @@ class BlockManager:
         self.physical_allocs += 1
         return block_id
 
+    def _take_free_blocks(self, n: int) -> list[int]:
+        """Take ``n`` free blocks at once — the same ids in the same order
+        ``n`` successive :meth:`_take_free_block` calls would return (the
+        free list is a stack, so the bulk take slices its tail and reverses),
+        without the per-block call overhead on the allocation hot path."""
+        if n <= 0:
+            return []
+        free = self._free
+        if n > len(free):
+            raise KVCacheExhausted(
+                f"no free blocks left in a {self._num_blocks}-block pool"
+            )
+        taken = free[-n:]
+        del free[-n:]
+        taken.reverse()
+        ref = self._ref
+        for block_id in taken:
+            ref[block_id] = 1
+        self.physical_allocs += n
+        return taken
+
     def allocate(self, seq_id: int, num_tokens: int) -> int:
         """Reserve private blocks for ``num_tokens`` tokens; returns blocks taken."""
         if seq_id in self._tables:
@@ -394,7 +415,7 @@ class BlockManager:
                 f"need {needed} blocks for sequence {seq_id} but only "
                 f"{self.free_blocks}/{self._num_blocks} are free"
             )
-        self._tables[seq_id] = [self._take_free_block() for _ in range(needed)]
+        self._tables[seq_id] = self._take_free_blocks(needed)
         return needed
 
     def grow(self, seq_id: int, num_blocks: int) -> int:
@@ -409,7 +430,7 @@ class BlockManager:
                 f"need {num_blocks} more blocks for sequence {seq_id} but only "
                 f"{self.free_blocks}/{self._num_blocks} are free"
             )
-        table.extend(self._take_free_block() for _ in range(num_blocks))
+        table.extend(self._take_free_blocks(num_blocks))
         return len(table)
 
     def free(self, seq_id: int) -> int:
@@ -422,6 +443,16 @@ class BlockManager:
         table = self._tables.pop(seq_id, None)
         if table is None:
             raise KVCacheExhausted(f"sequence {seq_id} holds no blocks")
+        if self._shared_count == 0 and not self._prefix_key:
+            # No block anywhere is shared or prefix-registered, so every
+            # table entry holds the sole reference: skip the per-block
+            # sharing checks and return the whole table to the free list in
+            # one extend (same append order as the general loop).
+            ref = self._ref
+            for block_id in table:
+                del ref[block_id]
+            self._free.extend(table)
+            return len(table)
         freed = 0
         for block_id in table:
             self._ref[block_id] -= 1

@@ -42,9 +42,10 @@ class RequestState(enum.Enum):
     PREEMPTED = "preempted"  # KV blocks reclaimed; awaiting requeue
     FINISHED = "finished"    # produced all of its tokens
     REJECTED = "rejected"    # admission control refused it
+    STRANDED = "stranded"    # still waiting when the engine ran out of work
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Request:
     """One client request of the simulated workload."""
 
@@ -88,7 +89,7 @@ class Request:
         return self.prompt_tokens + self.max_new_tokens
 
 
-@dataclass
+@dataclass(slots=True)
 class Sequence:
     """Engine-side state of one request."""
 
@@ -114,6 +115,10 @@ class Sequence:
     #: scheduler at each admission; a preempted sequence may re-home).  Always
     #: 0 on a single-device engine.
     home_device: int = 0
+    #: Engine-internal: iteration index at which this sequence's decode
+    #: completes, scheduled by the event-driven fast path when prefill
+    #: finishes (``None`` outside the fast path / after the finish event).
+    finish_iteration: int | None = None
     admission_time: float | None = None
     first_token_time: float | None = None
     finish_time: float | None = None
@@ -202,6 +207,18 @@ class Sequence:
         if self.state is not RequestState.QUEUED:
             raise RuntimeError(f"cannot reject a {self.state.value} sequence")
         self.state = RequestState.REJECTED
+
+    def strand(self) -> None:
+        """Terminal state for a request still queued when the run ends.
+
+        A scheduling policy that refuses admission (or a batch that never
+        drains) can leave requests in the waiting queue when the engine has
+        no arrivals and no running work left; the engine surfaces them as
+        ``stranded`` instead of silently dropping them from the report.
+        """
+        if self.state is not RequestState.QUEUED:
+            raise RuntimeError(f"cannot strand a {self.state.value} sequence")
+        self.state = RequestState.STRANDED
 
     def preempt(self) -> int:
         """Drop to PREEMPTED, discarding in-flight KV state.

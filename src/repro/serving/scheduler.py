@@ -42,7 +42,9 @@ and ``tests/serving/test_policies.py``):
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
+from typing import Callable, Iterator
 
 from .kv_cache import AllocationPolicy, BlockManager, ReservationPolicy
 from .request import Request, RequestState, Sequence
@@ -51,6 +53,7 @@ __all__ = [
     "SchedulerConfig",
     "SchedulingPolicy",
     "FifoPriorityPolicy",
+    "WaitingQueue",
     "ContinuousBatchingScheduler",
 ]
 
@@ -135,6 +138,74 @@ class FifoPriorityPolicy(SchedulingPolicy):
     """The default scheduling discipline, under its explicit name."""
 
 
+class WaitingQueue:
+    """Heap-backed waiting queue ordered by the scheduling policy's key.
+
+    The pre-PR-6 scheduler kept ``waiting`` as a plain list re-sorted on
+    every insert — O(n log n) per arrival, the dominant cost of long-trace
+    replays.  The heap makes a push O(log n) and a head pop O(log n) while
+    serving admissions in exactly the old sorted order: entries carry a
+    monotonically increasing push counter, so equal policy keys pop in
+    insertion order — precisely the stable-sort semantics ``list.sort``
+    gave (``tests/serving/test_heap_queue.py`` pins the equivalence under
+    random priorities and preemption re-pushes).
+
+    The policy key is evaluated once, at push time.  Every in-tree key —
+    ``(priority, enqueue_index)`` — is immutable while a sequence waits;
+    a custom policy whose key mutates for *queued* sequences must re-push
+    them (the old code had the same caveat, just one re-sort later).
+
+    List-compat surface: ``append`` aliases ``push``, ``sort`` is a no-op
+    (the heap already serves keys in order), iteration and indexing yield
+    the sorted view, ``pop(0)`` pops the head.
+    """
+
+    __slots__ = ("_key", "_heap", "_pushes")
+
+    def __init__(self, key: Callable[[Sequence], tuple]) -> None:
+        self._key = key
+        self._heap: list[tuple[tuple, int, Sequence]] = []
+        self._pushes = 0
+
+    def push(self, seq: Sequence) -> None:
+        heapq.heappush(self._heap, (self._key(seq), self._pushes, seq))
+        self._pushes += 1
+
+    #: List-compat alias so callers written against the old list still work.
+    append = push
+
+    def peek(self) -> Sequence:
+        """The head — the sequence the policy admits next."""
+        return self._heap[0][2]
+
+    def pop(self, index: int = 0) -> Sequence:
+        if index != 0:
+            raise IndexError("WaitingQueue only pops the head (index 0)")
+        return heapq.heappop(self._heap)[2]
+
+    def clear(self) -> None:
+        self._heap.clear()
+
+    def sort(self, key: Callable | None = None) -> None:
+        """No-op list-compat shim: the heap already serves keys in order."""
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def __iter__(self) -> Iterator[Sequence]:
+        # The push counter makes every entry distinct, so sequences are
+        # never compared and ties keep insertion order (stable-sort view).
+        return (entry[2] for entry in sorted(self._heap))
+
+    def __getitem__(self, index: int) -> Sequence:
+        if index == 0 and self._heap:
+            return self._heap[0][2]
+        return sorted(self._heap)[index][2]
+
+
 class ContinuousBatchingScheduler:
     """Forms the per-iteration batch over a shared KV block pool.
 
@@ -158,10 +229,13 @@ class ContinuousBatchingScheduler:
         if self.allocation.pool is not block_manager:
             raise ValueError("allocation policy must wrap the scheduler's block manager")
         self.policy = policy or FifoPriorityPolicy()
-        self.waiting: list[Sequence] = []
+        # Bound through `self.policy` so a policy installed after
+        # construction (tests do this) still keys future pushes.
+        self.waiting = WaitingQueue(lambda seq: self.policy.queue_key(seq))
         self.running: list[Sequence] = []
         self.rejected: list[Sequence] = []
         self.finished: list[Sequence] = []
+        self.stranded: list[Sequence] = []
         self.preemptions = 0
         self.recomputed_tokens = 0
         self._enqueue_counter = 0
@@ -175,8 +249,7 @@ class ContinuousBatchingScheduler:
             seq.reject()
             self.rejected.append(seq)
             return seq
-        self.waiting.append(seq)
-        self.waiting.sort(key=self.policy.queue_key)
+        self.waiting.push(seq)
         return seq
 
     # -- iteration boundary ------------------------------------------------------
@@ -266,16 +339,36 @@ class ContinuousBatchingScheduler:
         self.preemptions += 1
         victim.requeue()
         self.running.remove(victim)
-        self.waiting.append(victim)
-        self.waiting.sort(key=self.policy.queue_key)
+        self.waiting.push(victim)
+
+    def drain_stranded(self) -> list[Sequence]:
+        """Move every still-waiting sequence to the ``stranded`` terminal state.
+
+        Called by the engine when the run is over (no arrivals left, nothing
+        running) but the waiting queue is not empty — which a conservative
+        custom :class:`SchedulingPolicy` can cause.  Without this the
+        sequences would vanish from the report and ``num_requests`` would
+        undercount the submitted work.
+        """
+        for seq in self.waiting:
+            seq.strand()
+            self.stranded.append(seq)
+        self.waiting.clear()
+        return self.stranded
 
     def evict_finished(self) -> list[Sequence]:
         """Remove finished sequences from the batch and free their KV blocks."""
-        done = [s for s in self.running if s.is_finished]
+        done: list[Sequence] = []
+        still_running: list[Sequence] = []
+        finished_state = RequestState.FINISHED
+        for seq in self.running:
+            (done if seq.state is finished_state else still_running).append(seq)
+        release = self.allocation.release
         for seq in done:
-            self.allocation.release(seq)
-            self.finished.append(seq)
-        self.running = [s for s in self.running if not s.is_finished]
+            release(seq)
+        self.finished.extend(done)
+        # In-place so engine-held aliases of ``running`` stay live.
+        self.running[:] = still_running
         return done
 
     # -- queries -----------------------------------------------------------------

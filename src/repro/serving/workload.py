@@ -220,14 +220,25 @@ def load_trace(source: Union[str, os.PathLike, IO[str], Iterable[str]]) -> list[
     """Load a JSONL trace of per-request records into a replay workload.
 
     Each non-empty line is a JSON object ``{"arrival": s, "prompt": n,
-    "max_new_tokens": n, "priority": p?}``.  Malformed JSON, wrong types,
-    missing or unknown fields, and out-of-range values all raise
-    :class:`TraceSchemaError` naming the offending line.
+    "max_new_tokens": n, "priority": p?, "prefix_id": k?,
+    "prefix_tokens": n?}``.  ``prefix_id`` names a shared prompt prefix
+    (requests carrying the same id dedupe their common KV blocks through the
+    engine's prefix cache) and ``prefix_tokens`` gives the shared token
+    count, defaulting to the whole prompt when omitted.  Malformed JSON,
+    wrong types, missing or unknown fields, and out-of-range values all
+    raise :class:`TraceSchemaError` naming the offending line.
+
+    The trace is consumed *streamingly* — one line parsed, validated, and
+    turned into its :class:`~repro.serving.request.Request` at a time, with
+    no intermediate row list — so a million-request file costs one pass and
+    one output list.  Request ids number the records in file order; the
+    returned list is sorted by ``(arrival_time, request_id)`` like every
+    other workload.
     """
     if isinstance(source, (str, os.PathLike)):
         with open(source) as fh:
             return load_trace(fh)
-    rows: list[tuple] = []
+    requests: list[Request] = []
     for lineno, line in enumerate(source, start=1):
         line = line.strip()
         if not line:
@@ -238,19 +249,25 @@ def load_trace(source: Union[str, os.PathLike, IO[str], Iterable[str]]) -> list[
             raise TraceSchemaError(f"trace line {lineno}: invalid JSON ({exc})") from None
         record = _validate_trace_record(lineno, record)
         prefix_id = record.get("prefix_id")
-        rows.append(
-            (
-                record["arrival"],
-                record["prompt"],
-                record["max_new_tokens"],
-                record.get("priority", 0),
-                prefix_id,
-                record.get("prefix_tokens", record["prompt"]) if prefix_id is not None else 0,
+        try:
+            requests.append(
+                Request(
+                    request_id=len(requests),
+                    arrival_time=float(record["arrival"]),
+                    prompt_tokens=int(record["prompt"]),
+                    max_new_tokens=int(record["max_new_tokens"]),
+                    priority=int(record.get("priority", 0)),
+                    prefix_id=prefix_id,
+                    prefix_tokens=(
+                        int(record.get("prefix_tokens", record["prompt"]))
+                        if prefix_id is not None
+                        else 0
+                    ),
+                )
             )
-        )
-    if not rows:
+        except ValueError as exc:  # out-of-range values caught by Request validation
+            raise TraceSchemaError(f"invalid trace record: {exc}") from None
+    if not requests:
         raise TraceSchemaError("trace contains no records")
-    try:
-        return replay_workload(rows)
-    except ValueError as exc:  # out-of-range values caught by Request validation
-        raise TraceSchemaError(f"invalid trace record: {exc}") from None
+    requests.sort(key=lambda r: (r.arrival_time, r.request_id))
+    return requests

@@ -1,0 +1,162 @@
+"""Regression tests for the hot-loop accounting sweep (PR 6).
+
+Three bugs hid in ``ServingEngine.run`` / its report:
+
+* requests still in ``scheduler.waiting`` at run exit silently vanished from
+  the report (``num_requests`` undercounted the submitted work);
+* ``straggler_ratio`` divided by the placement-mass device count, so a
+  low-mass device that ``split_tokens`` handed zero tokens deflated the mean
+  compute and inflated the ratio;
+* the ``sustained_qps`` window opened at the first *finished* arrival, so
+  rejecting early arrivals shrank the makespan and overstated QPS.
+
+Each test here fails on the pre-PR engine.
+"""
+
+import pytest
+
+from repro.runtime.backends import MiLoBackend
+from repro.serving import (
+    ContinuousBatchingScheduler,
+    EngineConfig,
+    Request,
+    RequestState,
+    SchedulingPolicy,
+    ServingEngine,
+    replay_workload,
+)
+
+
+def make_engine(**kwargs):
+    return ServingEngine(MiLoBackend(), "mixtral-8x7b", EngineConfig(**kwargs))
+
+
+# -- stranded requests -------------------------------------------------------------
+
+
+class AdmitNothingPolicy(SchedulingPolicy):
+    """A (pathologically) conservative policy: no sequence ever joins."""
+
+    name = "admit-nothing"
+
+    def may_join(self, running, config):
+        return False
+
+
+class AdmitNothingEngine(ServingEngine):
+    """Engine whose scheduler runs the admit-nothing policy."""
+
+    def make_scheduler(self):
+        scheduler = super().make_scheduler()
+        scheduler.policy = AdmitNothingPolicy()
+        return scheduler
+
+
+def make_admit_nothing_engine():
+    return AdmitNothingEngine(MiLoBackend(), "mixtral-8x7b", EngineConfig())
+
+
+class TestStrandedAccounting:
+    def test_stranded_requests_surface_in_report(self):
+        """Never-admitted requests must not vanish from the report."""
+        engine = make_admit_nothing_engine()
+        workload = replay_workload([(0.0, 8, 4), (0.5, 8, 4), (1.0, 8, 4)])
+        report = engine.run(workload)
+        # Pre-PR: the three requests disappear (num_requests == 0).
+        assert report.num_requests == 3
+        assert report.stranded == 3
+        assert report.completed == 0 and report.rejected == 0
+        assert report.completed + report.rejected + report.stranded == 3
+
+    def test_stranded_records_and_schema_key(self):
+        engine = make_admit_nothing_engine()
+        report = engine.run(replay_workload([(0.0, 8, 4)]))
+        d = report.to_dict()
+        assert d["stranded"] == 1
+        (record,) = d["requests"]
+        assert record["state"] == "stranded"
+        assert record["new_tokens"] == 0
+        assert record["ttft_s"] is None and record["e2e_s"] is None
+
+    def test_stranded_key_absent_when_nothing_strands(self):
+        """In-tree policies never strand; historical reports stay byte-identical."""
+        report = make_engine().run(replay_workload([(0.0, 8, 4)]))
+        assert report.stranded == 0
+        assert "stranded" not in report.to_dict()
+
+    def test_scheduler_drain_stranded_transitions(self):
+        engine = make_admit_nothing_engine()
+        scheduler = engine.make_scheduler()
+        seq = scheduler.add_request(
+            Request(request_id=0, arrival_time=0.0, prompt_tokens=8, max_new_tokens=4)
+        )
+        scheduler.drain_stranded()
+        assert seq.state is RequestState.STRANDED
+        assert not scheduler.waiting
+        with pytest.raises(RuntimeError):
+            seq.strand()  # already terminal
+
+
+# -- straggler_ratio denominator ---------------------------------------------------
+
+
+class TestStragglerDenominator:
+    def test_unloaded_device_does_not_inflate_ratio(self):
+        """One token on 4 devices: 3 devices get zero load; ratio must be 1.0.
+
+        Pre-PR the mean divides the single loaded device's compute by all 4
+        mass-holding devices, reporting a phantom straggler_ratio of 4.0.
+        """
+        engine = make_engine(devices=4)
+        report = engine.run(replay_workload([(0.0, 1, 1)]))
+        assert report.cluster is not None
+        assert report.cluster["straggler_ratio"] == pytest.approx(1.0)
+
+    def test_ratio_at_least_one_under_mixed_load(self):
+        """Per-iteration mean keeps max >= mean even when the loaded-device
+        count varies between prefill (all loaded) and small decode batches
+        (some devices at zero tokens)."""
+        engine = make_engine(devices=4)
+        report = engine.run(replay_workload([(0.0, 64, 32), (0.0, 64, 32)]))
+        assert report.cluster is not None
+        assert report.cluster["straggler_ratio"] >= 1.0
+
+
+# -- sustained_qps window ----------------------------------------------------------
+
+
+class TestSustainedQpsWindow:
+    def test_window_opens_at_first_submitted_arrival(self):
+        """A rejected early arrival must not shrink the QPS makespan.
+
+        Request 0 (t=0) can never fit the pool and is rejected; request 1
+        arrives much later and completes.  Pre-PR the window opened at
+        request 1's arrival, overstating QPS by orders of magnitude.
+        """
+        engine = make_engine(admission="reject")
+        never_fits = engine.block_manager.num_blocks * engine.config.block_size + 1
+        requests = [
+            Request(request_id=0, arrival_time=0.0, prompt_tokens=never_fits,
+                    max_new_tokens=1),
+            Request(request_id=1, arrival_time=100.0, prompt_tokens=8,
+                    max_new_tokens=4),
+        ]
+        report = engine.run(requests)
+        assert report.completed == 1 and report.rejected == 1
+        last_finish = max(
+            r["arrival_s"] + r["e2e_s"]
+            for r in report.to_dict()["requests"]
+            if r["state"] == "finished"
+        )
+        expected = 1 / (last_finish - 0.0)
+        assert report.sustained_qps == pytest.approx(expected)
+        # The buggy window (opening at t=100) is ~100x larger.
+        assert report.sustained_qps < 2 * expected
+
+    def test_all_finished_window_unchanged(self):
+        """With no rejections the window already opened at the first arrival."""
+        engine = make_engine()
+        report = engine.run(replay_workload([(0.0, 8, 4), (0.2, 8, 4)]))
+        d = report.to_dict()
+        last_finish = max(r["arrival_s"] + r["e2e_s"] for r in d["requests"])
+        assert report.sustained_qps == pytest.approx(2 / last_finish)
