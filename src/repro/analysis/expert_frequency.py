@@ -20,6 +20,7 @@ __all__ = [
     "ExpertFrequencyProfile",
     "profile_expert_frequency",
     "fig3_reference_frequencies",
+    "fig3_layer_frequencies",
 ]
 
 
@@ -50,6 +51,50 @@ def fig3_reference_frequencies(
     exponents = np.arange(num_experts) / (num_experts - 1)
     freqs = imbalance_ratio ** (-exponents)
     return freqs / freqs.sum()
+
+
+def fig3_layer_frequencies(
+    num_layers: int,
+    num_experts: int,
+    max_imbalance_ratio: float = 11.7,
+    min_imbalance_ratio: float = 1.5,
+) -> np.ndarray:
+    """A deterministic *per-layer* Fig. 3-style frequency heatmap.
+
+    Returns a ``(num_layers, num_experts)`` matrix of normalized expert
+    frequencies modeling the two depth effects visible in the paper's Fig. 3
+    heatmaps (and in published MoE routing studies):
+
+    * **skew grows with depth** — shallow layers route nearly uniformly while
+      deep layers concentrate on a few experts.  Layer ``l`` gets a geometric
+      profile whose max/min ratio interpolates log-linearly from
+      ``min_imbalance_ratio`` (layer 0) to ``max_imbalance_ratio`` (last
+      layer);
+    * **the hot expert differs by layer** — each layer's profile is rotated
+      by its layer index, so expert 0 is not globally hot and a placement
+      tuned for one layer's skew is wrong for another's.
+
+    This is the default per-layer routing model of the serving engine's
+    overlap-aware layered cost path (``--overlap``); callers with a measured
+    :class:`ExpertFrequencyProfile` pass its heatmap instead.  The flat
+    :func:`fig3_reference_frequencies` remains the whole-model profile an
+    offline single-distribution profiling pass would report.
+    """
+    if num_layers <= 0:
+        raise ValueError("num_layers must be positive")
+    if min_imbalance_ratio < 1.0 or max_imbalance_ratio < min_imbalance_ratio:
+        raise ValueError(
+            "imbalance ratios must satisfy 1 <= min_imbalance_ratio <= max_imbalance_ratio"
+        )
+    depth = (
+        np.arange(num_layers) / (num_layers - 1) if num_layers > 1 else np.zeros(1)
+    )
+    ratios = min_imbalance_ratio * (max_imbalance_ratio / min_imbalance_ratio) ** depth
+    rows = []
+    for layer, ratio in enumerate(ratios):
+        profile = fig3_reference_frequencies(num_experts, float(ratio))
+        rows.append(np.roll(profile, layer % num_experts))
+    return np.stack(rows)
 
 
 @dataclass

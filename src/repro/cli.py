@@ -188,6 +188,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             prefill_chunk=args.prefill_chunk,
             devices=args.devices,
             placement=args.placement,
+            overlap=args.overlap,
+            replacement_threshold=args.replacement_threshold,
             debug_checks=not args.no_debug_checks,
             fast_path=not args.no_fast_path,
         )
@@ -337,6 +339,27 @@ def build_parser() -> argparse.ArgumentParser:
         choices=SERVE_PLACEMENTS,
         help="expert placement across devices: round-robin by id ('balanced') "
         "or Fig. 3 skew-aware greedy packing ('frequency')",
+    )
+    s.add_argument(
+        "--overlap",
+        action="store_true",
+        help="overlap-aware layered cost model (requires --devices > 1): each "
+        "MoE layer gets its own expert placement and max-over-devices compute "
+        "term, and layer l's all-to-all overlaps with layer l+1's compute "
+        "(step = sum_l of max-ish(compute_l, comm_{l-1}), scaled by the "
+        "device's overlap_efficiency); the report gains an 'overlap' section "
+        "with hidden_comm_s / overlap_ratio / replacements / migration_s",
+    )
+    s.add_argument(
+        "--replacement-threshold",
+        type=float,
+        default=None,
+        metavar="TV",
+        help="with --overlap: re-pack a layer's experts (LPT) when its "
+        "measured routing frequencies drift more than this total-variation "
+        "distance from the profile its placement was packed for; moved "
+        "expert weights are priced over the interconnect as a migration "
+        "stall (default: dynamic re-placement off)",
     )
     workload_source = s.add_mutually_exclusive_group()
     workload_source.add_argument(

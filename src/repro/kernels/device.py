@@ -44,6 +44,16 @@ class DeviceSpec:
     #: Used by the multi-GPU serving engine to price expert-parallel
     #: all-to-all token dispatch; irrelevant on a single device.
     interconnect_bandwidth: float = 240e9
+    #: Fraction of all-to-all communication that can be hidden under the next
+    #: layer's compute when the serving engine runs its overlap-aware layered
+    #: cost model (``--overlap``): 1.0 is perfect dispatch/combine pipelining,
+    #: 0.0 degenerates to the strictly serial per-layer cost.  NVLink copies
+    #: run on dedicated copy engines, but kernel-launch gaps, chunk-boundary
+    #: synchronization and SM contention of the combine kernels keep a slice
+    #: of every transfer on the critical path — 0.9 models a well-tuned
+    #: double-buffered dispatch pipeline.  Irrelevant on a single device and
+    #: outside overlap mode.
+    overlap_efficiency: float = 0.9
 
     @property
     def effective_bandwidth(self) -> float:

@@ -40,6 +40,18 @@ Memory and scheduling decisions are *policies*, not hard-wired behavior:
   packing); the iteration cost is the max over per-device costs plus an
   all-to-all dispatch term, and the report gains a ``cluster`` section.
   One device reduces to the single-device engine byte-for-byte.
+* Overlap-aware layered cost model (``EngineConfig.overlap``): the
+  iteration cost decomposes per MoE layer — each layer gets its own expert
+  placement (:class:`LayeredExpertPlacement`, Fig. 3 skew differs by
+  depth), its own max-over-devices compute term, and its all-to-all
+  overlaps with the next layer's compute
+  (:func:`~repro.serving.engine.overlap_step_seconds`, scaled by the
+  device's ``overlap_efficiency``).  A :class:`RoutingDriftTracker` window
+  optionally re-packs drifted layers at run time
+  (``EngineConfig.replacement_threshold``), pricing moved expert weights
+  over the interconnect (:func:`expert_migration_seconds`); the report
+  gains an ``overlap`` section.  With ``overlap=False`` (default) the
+  serial whole-model cost model is untouched, byte for byte.
 
 Modules
 -------
@@ -73,11 +85,20 @@ from .cluster import (
     DeviceGroup,
     ExpertPlacement,
     FrequencyPlacement,
+    LayeredExpertPlacement,
+    RoutingDriftTracker,
     ShardedBlockManager,
+    expert_migration_seconds,
     make_expert_placement,
     split_tokens,
 )
-from .engine import EngineConfig, ServingEngine, ServingReport, expert_weight_fraction
+from .engine import (
+    EngineConfig,
+    ServingEngine,
+    ServingReport,
+    expert_weight_fraction,
+    overlap_step_seconds,
+)
 from .kv_cache import (
     ALLOCATION_POLICIES,
     AllocationPolicy,
@@ -123,10 +144,14 @@ __all__ = [
     "ExpertPlacement",
     "BalancedPlacement",
     "FrequencyPlacement",
+    "LayeredExpertPlacement",
+    "RoutingDriftTracker",
     "PLACEMENT_POLICIES",
     "make_expert_placement",
     "split_tokens",
     "ShardedBlockManager",
+    "expert_migration_seconds",
+    "overlap_step_seconds",
     "poisson_workload",
     "replay_workload",
     "load_trace",

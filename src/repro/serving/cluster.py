@@ -45,8 +45,11 @@ __all__ = [
     "ExpertPlacement",
     "BalancedPlacement",
     "FrequencyPlacement",
+    "LayeredExpertPlacement",
+    "RoutingDriftTracker",
     "PLACEMENT_POLICIES",
     "make_expert_placement",
+    "expert_migration_seconds",
     "split_tokens",
     "ShardedBlockManager",
 ]
@@ -179,6 +182,182 @@ PLACEMENT_POLICIES: dict[str, type[ExpertPlacement]] = {
     BalancedPlacement.name: BalancedPlacement,
     FrequencyPlacement.name: FrequencyPlacement,
 }
+
+
+class LayeredExpertPlacement:
+    """Per-layer expert placements for the overlap-aware layered cost model.
+
+    The paper's Fig. 3 heatmap shows routing skew *differs by layer* — which
+    expert is hot, and how hot, changes with depth — so a single whole-model
+    :class:`ExpertPlacement` is the wrong layout for most layers.  This
+    container keeps one expert→device assignment per MoE layer, all seeded
+    from the offline profile's placement (``base``, what a single-distribution
+    profiling pass yields), and evaluates each layer's *effective* device
+    mass under that layer's true routing frequencies (``layer_frequencies``).
+    The gap between the two is exactly what the engine's drift detector
+    measures and :meth:`repack_drifted` closes at run time.
+    """
+
+    def __init__(
+        self,
+        base: ExpertPlacement,
+        layer_frequencies: SequenceType[SequenceType[float]],
+    ) -> None:
+        if len(layer_frequencies) == 0:
+            raise ValueError("layer_frequencies must have one row per MoE layer")
+        num_experts = len(base.frequencies)
+        rows: list[tuple[float, ...]] = []
+        for layer, row in enumerate(layer_frequencies):
+            if len(row) != num_experts:
+                raise ValueError(
+                    f"layer {layer} has {len(row)} expert frequencies, "
+                    f"expected {num_experts}"
+                )
+            total = float(sum(row))
+            if total <= 0 or any(f < 0 for f in row):
+                raise ValueError(
+                    f"layer {layer} frequencies must be non-negative with a "
+                    f"positive sum"
+                )
+            rows.append(tuple(float(f) / total for f in row))
+        self.num_devices = base.num_devices
+        #: Placement policy the per-layer assignments were seeded from.
+        self.name = base.name
+        #: True per-layer routing frequencies (normalized rows).
+        self.layer_frequencies: tuple[tuple[float, ...], ...] = tuple(rows)
+        #: Expert→device assignment per layer (seeded from the profile-built
+        #: base placement, re-packed per layer as drift is detected).
+        self.assignments: list[tuple[int, ...]] = [base.assignment] * len(rows)
+        #: Frequencies each layer's current assignment was packed for — the
+        #: drift baseline (the offline profile until the first re-placement).
+        self.packed_from: list[tuple[float, ...]] = [base.frequencies] * len(rows)
+        self._recompute_mass()
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layer_frequencies)
+
+    def _recompute_mass(self) -> None:
+        masses: list[tuple[float, ...]] = []
+        for assignment, truth in zip(self.assignments, self.layer_frequencies):
+            mass = [0.0] * self.num_devices
+            for expert, device in enumerate(assignment):
+                mass[device] += truth[expert]
+            masses.append(tuple(mass))
+        #: Fraction of this layer's routed tokens each device attracts under
+        #: the layer's *true* frequencies (not the profile the assignment was
+        #: packed for) — the engine splits every layer's token load by this.
+        self.layer_mass: tuple[tuple[float, ...], ...] = tuple(masses)
+
+    def layer_load_imbalance(self, layer: int) -> float:
+        """Max device mass of one layer over the perfectly-even mass."""
+        return max(self.layer_mass[layer]) * self.num_devices
+
+    def repack_drifted(
+        self,
+        measured: SequenceType[SequenceType[float]],
+        threshold: float,
+    ) -> int:
+        """Re-run LPT packing for layers whose routing drifted past ``threshold``.
+
+        ``measured`` holds one normalized frequency row per layer (from a
+        :class:`RoutingDriftTracker` window).  A layer is re-packed when the
+        total-variation distance between its measured frequencies and the
+        frequencies its current assignment was packed for exceeds
+        ``threshold``.  Returns the number of ``(layer, expert)`` weight
+        shards that changed device — the unit the engine prices migration in.
+        Layers that drifted but repack to the identical assignment update
+        their baseline without counting moves.
+        """
+        if len(measured) != self.num_layers:
+            raise ValueError(
+                f"measured has {len(measured)} rows, expected {self.num_layers}"
+            )
+        moved = 0
+        for layer, row in enumerate(measured):
+            baseline = self.packed_from[layer]
+            drift = 0.5 * sum(abs(m - p) for m, p in zip(row, baseline))
+            if drift <= threshold:
+                continue
+            new_assignment = FrequencyPlacement(row, self.num_devices).assignment
+            moved += sum(
+                1 for a, b in zip(new_assignment, self.assignments[layer]) if a != b
+            )
+            self.assignments[layer] = new_assignment
+            self.packed_from[layer] = tuple(row)
+        if moved:
+            self._recompute_mass()
+        return moved
+
+
+class RoutingDriftTracker:
+    """Sliding window of measured per-layer routing, for dynamic re-placement.
+
+    The engine feeds it the batch token count at every iteration whose batch
+    composition changed; after ``window`` observations the accumulated
+    per-layer expert token counts are normalized into measured frequencies
+    and compared (by the engine, via
+    :meth:`LayeredExpertPlacement.repack_drifted`) against the frequencies
+    the current placements were packed for.  The simulator's router is
+    deterministic — each observed batch routes its tokens in expectation, so
+    the counts are ``tokens × layer frequency`` — but the window/normalize
+    machinery is exactly what a counter-based production drift detector runs
+    on sampled router statistics.
+    """
+
+    def __init__(
+        self,
+        layer_frequencies: SequenceType[SequenceType[float]],
+        window: int = 64,
+    ) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        if len(layer_frequencies) == 0:
+            raise ValueError("layer_frequencies must be non-empty")
+        self.window = window
+        self._layer_frequencies = tuple(tuple(row) for row in layer_frequencies)
+        self._observed_tokens = 0
+        self._observations = 0
+
+    @property
+    def window_full(self) -> bool:
+        return self._observations >= self.window
+
+    def observe(self, tokens: int) -> None:
+        """Record one batch's routed token counts (``tokens`` ≥ 1)."""
+        self._observed_tokens += tokens
+        self._observations += 1
+
+    def measured(self) -> list[tuple[float, ...]]:
+        """Normalized per-layer frequencies of the window's counts."""
+        if self._observed_tokens <= 0:
+            raise ValueError("no tokens observed in the current window")
+        # counts[layer][e] = observed_tokens * freq[layer][e]; normalizing
+        # divides the scalar back out, leaving the per-layer frequencies.
+        return [tuple(row) for row in self._layer_frequencies]
+
+    def reset(self) -> None:
+        """Start a fresh window (called after each drift decision)."""
+        self._observed_tokens = 0
+        self._observations = 0
+
+
+def expert_migration_seconds(
+    moved: int, bytes_per_expert_layer: float, interconnect_bandwidth: float
+) -> float:
+    """Time to move ``moved`` per-layer expert weight shards between devices.
+
+    Dynamic re-placement is not free: every ``(layer, expert)`` shard that
+    changes device crosses the interconnect once.  The engine adds this to
+    the simulated clock at the iteration the re-placement triggers — the
+    capacity/queueing cost that makes the replacement threshold a real
+    tradeoff instead of a free knob.
+    """
+    if moved < 0:
+        raise ValueError("moved must be non-negative")
+    if interconnect_bandwidth <= 0:
+        raise ValueError("interconnect_bandwidth must be positive")
+    return moved * bytes_per_expert_layer / interconnect_bandwidth
 
 
 def make_expert_placement(

@@ -70,7 +70,10 @@ import heapq
 from dataclasses import dataclass
 from typing import Iterable
 
-from ..analysis.expert_frequency import fig3_reference_frequencies
+from ..analysis.expert_frequency import (
+    fig3_layer_frequencies,
+    fig3_reference_frequencies,
+)
 from ..models.registry import FULL_MODEL_SPECS, FullModelSpec
 from ..runtime.backends import InferenceBackend, OutOfMemoryError
 from ..runtime.memory import build_inventory
@@ -78,7 +81,10 @@ from ..eval.reporting import summarize_latencies
 from .cluster import (
     PLACEMENT_POLICIES,
     DeviceGroup,
+    LayeredExpertPlacement,
+    RoutingDriftTracker,
     ShardedBlockManager,
+    expert_migration_seconds,
     make_expert_placement,
     split_tokens,
 )
@@ -91,7 +97,52 @@ from .scheduler import (
     SchedulingPolicy,
 )
 
-__all__ = ["EngineConfig", "ServingReport", "ServingEngine", "expert_weight_fraction"]
+__all__ = [
+    "EngineConfig",
+    "ServingReport",
+    "ServingEngine",
+    "expert_weight_fraction",
+    "overlap_step_seconds",
+]
+
+#: Batch-composition changes per drift-detection window of the overlap
+#: mode's dynamic re-placement (a sliding window of measured routing).
+#: Small enough that a workload whose routing disagrees with the offline
+#: profile is re-placed early in the run, large enough that one odd batch
+#: cannot trigger a migration storm.
+DRIFT_WINDOW = 16
+
+
+def overlap_step_seconds(
+    compute_s, comm_s, efficiency: float
+) -> tuple[float, float]:
+    """Step time of one layered iteration with dispatch/combine overlap.
+
+    ``compute_s[l]`` is layer ``l``'s critical-path compute and ``comm_s[l]``
+    its all-to-all time; the communication of layer ``l`` overlaps with the
+    compute of layer ``l + 1``, hiding ``efficiency * min(compute, comm)``
+    seconds at each boundary.  Returns ``(step_seconds, hidden_seconds)``.
+
+    At ``efficiency=0`` the result is bit-for-bit the serial layered cost
+    ``sum_l (compute_s[l] + comm_s[l])`` — same accumulation order, and
+    ``x - 0.0 == x`` exactly in IEEE arithmetic for the non-negative carries
+    involved.  At ``efficiency=1`` every boundary degenerates to
+    ``max(compute_l, comm_{l-1})``.  The hidden term never exceeds either
+    operand, so the overlap step is monotonically <= the serial step for any
+    efficiency in [0, 1] (``tests/serving/test_overlap.py`` pins both
+    properties).
+    """
+    step = 0.0
+    hidden_total = 0.0
+    carry = 0.0  # the previous layer's combine still in flight
+    for compute, comm in zip(compute_s, comm_s):
+        hidden = efficiency * (compute if compute < carry else carry)
+        step += compute + (carry - hidden)
+        hidden_total += hidden
+        carry = comm
+    # The last layer's combine has no successor compute to hide under.
+    step += carry
+    return step, hidden_total
 
 
 def expert_weight_fraction(spec: FullModelSpec) -> float:
@@ -140,6 +191,26 @@ class EngineConfig:
     #: skew (:func:`~repro.analysis.expert_frequency.fig3_reference_frequencies`).
     #: Must have one entry per routed expert of the served model.
     expert_frequencies: tuple[float, ...] | None = None
+    #: Overlap-aware layered cost model (multi-device only): each MoE layer
+    #: gets its own expert placement and ``max(per-device compute)`` term,
+    #: and the all-to-all of layer ``l`` overlaps with the compute of layer
+    #: ``l + 1`` (``step = sum_l max-ish(compute_l, comm_{l-1})``, scaled by
+    #: the device's ``overlap_efficiency``).  Off by default — the serial
+    #: whole-model cost stays byte-identical to PR 6.
+    overlap: bool = False
+    #: Per-layer per-expert routing frequencies for the overlap cost model:
+    #: ``num_layers`` rows of ``num_experts`` frequencies (the Fig. 3
+    #: heatmap).  ``None`` uses the deterministic depth-varying model
+    #: (:func:`~repro.analysis.expert_frequency.fig3_layer_frequencies`).
+    #: Requires ``overlap=True``.
+    layer_frequencies: tuple | None = None
+    #: Total-variation drift threshold triggering dynamic expert
+    #: re-placement: when a layer's measured routing frequencies drift more
+    #: than this from the profile its placement was packed for, the layer is
+    #: re-packed (LPT) and the moved expert weights are priced over the
+    #: interconnect.  ``None`` (default) disables re-placement.  Requires
+    #: ``overlap=True``.
+    replacement_threshold: float | None = None
     #: Run the KV pool's structural self-checks (``assert_no_leaks`` /
     #: ``check_invariants``) at the end of every run.  On by default (and in
     #: every test); benchmarks turn it off — it never changes the report,
@@ -182,6 +253,21 @@ class EngineConfig:
                 raise ValueError("expert_frequencies must be non-empty when given")
             if any(f <= 0 for f in self.expert_frequencies):
                 raise ValueError("expert_frequencies must all be positive")
+        if self.overlap and self.devices <= 1:
+            raise ValueError("overlap requires devices > 1 (there is no all-to-all to hide)")
+        if self.layer_frequencies is not None:
+            if not self.overlap:
+                raise ValueError("layer_frequencies requires overlap=True")
+            if len(self.layer_frequencies) == 0:
+                raise ValueError("layer_frequencies must be non-empty when given")
+        if self.replacement_threshold is not None:
+            if not self.overlap:
+                raise ValueError("replacement_threshold requires overlap=True")
+            if not 0.0 < self.replacement_threshold < 1.0:
+                raise ValueError(
+                    "replacement_threshold must lie in (0, 1) — it is a "
+                    "total-variation distance between frequency distributions"
+                )
 
 
 @dataclass
@@ -228,6 +314,11 @@ class ServingReport:
     #: then absent from :meth:`to_dict` — keeping single-device reports
     #: byte-identical to the pre-sharding engine.
     cluster: dict | None = None
+    #: Overlap-mode section: hidden communication seconds, overlap ratio,
+    #: dynamic re-placement count and migration stall.  ``None`` (and absent
+    #: from :meth:`to_dict`) unless the engine ran with ``overlap=True`` —
+    #: serial reports stay byte-identical.
+    overlap: dict | None = None
 
     def to_dict(self) -> dict:
         """JSON-serializable view (the ``milo serve`` report schema)."""
@@ -268,6 +359,8 @@ class ServingReport:
             out["stranded"] = self.stranded
         if self.cluster is not None:
             out["cluster"] = dict(self.cluster)
+        if self.overlap is not None:
+            out["overlap"] = dict(self.overlap)
         return out
 
 
@@ -371,6 +464,47 @@ class ServingEngine:
         #: the device loop.
         self._cost_cache: dict = {}
 
+        # -- overlap-aware layered cost model --------------------------------
+        self._overlap = self.config.overlap
+        self._drift: RoutingDriftTracker | None = None
+        #: Bumped at every dynamic expert re-placement; part of the overlap
+        #: cost memo key (a re-packed layer changes every iteration cost) and
+        #: stamped onto sequences at admission via the scheduler.
+        self._placement_epoch = 0
+        if self._overlap:
+            if self.config.layer_frequencies is not None:
+                rows = [tuple(float(f) for f in row) for row in self.config.layer_frequencies]
+                if len(rows) != spec.num_layers:
+                    raise ValueError(
+                        f"layer_frequencies has {len(rows)} rows but {spec.name} "
+                        f"has {spec.num_layers} MoE layers"
+                    )
+            else:
+                rows = [
+                    tuple(row)
+                    for row in fig3_layer_frequencies(spec.num_layers, spec.num_experts)
+                ]
+            #: Pristine per-layer profile rows, kept so repeated ``run()``
+            #: calls can rebuild the layered placement dynamic re-placement
+            #: may have mutated (run-to-run determinism).
+            self._layer_rows = rows
+            self.layered_placement = LayeredExpertPlacement(self.placement, rows)
+            self._alltoall_s_per_layer_token = self._alltoall_s_per_token / spec.num_layers
+            self._overlap_efficiency = min(
+                1.0, max(0.0, backend.device.overlap_efficiency)
+            )
+            #: Bytes of one expert's weights in one layer — the unit of
+            #: migration priced when re-placement moves a (layer, expert)
+            #: shard across the interconnect.
+            self._expert_layer_bytes = (
+                backend.model_memory_gb(spec)
+                * expert_weight_fraction(spec)
+                * 1024**3
+                / (spec.num_experts * spec.num_layers)
+            )
+            if self.config.replacement_threshold is not None:
+                self._drift = RoutingDriftTracker(rows, window=DRIFT_WINDOW)
+
     # -- capacity ----------------------------------------------------------------
     def max_batch_size(self, tokens_per_sequence: int) -> int:
         """Max concurrent sequences of a given total length this engine sustains.
@@ -402,6 +536,19 @@ class ServingEngine:
         pending = sorted(requests, key=lambda r: (r.arrival_time, r.request_id))
         scheduler = self.make_scheduler()
         self.block_manager.reset_stats()
+        if self._overlap:
+            # Dynamic re-placement mutates the layered placement mid-run;
+            # rebuild it from the pristine profile so every run() starts from
+            # the same state (run-to-run determinism), and drop the cost memo
+            # whose epoch-tagged keys would otherwise alias across runs.
+            if self._placement_epoch > 0:
+                self.layered_placement = LayeredExpertPlacement(
+                    self.placement, self._layer_rows
+                )
+                self._placement_epoch = 0
+                self._cost_cache.clear()
+            if self._drift is not None:
+                self._drift.reset()
         # The steady-state fast path requires two properties the general loop
         # does not: blocks move only at admission/eviction (reservation
         # allocation — no growth, preemption or copy-on-write mid-decode),
@@ -420,7 +567,8 @@ class ServingEngine:
             totals = self._run_general(pending, scheduler)
         (clock, iterations, total_tokens, peak_batch, peak_used_blocks,
          peak_shared_blocks, peak_used_per_device,
-         straggler_max_s, straggler_mean_s, alltoall_tokens) = totals
+         straggler_max_s, straggler_mean_s, alltoall_tokens,
+         hidden_comm_s, comm_total_s, migration_s, replacements) = totals
         scheduler.drain_stranded()
         if self.config.debug_checks:
             self.block_manager.assert_no_leaks()
@@ -429,9 +577,20 @@ class ServingEngine:
             cluster = self._cluster_section(
                 peak_used_per_device, straggler_max_s, straggler_mean_s, alltoall_tokens
             )
+        overlap = None
+        if self._overlap:
+            overlap = {
+                "efficiency": self._overlap_efficiency,
+                "hidden_comm_s": hidden_comm_s,
+                "overlap_ratio": (
+                    hidden_comm_s / comm_total_s if comm_total_s else 0.0
+                ),
+                "replacements": replacements,
+                "migration_s": migration_s,
+            }
         return self._build_report(
             scheduler, clock, iterations, total_tokens, peak_batch, peak_used_blocks,
-            peak_shared_blocks, cluster,
+            peak_shared_blocks, cluster, overlap,
             first_submitted=pending[0].arrival_time if pending else None,
             num_submitted=len(pending),
         )
@@ -450,12 +609,16 @@ class ServingEngine:
 
         ``home_key`` is ``None`` on a single device (the cost depends only
         on the token count) and the tuple of per-device home token counts
-        otherwise.  Returns ``(step, max_compute, mean_compute, remotes)``:
-        the clock advance, the slowest device's compute, the mean compute
-        over devices that received load, and the per-device remote-token
-        counts (``None`` single-device) — everything the caller accumulates
-        per iteration, so the memoized replay performs the identical float
-        operations the un-memoized loop did.
+        otherwise.  Returns ``(step, max_compute, mean_compute,
+        remote_tokens)``: the clock advance, the slowest device's compute,
+        the mean compute over devices that received load, and the
+        iteration's total remote-routed token count as an *integer*
+        (round-half-up of the exact rational Σ_d load_d·ept·(tokens -
+        home_d)/tokens; ``None`` single-device) — everything the caller
+        accumulates per iteration, so the memoized replay performs the
+        identical float operations the un-memoized loop did.  The *step*
+        math keeps the exact float remote term (the clock is pinned byte
+        for byte by the goldens); only the traffic *accounting* is integral.
         """
         key = tokens if home_key is None else (tokens, home_key)
         entry = self._cost_cache.get(key)
@@ -473,7 +636,7 @@ class ServingEngine:
             max_compute = 0.0
             iter_compute_s = 0.0
             iter_loaded = 0
-            remotes: list[float] = []
+            remote_numer = 0  # Σ_d load_d · ept · (tokens - home_d), exact int
             experts_per_token = self.spec.experts_per_token
             alltoall_s = self._alltoall_s_per_token
             for d, load in enumerate(split_tokens(tokens, self.placement.device_mass)):
@@ -490,18 +653,128 @@ class ServingEngine:
                     iter_loaded += 1
                 else:
                     compute = 0.0
-                remote = load * experts_per_token * (tokens - home_key[d]) / tokens
-                remotes.append(remote)
+                remote_int = load * experts_per_token * (tokens - home_key[d])
+                remote_numer += remote_int
+                remote = remote_int / tokens
                 max_compute = max(max_compute, compute)
                 step = max(step, compute + remote * alltoall_s)
             mean_compute = iter_compute_s / iter_loaded if iter_loaded else 0.0
-            entry = (step, max_compute, mean_compute, tuple(remotes))
+            # Round-half-up of remote_numer / tokens: token counts are whole.
+            remote_tokens = (2 * remote_numer + tokens) // (2 * tokens)
+            entry = (step, max_compute, mean_compute, remote_tokens)
         if len(self._cost_cache) >= 262144:
             # Multi-device home mixes are unbounded in principle; keep the
             # memo's footprint flat on adversarial workloads.
             self._cost_cache.clear()
         self._cost_cache[key] = entry
         return entry
+
+    def _iteration_cost_overlap(
+        self, tokens: int, home_key: tuple[int, ...]
+    ) -> tuple[float, float, float, int, float, float]:
+        """Memoized layered cost of one iteration under the overlap model.
+
+        Decomposes the whole-model iteration into ``num_layers`` MoE layers:
+        layer ``l`` splits the batch by *its own* placement's device mass
+        (Fig. 3 skew differs by layer), costs ``max_d compute_{l,d}`` on the
+        critical path, and its all-to-all overlaps with layer ``l + 1``'s
+        compute through :func:`overlap_step_seconds`.  Per-device compute at
+        a given load is the whole-model latency divided by ``num_layers`` —
+        so a layered run whose layers all split identically reproduces the
+        serial device-loop costs exactly.
+
+        Keyed by ``(tokens, home_key, placement_epoch)``: dynamic
+        re-placement changes every layer cost, so epochs must not share memo
+        entries.  Returns ``(step, max_compute, mean_compute, remote_tokens,
+        hidden_s, comm_s)`` — the serial tuple plus the iteration's hidden
+        communication seconds and total (un-overlapped) communication
+        seconds.
+        """
+        key = (tokens, home_key, self._placement_epoch)
+        entry = self._cost_cache.get(key)
+        if entry is not None:
+            return entry
+        latency_cache = self._latency_cache
+        spec = self.spec
+        backend = self.backend
+        num_layers = spec.num_layers
+        experts_per_token = spec.experts_per_token
+        alltoall_layer_s = self._alltoall_s_per_layer_token
+        computes: list[float] = []
+        comms: list[float] = []
+        max_compute_s = 0.0
+        mean_compute_s = 0.0
+        remote_numer = 0
+        for mass in self.layered_placement.layer_mass:
+            layer_max = 0.0
+            layer_sum = 0.0
+            layer_loaded = 0
+            layer_remote = 0.0
+            for d, load in enumerate(split_tokens(tokens, mass)):
+                if load:
+                    whole = latency_cache.get(load)
+                    if whole is None:
+                        whole = backend.iteration_latency(spec, load).total
+                        latency_cache[load] = whole
+                    compute = whole / num_layers
+                    layer_sum += compute
+                    layer_loaded += 1
+                    if compute > layer_max:
+                        layer_max = compute
+                remote_int = load * experts_per_token * (tokens - home_key[d])
+                remote_numer += remote_int
+                remote = remote_int / tokens
+                if remote > layer_remote:
+                    layer_remote = remote
+            computes.append(layer_max)
+            comms.append(layer_remote * alltoall_layer_s)
+            max_compute_s += layer_max
+            mean_compute_s += layer_sum / layer_loaded if layer_loaded else 0.0
+        step, hidden_s = overlap_step_seconds(
+            computes, comms, self._overlap_efficiency
+        )
+        comm_s = 0.0
+        for c in comms:
+            comm_s += c
+        # Mean remote tokens per layer, round-half-up — comparable to the
+        # serial engine's once-per-iteration whole-model accounting.
+        denom = num_layers * tokens
+        remote_tokens = (2 * remote_numer + denom) // (2 * denom)
+        entry = (step, max_compute_s, mean_compute_s, remote_tokens, hidden_s, comm_s)
+        if len(self._cost_cache) >= 262144:
+            self._cost_cache.clear()
+        self._cost_cache[key] = entry
+        return entry
+
+    def _observe_routing(
+        self, tokens: int, scheduler: ContinuousBatchingScheduler
+    ) -> float:
+        """Feed one iteration's routing into the drift tracker; maybe re-place.
+
+        Called once per *distinct* batch composition (the fast path's
+        macro-stepped iterations repeat the same composition, so observing
+        only on change keeps the two loops equivalent).  When the sliding
+        window fills, compares measured per-layer frequencies against the
+        profile each layer's placement was packed for and re-packs drifted
+        layers, returning the migration stall (seconds) to add to the clock
+        — 0.0 when nothing moved.
+        """
+        drift = self._drift
+        drift.observe(tokens)
+        if not drift.window_full:
+            return 0.0
+        measured = drift.measured()
+        drift.reset()
+        moved = self.layered_placement.repack_drifted(
+            measured, self.config.replacement_threshold
+        )
+        if not moved:
+            return 0.0
+        self._placement_epoch += 1
+        scheduler.placement_epoch = self._placement_epoch
+        return expert_migration_seconds(
+            moved, self._expert_layer_bytes, self.backend.device.interconnect_bandwidth
+        )
 
     def _run_general(
         self, pending: list[Request], scheduler: ContinuousBatchingScheduler
@@ -526,10 +799,17 @@ class ServingEngine:
         peak_used_per_device = [0] * num_devices
         straggler_max_s = 0.0
         straggler_mean_s = 0.0
-        alltoall_tokens = 0.0
+        alltoall_tokens = 0
+        hidden_comm_s = 0.0
+        comm_total_s = 0.0
+        migration_s = 0.0
+        replacements = 0
         chunk = scheduler.config.prefill_chunk
         grows = scheduler.allocation.grows
         multi = num_devices > 1
+        overlap_mode = self._overlap
+        drift = self._drift if overlap_mode else None
+        last_ckey = None
         block_manager = self.block_manager
         finished_state = RequestState.FINISHED
 
@@ -558,11 +838,17 @@ class ServingEngine:
                     t = seq.tokens_this_iteration(chunk)
                     tokens += t
                     home_tokens[seq.home_device] += t
-                step, max_compute, mean_compute, remotes = self._iteration_cost(
-                    tokens, tuple(home_tokens)
-                )
-                for remote in remotes:
-                    alltoall_tokens += remote
+                home_key = tuple(home_tokens)
+                if overlap_mode:
+                    (step, max_compute, mean_compute, remote_tokens,
+                     hidden, comm) = self._iteration_cost_overlap(tokens, home_key)
+                    hidden_comm_s += hidden
+                    comm_total_s += comm
+                else:
+                    step, max_compute, mean_compute, remote_tokens = (
+                        self._iteration_cost(tokens, home_key)
+                    )
+                alltoall_tokens += remote_tokens
                 straggler_max_s += max_compute
                 straggler_mean_s += mean_compute
             else:
@@ -573,6 +859,18 @@ class ServingEngine:
             clock += step
             iterations += 1
             total_tokens += tokens
+            if drift is not None:
+                # One observation per distinct batch composition — the fast
+                # path's macro-stepped iterations repeat the same (tokens,
+                # home) key and never observe, so the two loops agree.
+                ckey = (tokens, home_key)
+                if ckey != last_ckey:
+                    last_ckey = ckey
+                    stall = self._observe_routing(tokens, scheduler)
+                    if stall:
+                        clock += stall
+                        migration_s += stall
+                        replacements += 1
             batch = len(running)
             if batch > peak_batch:
                 peak_batch = batch
@@ -600,6 +898,7 @@ class ServingEngine:
             clock, iterations, total_tokens, peak_batch, peak_used_blocks,
             peak_shared_blocks, peak_used_per_device,
             straggler_max_s, straggler_mean_s, alltoall_tokens,
+            hidden_comm_s, comm_total_s, migration_s, replacements,
         )
 
     def _run_fast(
@@ -637,9 +936,16 @@ class ServingEngine:
         peak_used_per_device = [0] * num_devices
         straggler_max_s = 0.0
         straggler_mean_s = 0.0
-        alltoall_tokens = 0.0
+        alltoall_tokens = 0
+        hidden_comm_s = 0.0
+        comm_total_s = 0.0
+        migration_s = 0.0
+        replacements = 0
         chunk = scheduler.config.prefill_chunk
         multi = num_devices > 1
+        overlap_mode = self._overlap
+        drift = self._drift if overlap_mode else None
+        last_ckey = None
         block_manager = self.block_manager
         finished_state = RequestState.FINISHED
         running = scheduler.running
@@ -712,13 +1018,23 @@ class ServingEngine:
                         home_tokens[seq.home_device] += seq.tokens_this_iteration(chunk)
                 else:
                     home_tokens = home_decode
-                key = (tokens, tuple(home_tokens))
-                entry = cost_cache.get(key)
-                if entry is None:
-                    entry = self._iteration_cost(*key)
-                step, max_compute, mean_compute, remotes = entry
-                for remote in remotes:
-                    alltoall_tokens += remote
+                home_key = tuple(home_tokens)
+                if overlap_mode:
+                    key = (tokens, home_key, self._placement_epoch)
+                    entry = cost_cache.get(key)
+                    if entry is None:
+                        entry = self._iteration_cost_overlap(tokens, home_key)
+                    (step, max_compute, mean_compute, remote_tokens,
+                     hidden, comm) = entry
+                    hidden_comm_s += hidden
+                    comm_total_s += comm
+                else:
+                    key = (tokens, home_key)
+                    entry = cost_cache.get(key)
+                    if entry is None:
+                        entry = self._iteration_cost(*key)
+                    step, max_compute, mean_compute, remote_tokens = entry
+                alltoall_tokens += remote_tokens
                 straggler_max_s += max_compute
                 straggler_mean_s += mean_compute
             else:
@@ -729,6 +1045,16 @@ class ServingEngine:
             clock += step
             iterations += 1
             total_tokens += tokens
+            if drift is not None:
+                # Mirror of the general loop's per-composition observation.
+                ckey = (tokens, home_key)
+                if ckey != last_ckey:
+                    last_ckey = ckey
+                    stall = self._observe_routing(tokens, scheduler)
+                    if stall:
+                        clock += stall
+                        migration_s += stall
+                        replacements += 1
 
             finished_any = False
             if prefilling:
@@ -781,11 +1107,28 @@ class ServingEngine:
                 continue
             tokens = decode_count
             if multi:
-                key = (tokens, tuple(home_decode))
-                entry = cost_cache.get(key)
-                if entry is None:
-                    entry = self._iteration_cost(*key)
-                step, max_compute, mean_compute, remotes = entry
+                home_key = tuple(home_decode)
+                if drift is not None and (tokens, home_key) != last_ckey:
+                    # The stretch starts on a batch composition the drift
+                    # tracker has not observed (e.g. the last explicit
+                    # iteration still carried prefill tokens).  Run one
+                    # explicit iteration — it performs the observation —
+                    # before compressing; the general loop observes at
+                    # exactly that iteration too.
+                    continue
+                if overlap_mode:
+                    key = (tokens, home_key, self._placement_epoch)
+                    entry = cost_cache.get(key)
+                    if entry is None:
+                        entry = self._iteration_cost_overlap(tokens, home_key)
+                    (step, max_compute, mean_compute, remote_tokens,
+                     hidden, comm) = entry
+                else:
+                    key = (tokens, home_key)
+                    entry = cost_cache.get(key)
+                    if entry is None:
+                        entry = self._iteration_cost(*key)
+                    step, max_compute, mean_compute, remote_tokens = entry
             else:
                 entry = cost_cache.get(tokens)
                 if entry is None:
@@ -793,13 +1136,22 @@ class ServingEngine:
                 step = entry[0]
             done = 0
             if multi:
-                while done < span and next_at > clock:
-                    for remote in remotes:
-                        alltoall_tokens += remote
-                    straggler_max_s += max_compute
-                    straggler_mean_s += mean_compute
-                    clock += step
-                    done += 1
+                if overlap_mode:
+                    while done < span and next_at > clock:
+                        alltoall_tokens += remote_tokens
+                        straggler_max_s += max_compute
+                        straggler_mean_s += mean_compute
+                        hidden_comm_s += hidden
+                        comm_total_s += comm
+                        clock += step
+                        done += 1
+                else:
+                    while done < span and next_at > clock:
+                        alltoall_tokens += remote_tokens
+                        straggler_max_s += max_compute
+                        straggler_mean_s += mean_compute
+                        clock += step
+                        done += 1
             else:
                 # Conservative unchecked prefix: after k additions the
                 # accumulated rounding error is far below one step, so
@@ -827,6 +1179,7 @@ class ServingEngine:
             clock, iterations, total_tokens, peak_batch, peak_used_blocks,
             peak_shared_blocks, peak_used_per_device,
             straggler_max_s, straggler_mean_s, alltoall_tokens,
+            hidden_comm_s, comm_total_s, migration_s, replacements,
         )
 
     def _cluster_section(
@@ -834,7 +1187,7 @@ class ServingEngine:
         peak_used_per_device: list[int],
         straggler_max_s: float,
         straggler_mean_s: float,
-        alltoall_tokens: float,
+        alltoall_tokens: int,
     ) -> dict:
         """The report's ``cluster`` section (multi-device runs only)."""
         num_devices = len(self.device_group)
@@ -869,7 +1222,9 @@ class ServingEngine:
             "straggler_ratio": (
                 straggler_max_s / straggler_mean_s if straggler_mean_s else 1.0
             ),
-            "alltoall_tokens": round(alltoall_tokens, 3),
+            # Token counts are whole numbers; the per-iteration remote counts
+            # are accumulated as exact integers end-to-end.
+            "alltoall_tokens": alltoall_tokens,
             "per_device": per_device,
         }
 
@@ -884,6 +1239,7 @@ class ServingEngine:
         peak_used_blocks: int,
         peak_shared_blocks: int,
         cluster: dict | None = None,
+        overlap: dict | None = None,
         *,
         first_submitted: float | None = None,
         num_submitted: int | None = None,
@@ -923,6 +1279,12 @@ class ServingEngine:
                 record["device"] = (
                     self.device_group.names[seq.home_device] if seq.is_finished else None
                 )
+                if self._overlap:
+                    # Which cluster layout (re-placement epoch) served the
+                    # request's last admission.
+                    record["placement_epoch"] = (
+                        seq.placement_epoch if seq.is_finished else None
+                    )
             records.append(record)
         # Summary lists keep *finish order* (their float reduction order is
         # pinned by the goldens); evaluate each latency property once per
@@ -993,4 +1355,5 @@ class ServingEngine:
             completion_order=[s.request.request_id for s in finished],
             requests=records,
             cluster=cluster,
+            overlap=overlap,
         )

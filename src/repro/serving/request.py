@@ -115,6 +115,11 @@ class Sequence:
     #: scheduler at each admission; a preempted sequence may re-home).  Always
     #: 0 on a single-device engine.
     home_device: int = 0
+    #: Expert-placement epoch under which the sequence was (last) admitted
+    #: (stamped by the scheduler).  The engine's overlap mode bumps the epoch
+    #: at every dynamic expert re-placement, so this records which cluster
+    #: layout served the request; always 0 outside overlap mode.
+    placement_epoch: int = 0
     #: Engine-internal: iteration index at which this sequence's decode
     #: completes, scheduled by the event-driven fast path when prefill
     #: finishes (``None`` outside the fast path / after the finish event).

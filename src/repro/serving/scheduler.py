@@ -239,6 +239,10 @@ class ContinuousBatchingScheduler:
         self.preemptions = 0
         self.recomputed_tokens = 0
         self._enqueue_counter = 0
+        #: Current expert-placement epoch, stamped onto sequences at
+        #: admission.  The engine's overlap mode bumps it at every dynamic
+        #: re-placement; it stays 0 everywhere else.
+        self.placement_epoch = 0
 
     # -- intake ------------------------------------------------------------------
     def add_request(self, request: Request) -> Sequence:
@@ -266,6 +270,7 @@ class ContinuousBatchingScheduler:
                 # and the engine charges this sequence's attention tokens to
                 # that device.  A preempted sequence may re-home on resume.
                 head.home_device = self.block_manager.home_device(head.request.request_id)
+                head.placement_epoch = self.placement_epoch
                 head.admit(now)
                 self.running.append(head)
                 admitted.append(head)

@@ -43,6 +43,10 @@ CONFIGS = {
     "reserve_4dev": dict(devices=4),
     "reserve_reject": dict(admission="reject", max_batch_size=8),
     "reserve_chunked": dict(prefill_chunk=32),
+    # Overlap-aware layered cost model: epoch-keyed cost memo, per-layer
+    # placements, drift observation interleaved with macro-stepping.
+    "overlap_4dev": dict(devices=4, overlap=True),
+    "overlap_replace": dict(devices=2, overlap=True, replacement_threshold=0.05),
 }
 
 
