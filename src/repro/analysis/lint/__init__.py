@@ -1,0 +1,45 @@
+"""``repro.analysis.lint`` — AST-based determinism & invariant linter.
+
+Importing this package registers the default rule set (DET001–DET003,
+REG001, SLOT001, RPT001) in :data:`~.diagnostics.RULE_REGISTRY`; the
+engine, the ``milo lint`` CLI, and the tests all consume that single
+registry.  See ``README.md`` in this directory for the rule catalogue,
+suppression syntax, and baseline workflow.
+"""
+
+from __future__ import annotations
+
+from .baseline import filter_baselined, load_baseline, write_baseline
+from .diagnostics import (
+    RULE_REGISTRY,
+    Diagnostic,
+    FileContext,
+    Rule,
+    default_rules,
+    register_rule,
+)
+from .engine import SYNTAX_ERROR_CODE, LintEngine, LintResult
+from .suppress import filter_suppressed, is_suppressed, suppressed_codes
+
+# Importing the rule modules is what populates RULE_REGISTRY.
+from . import rules_determinism as _rules_determinism  # noqa: F401
+from . import rules_registry as _rules_registry  # noqa: F401
+from . import rules_structure as _rules_structure  # noqa: F401
+
+__all__ = [
+    "Diagnostic",
+    "FileContext",
+    "Rule",
+    "RULE_REGISTRY",
+    "register_rule",
+    "default_rules",
+    "LintEngine",
+    "LintResult",
+    "SYNTAX_ERROR_CODE",
+    "load_baseline",
+    "write_baseline",
+    "filter_baselined",
+    "suppressed_codes",
+    "is_suppressed",
+    "filter_suppressed",
+]

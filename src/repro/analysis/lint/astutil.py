@@ -1,0 +1,100 @@
+"""Shared AST helpers for the lint rules.
+
+The determinism rules all need the same two primitives:
+
+* :func:`import_aliases` — what local names are bound to which modules /
+  module attributes (``import numpy as np`` binds ``np`` → ``numpy``;
+  ``from time import perf_counter as pc`` binds ``pc`` →
+  ``time.perf_counter``), collected over the whole module so late imports
+  inside functions are honored too;
+* :func:`qualified_name` — the dotted path of a ``Name`` / ``Attribute``
+  chain (``np.random.default_rng`` → ``"np.random.default_rng"``), which
+  :func:`resolve_call` then rewrites through the alias map to the canonical
+  module path (``numpy.random.default_rng``).
+
+This is deliberately *lexical* resolution: no type inference, no following
+assignments of modules to other names.  That is exactly the right fidelity
+for a determinism linter — the banned idioms (``time.time()``,
+``np.random.rand()``) are written in their canonical spelling in practice,
+and anything exotic enough to dodge lexical resolution is also exotic
+enough to deserve a human in review.
+"""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = ["import_aliases", "qualified_name", "resolve_call", "walk_scopes"]
+
+
+def import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the canonical dotted path they import.
+
+    ``import time`` → ``{"time": "time"}``; ``import numpy as np`` →
+    ``{"np": "numpy"}``; ``from time import perf_counter`` →
+    ``{"perf_counter": "time.perf_counter"}``.  Star imports are ignored
+    (nothing deterministic can be said about them lexically).
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".", 1)[0]
+                target = alias.name if alias.asname else alias.name.split(".", 1)[0]
+                aliases[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None or node.level:
+                continue  # relative imports never reach stdlib/numpy
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                aliases[local] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def qualified_name(node: ast.expr) -> str | None:
+    """Dotted path of a ``Name``/``Attribute`` chain, or ``None``.
+
+    ``ast.Name('np')`` → ``"np"``; ``np.random.default_rng`` →
+    ``"np.random.default_rng"``.  Chains interrupted by calls, subscripts
+    or literals resolve to ``None``.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def resolve_call(node: ast.expr, aliases: dict[str, str]) -> str | None:
+    """Canonical dotted path of a called expression, through import aliases.
+
+    ``pc()`` with ``from time import perf_counter as pc`` resolves to
+    ``"time.perf_counter"``; ``np.random.rand`` to ``"numpy.random.rand"``.
+    Returns ``None`` for expressions that are not a plain name chain.
+    """
+    dotted = qualified_name(node)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    target = aliases.get(head)
+    if target is None:
+        return dotted
+    return f"{target}.{rest}" if rest else target
+
+
+def walk_scopes(tree: ast.Module) -> list[tuple[ast.AST, list[ast.stmt]]]:
+    """Every (scope node, body) pair: the module plus each function/class.
+
+    Rules that do per-scope name inference (DET003's set-valued locals)
+    iterate these so a name bound in one function never leaks into another.
+    """
+    scopes: list[tuple[ast.AST, list[ast.stmt]]] = [(tree, tree.body)]
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            scopes.append((node, node.body))
+    return scopes

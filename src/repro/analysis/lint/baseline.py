@@ -1,0 +1,85 @@
+"""Baseline file I/O: grandfather existing findings, gate only new ones.
+
+The baseline is a committed JSON file (default ``lint-baseline.json`` at the
+repo root) recording accepted findings as ``(path, code, line_text)``
+fingerprints.  Line *text* rather than line *number* is the identity: a
+finding survives unrelated edits that shift it up or down, but reappears
+the moment its offending line changes — exactly the "no new violations"
+contract a ratchet gate needs.
+
+Matching is multiset-wise per fingerprint: if the baseline records two
+identical findings and the code now has three, one is new and gets
+reported.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from .diagnostics import Diagnostic
+
+__all__ = ["load_baseline", "write_baseline", "filter_baselined"]
+
+#: Schema version of the baseline file; bump on incompatible change.
+BASELINE_VERSION = 1
+
+
+def _fingerprint(diagnostic: Diagnostic) -> tuple[str, str, str]:
+    return (diagnostic.path, diagnostic.code, diagnostic.line_text)
+
+
+def load_baseline(path: Path) -> Counter[tuple[str, str, str]]:
+    """Load a baseline file into a fingerprint multiset.
+
+    A missing file is an empty baseline; a malformed one raises
+    ``ValueError`` (a corrupt baseline silently ignoring findings would be
+    worse than a loud failure).
+    """
+    if not path.exists():
+        return Counter()
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise ValueError(f"baseline {path} missing 'findings' key")
+    fingerprints: Counter[tuple[str, str, str]] = Counter()
+    for entry in payload["findings"]:
+        fingerprints[(entry["path"], entry["code"], entry["text"])] += 1
+    return fingerprints
+
+
+def write_baseline(path: Path, diagnostics: list[Diagnostic]) -> None:
+    """Write ``diagnostics`` as the new baseline, sorted for stable diffs."""
+    findings = sorted(
+        (
+            {
+                "path": d.path,
+                "code": d.code,
+                "line": d.line,
+                "text": d.line_text,
+            }
+            for d in diagnostics
+        ),
+        key=lambda e: (e["path"], e["code"], e["line"], e["text"]),
+    )
+    payload = {"version": BASELINE_VERSION, "findings": findings}
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def filter_baselined(
+    diagnostics: list[Diagnostic],
+    baseline: Counter[tuple[str, str, str]],
+) -> list[Diagnostic]:
+    """Drop findings covered by the baseline (multiset semantics)."""
+    remaining = Counter(baseline)
+    fresh: list[Diagnostic] = []
+    for diagnostic in diagnostics:
+        key = _fingerprint(diagnostic)
+        if remaining[key] > 0:
+            remaining[key] -= 1
+        else:
+            fresh.append(diagnostic)
+    return fresh

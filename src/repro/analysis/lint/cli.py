@@ -1,0 +1,159 @@
+"""Command-line front end for the lint engine (``milo lint``).
+
+Exit codes: 0 clean, 1 new findings (or findings while writing a
+baseline would be recorded — writing always exits 0), 2 usage error.
+The main ``repro.cli`` registers :func:`add_lint_parser` /
+:func:`run_lint` as the ``lint`` subcommand; this module also works
+standalone via ``python -m repro.analysis.lint.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .baseline import write_baseline
+from .diagnostics import RULE_REGISTRY, default_rules
+from .engine import LintEngine, LintResult
+
+__all__ = ["add_lint_parser", "run_lint", "main", "DEFAULT_BASELINE_NAME"]
+
+#: Default baseline filename, resolved relative to ``--root``.
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+def add_lint_parser(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
+    """Populate ``parser`` with the ``milo lint`` arguments."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="repo root that rule scope patterns are relative to (default: .)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"baseline file (default: <root>/{DEFAULT_BASELINE_NAME})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file; report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule codes to run (default: all registered)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def _list_rules() -> int:
+    for code in sorted(RULE_REGISTRY):
+        rule_cls = RULE_REGISTRY[code]
+        print(f"{code}  {rule_cls.description}")
+        print(f"        scope: {', '.join(rule_cls.scope)}")
+        if rule_cls.exclude:
+            print(f"        exempt: {', '.join(rule_cls.exclude)}")
+    return 0
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute a lint run from parsed arguments; returns the exit code."""
+    if args.list_rules:
+        return _list_rules()
+
+    root = Path(args.root).resolve()
+    if not root.is_dir():
+        print(f"milo lint: root {args.root!r} is not a directory", file=sys.stderr)
+        return 2
+
+    try:
+        select = (
+            tuple(code.strip() for code in args.select.split(",") if code.strip())
+            if args.select
+            else None
+        )
+        rules = default_rules(select)
+    except ValueError as exc:
+        print(f"milo lint: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = (
+        Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE_NAME
+    )
+    try:
+        engine = LintEngine(
+            root=root,
+            rules=rules,
+            baseline_path=None if args.no_baseline else baseline_path,
+        )
+    except ValueError as exc:
+        print(f"milo lint: {exc}", file=sys.stderr)
+        return 2
+
+    paths = [root / p if not Path(p).is_absolute() else Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(
+            f"milo lint: no such path(s): {', '.join(str(p) for p in missing)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    result = engine.run(paths)
+
+    if args.write_baseline:
+        write_baseline(baseline_path, result.all_findings)
+        print(
+            f"milo lint: wrote {len(result.all_findings)} finding(s) to "
+            f"{baseline_path}"
+        )
+        return 0
+
+    return _report(result)
+
+
+def _report(result: LintResult) -> int:
+    for diagnostic in result.fresh:
+        print(diagnostic.render())
+    baselined = len(result.all_findings) - len(result.fresh)
+    summary = (
+        f"milo lint: {result.files_checked} file(s) checked, "
+        f"{len(result.fresh)} new finding(s)"
+    )
+    if baselined:
+        summary += f", {baselined} baselined"
+    print(summary)
+    return 0 if result.ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Standalone entry point: ``python -m repro.analysis.lint.cli``."""
+    parser = argparse.ArgumentParser(
+        prog="milo lint",
+        description="AST-based determinism & invariant linter",
+    )
+    add_lint_parser(parser)
+    args = parser.parse_args(argv)
+    return run_lint(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

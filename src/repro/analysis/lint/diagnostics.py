@@ -1,0 +1,161 @@
+"""Core data model of the ``milo lint`` rule engine.
+
+Three pieces live here:
+
+* :class:`Diagnostic` — one finding: a (path, line, col, code, message)
+  tuple plus the stripped source line it anchors to (the *fingerprint text*
+  the baseline matches on, so baselines survive unrelated line-number
+  churn).
+* :class:`FileContext` — everything a rule may inspect about one file: the
+  parsed AST, the raw source lines, and the repo-relative posix path rules
+  scope on.
+* :class:`Rule` — the abstract rule: a unique ``code``, a one-line
+  ``description``, ``scope``/``exclude`` path patterns, and a
+  :meth:`Rule.check` generator over diagnostics.  Concrete rules register
+  themselves in :data:`RULE_REGISTRY` via :func:`register_rule` so the
+  engine, the CLI's ``--list-rules``/``--select``, and the tests all see
+  one authoritative rule set.
+
+Path patterns use :func:`fnmatch.fnmatchcase` semantics where ``*`` crosses
+directory separators (``src/repro/serving/*`` matches every file below the
+serving package, at any depth).
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from typing import Iterator
+
+__all__ = [
+    "Diagnostic",
+    "FileContext",
+    "Rule",
+    "RULE_REGISTRY",
+    "register_rule",
+    "default_rules",
+    "match_path",
+]
+
+
+def match_path(path: str, patterns: tuple[str, ...]) -> bool:
+    """Whether a posix relative ``path`` matches any of ``patterns``.
+
+    ``fnmatch`` translation: ``*`` matches any run of characters including
+    ``/``, so ``src/repro/serving/*`` covers arbitrarily deep files.
+    """
+    return any(fnmatchcase(path, pattern) for pattern in patterns)
+
+
+@dataclass(frozen=True, slots=True)
+class Diagnostic:
+    """One lint finding, anchored to a source location."""
+
+    #: Repo-relative posix path of the offending file.
+    path: str
+    #: 1-based source line of the offending node.
+    line: int
+    #: 0-based column of the offending node.
+    col: int
+    #: Rule code (``DET001`` …); ``SYN001`` for files that fail to parse.
+    code: str
+    #: Human-readable explanation with the concrete offending expression.
+    message: str
+    #: The stripped text of the offending source line — the baseline
+    #: fingerprint (robust to unrelated line-number churn).
+    line_text: str = ""
+
+    def render(self) -> str:
+        """The classic one-line compiler format: ``path:line:col: CODE msg``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+@dataclass(slots=True)
+class FileContext:
+    """Everything the rules may inspect about one linted file."""
+
+    #: Repo-relative posix path (what ``scope`` patterns match against).
+    path: str
+    #: Parsed module AST.
+    tree: ast.Module
+    #: Raw source split into lines (1-based access via :meth:`line_text`).
+    lines: list[str] = field(default_factory=list)
+
+    def line_text(self, lineno: int) -> str:
+        """Stripped text of a 1-based source line ('' when out of range)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def diagnostic(self, node: ast.AST, code: str, message: str) -> Diagnostic:
+        """Build a diagnostic anchored at ``node`` in this file."""
+        lineno = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Diagnostic(
+            path=self.path,
+            line=lineno,
+            col=col,
+            code=code,
+            message=message,
+            line_text=self.line_text(lineno),
+        )
+
+
+class Rule(abc.ABC):
+    """One lint rule: a code, a path scope, and an AST check.
+
+    Subclasses set the class attributes and implement :meth:`check`; the
+    engine instantiates each registered rule once per run and calls
+    ``check`` for every file whose relative path falls inside the rule's
+    scope (and outside its excludes).
+    """
+
+    #: Unique rule code surfaced in diagnostics and suppressions.
+    code: str = "ABS000"
+    #: One-line summary shown by ``milo lint --list-rules``.
+    description: str = "abstract rule"
+    #: Path patterns the rule applies to (``*`` crosses directories).
+    scope: tuple[str, ...] = ("*",)
+    #: Path patterns exempted even when inside ``scope`` (whitelist).
+    exclude: tuple[str, ...] = ()
+
+    def applies_to(self, path: str) -> bool:
+        """Whether ``path`` (repo-relative posix) is in this rule's scope."""
+        return match_path(path, self.scope) and not match_path(path, self.exclude)
+
+    @abc.abstractmethod
+    def check(self, context: FileContext) -> Iterator[Diagnostic]:
+        """Yield every violation of this rule found in ``context``."""
+
+
+#: All registered rule classes, keyed by rule code.
+RULE_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register_rule(rule_cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to :data:`RULE_REGISTRY` (unique code)."""
+    code = rule_cls.code
+    existing = RULE_REGISTRY.get(code)
+    if existing is not None and existing is not rule_cls:
+        raise ValueError(
+            f"rule code {code!r} already registered by {existing.__name__}"
+        )
+    RULE_REGISTRY[code] = rule_cls
+    return rule_cls
+
+
+def default_rules(select: tuple[str, ...] | None = None) -> list[Rule]:
+    """Instantiate the registered rules, in rule-code order.
+
+    ``select`` restricts to the named codes (unknown codes raise, so CI
+    invocations fail loudly on typos rather than silently checking nothing).
+    """
+    codes = sorted(RULE_REGISTRY) if select is None else list(select)
+    unknown = sorted(set(codes) - set(RULE_REGISTRY))
+    if unknown:
+        raise ValueError(
+            f"unknown rule codes {unknown}; known: {sorted(RULE_REGISTRY)}"
+        )
+    return [RULE_REGISTRY[code]() for code in codes]

@@ -1,0 +1,121 @@
+"""The lint engine: walk files, run rules, apply suppressions + baseline.
+
+The engine is deliberately dependency-free (stdlib ``ast`` only) so the CI
+static-analysis job can run it before any heavyweight install, and so the
+linter itself passes the gates it enforces.
+
+Paths are normalized to repo-relative posix form before rule dispatch —
+rule ``scope`` patterns like ``src/repro/serving/*`` match identically on
+every platform and regardless of whether the user invoked
+``milo lint src`` or ``milo lint src/repro/serving/engine.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .baseline import filter_baselined, load_baseline
+from .diagnostics import Diagnostic, FileContext, Rule, default_rules
+from .suppress import filter_suppressed
+
+__all__ = ["LintEngine", "LintResult", "SYNTAX_ERROR_CODE"]
+
+#: Pseudo-rule code for files that fail to parse.
+SYNTAX_ERROR_CODE = "SYN001"
+
+
+@dataclass(slots=True)
+class LintResult:
+    """Outcome of one lint run."""
+
+    #: Findings that survive suppressions and the baseline — these gate CI.
+    fresh: list[Diagnostic] = field(default_factory=list)
+    #: All unsuppressed findings, including baselined ones (what
+    #: ``--write-baseline`` records).
+    all_findings: list[Diagnostic] = field(default_factory=list)
+    #: Number of files parsed and checked.
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.fresh
+
+
+class LintEngine:
+    """Runs the registered rules over a file tree rooted at ``root``."""
+
+    def __init__(
+        self,
+        root: Path,
+        rules: list[Rule] | None = None,
+        baseline_path: Path | None = None,
+    ) -> None:
+        self.root = root.resolve()
+        self.rules = default_rules() if rules is None else rules
+        self.baseline = (
+            load_baseline(baseline_path)
+            if baseline_path is not None
+            else Counter()
+        )
+
+    def run(self, paths: list[Path]) -> LintResult:
+        """Lint every ``.py`` file under ``paths`` (files or directories)."""
+        result = LintResult()
+        for file_path in self._discover(paths):
+            rel = self._relative(file_path)
+            diagnostics = self._check_file(file_path, rel)
+            result.files_checked += 1
+            result.all_findings.extend(diagnostics)
+        result.all_findings.sort(key=lambda d: (d.path, d.line, d.col, d.code))
+        result.fresh = filter_baselined(result.all_findings, self.baseline)
+        return result
+
+    def _discover(self, paths: list[Path]) -> list[Path]:
+        files: set[Path] = set()
+        for path in paths:
+            path = path.resolve()
+            if path.is_dir():
+                files.update(
+                    p
+                    for p in path.rglob("*.py")
+                    if "__pycache__" not in p.parts
+                )
+            elif path.suffix == ".py":
+                files.add(path)
+        return sorted(files)
+
+    def _relative(self, file_path: Path) -> str:
+        try:
+            return file_path.relative_to(self.root).as_posix()
+        except ValueError:
+            return file_path.as_posix()
+
+    def _check_file(self, file_path: Path, rel: str) -> list[Diagnostic]:
+        applicable = [rule for rule in self.rules if rule.applies_to(rel)]
+        source = file_path.read_text(encoding="utf-8")
+        lines = source.splitlines()
+        try:
+            tree = ast.parse(source, filename=rel)
+        except SyntaxError as exc:
+            # A file rules can't see is a finding, not a skip: an unparsable
+            # module would dodge every determinism gate otherwise.
+            return [
+                Diagnostic(
+                    path=rel,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    code=SYNTAX_ERROR_CODE,
+                    message=f"file does not parse: {exc.msg}",
+                    line_text=(exc.text or "").strip(),
+                )
+            ]
+        if not applicable:
+            return []
+        context = FileContext(path=rel, tree=tree, lines=lines)
+        diagnostics: list[Diagnostic] = []
+        for rule in applicable:
+            diagnostics.extend(rule.check(context))
+        return filter_suppressed(diagnostics, lines)

@@ -1,0 +1,65 @@
+"""Registry rule: argparse choices must derive from a registry/constant.
+
+**REG001** exists because of a real bug: PR 3 grew the KV allocation-policy
+registry but the CLI's hardcoded ``choices=["on_demand", ...]`` list
+lagged, so registered policies were unreachable from the command line until
+``SERVE_KV_POLICIES = tuple(sorted(ALLOCATION_POLICIES))`` tied the two
+together.  The rule bans the drift-prone form outright: any
+``add_argument(..., choices=<literal list/tuple/set of strings>)`` in a CLI
+module is a violation — ``choices=`` must reference a named constant or a
+registry-derived expression.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .diagnostics import Diagnostic, FileContext, Rule, register_rule
+
+__all__ = ["HardcodedChoicesRule"]
+
+
+@register_rule
+class HardcodedChoicesRule(Rule):
+    """REG001: no hardcoded string-literal ``choices=`` in argparse calls."""
+
+    code = "REG001"
+    description = (
+        "argparse choices= must derive from a registry/constant, never a "
+        "hardcoded string list (the PR 3 --kv-policy drift bug)"
+    )
+    scope = ("src/repro/cli.py", "src/repro/*/cli.py")
+
+    def check(self, context: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "add_argument"
+            ):
+                continue
+            for keyword in node.keywords:
+                if keyword.arg != "choices":
+                    continue
+                if _is_literal_string_collection(keyword.value):
+                    yield context.diagnostic(
+                        keyword.value,
+                        self.code,
+                        "hardcoded choices= list; derive it from the "
+                        "registry or a shared named constant so the CLI "
+                        "cannot drift from the implementation",
+                    )
+
+
+def _is_literal_string_collection(node: ast.expr) -> bool:
+    """A list/tuple/set literal whose elements are all string constants."""
+    if not isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+        return False
+    if not node.elts:
+        return False
+    return all(
+        isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+        for elt in node.elts
+    )

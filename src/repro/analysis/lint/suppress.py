@@ -1,0 +1,52 @@
+"""Inline suppression comments: ``# milo: disable=CODE[,CODE...]``.
+
+A suppression applies to the physical line it sits on (trailing comment) —
+the same granularity as the diagnostics themselves.  ``disable=all``
+silences every rule on that line.  Unknown codes in a suppression are not
+an error: rules come and go, and a stale suppression should rot harmlessly
+rather than break the build.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .diagnostics import Diagnostic
+
+__all__ = ["suppressed_codes", "is_suppressed", "filter_suppressed"]
+
+#: ``# milo: disable=DET001`` or ``# milo: disable=DET001,RPT001`` or
+#: ``# milo: disable=all`` — anywhere in a line, tolerant of spacing.
+_SUPPRESS_RE = re.compile(
+    r"#\s*milo:\s*disable=([A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
+
+
+def suppressed_codes(line: str) -> frozenset[str]:
+    """Rule codes suppressed by a ``# milo: disable=`` comment on ``line``.
+
+    Returns the empty set when no suppression comment is present; the
+    sentinel code ``"all"`` (lowercased) suppresses every rule.
+    """
+    match = _SUPPRESS_RE.search(line)
+    if match is None:
+        return frozenset()
+    return frozenset(
+        part.strip() for part in match.group(1).split(",") if part.strip()
+    )
+
+
+def is_suppressed(diagnostic: Diagnostic, source_lines: list[str]) -> bool:
+    """Whether ``diagnostic`` is silenced by a comment on its own line."""
+    lineno = diagnostic.line
+    if not (1 <= lineno <= len(source_lines)):
+        return False
+    codes = suppressed_codes(source_lines[lineno - 1])
+    return diagnostic.code in codes or "all" in {c.lower() for c in codes}
+
+
+def filter_suppressed(
+    diagnostics: list[Diagnostic], source_lines: list[str]
+) -> list[Diagnostic]:
+    """Drop diagnostics silenced by inline suppression comments."""
+    return [d for d in diagnostics if not is_suppressed(d, source_lines)]

@@ -13,6 +13,9 @@ artifact appendix, the fourth goes beyond it:
   (:mod:`repro.serving`) for a full-size model on one of the Table 7
   backends, under a synthetic Poisson workload or a replayed trace, and
   print a JSON report with p50/p95 TTFT, TPOT and sustained QPS.
+* ``milo lint``       — run the AST-based determinism & invariant linter
+  (:mod:`repro.analysis.lint`) over the source tree; exits nonzero on any
+  finding not covered by the committed baseline.
 """
 
 from __future__ import annotations
@@ -24,7 +27,8 @@ from typing import Sequence
 
 import numpy as np
 
-from .core import ModelCompressor, UniformRank, build_strategy
+from .analysis.lint.cli import add_lint_parser, run_lint
+from .core import COMPRESSION_METHODS, ModelCompressor, UniformRank, build_strategy
 from .core.rank_policy import DenseRank, KurtosisRank, SparseRank
 from .data import zipfian_corpus
 from .eval import EvaluationEnvironment, EvaluationHarness, format_rows
@@ -34,6 +38,7 @@ from .models import REFERENCE_FFN_SHAPES, available_models, build_model
 from .models.registry import FULL_MODEL_SPECS
 from .serving.cluster import PLACEMENT_POLICIES
 from .serving.kv_cache import ALLOCATION_POLICIES
+from .serving.scheduler import ADMISSION_MODES
 
 __all__ = ["main", "build_parser"]
 
@@ -256,7 +261,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_common(p: argparse.ArgumentParser) -> None:
         p.add_argument("--model", default="mixtral-mini", choices=available_models())
-        p.add_argument("--method", default="milo", choices=["rtn", "hqq", "gptq", "milo"])
+        p.add_argument("--method", default="milo", choices=COMPRESSION_METHODS)
         p.add_argument("--bits", type=int, default=3)
         p.add_argument("--group-size", type=int, default=64)
         p.add_argument("--compensator-bits", type=int, default=3)
@@ -311,7 +316,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     s.add_argument("--block-size", type=int, default=16, help="KV block size in tokens")
     s.add_argument("--max-batch", type=int, default=64)
-    s.add_argument("--admission", default="queue", choices=["queue", "reject"])
+    s.add_argument("--admission", default="queue", choices=ADMISSION_MODES)
     s.add_argument("--reserve-gb", type=float, default=1.0)
     s.add_argument(
         "--kv-policy",
@@ -387,6 +392,12 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--per-request", action="store_true", help="include per-request records")
     s.add_argument("--output", default=None, help="also write the JSON report to a file")
     s.set_defaults(func=cmd_serve)
+
+    lint = sub.add_parser(
+        "lint", help="AST-based determinism & invariant linter"
+    )
+    add_lint_parser(lint)
+    lint.set_defaults(func=run_lint)
     return parser
 
 

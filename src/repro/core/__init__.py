@@ -14,6 +14,7 @@ Typical use::
 from .compensator import LowRankCompensator, compensator_memory_bytes, truncated_svd_factors
 from .milo import MiLoConfig, MiLoMatrixOptimizer, MiLoMatrixResult
 from .pipeline import (
+    COMPRESSION_METHODS,
     CompressionReport,
     ModelCompressor,
     build_weight_entries,
@@ -50,6 +51,7 @@ __all__ = [
     "compensator_memory_bytes",
     "ModelCompressor",
     "CompressionReport",
+    "COMPRESSION_METHODS",
     "build_weight_entries",
     "profile_expert_frequencies",
     "replace_linear",

@@ -112,6 +112,7 @@ from .kv_cache import (
 )
 from .request import Request, RequestState, Sequence
 from .scheduler import (
+    ADMISSION_MODES,
     ContinuousBatchingScheduler,
     FifoPriorityPolicy,
     SchedulerConfig,
@@ -135,6 +136,7 @@ __all__ = [
     "ContinuousBatchingScheduler",
     "SchedulingPolicy",
     "FifoPriorityPolicy",
+    "ADMISSION_MODES",
     "SchedulerConfig",
     "EngineConfig",
     "ServingEngine",

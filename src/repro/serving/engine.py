@@ -68,7 +68,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Any, Iterable
 
 from ..analysis.expert_frequency import (
     fig3_layer_frequencies,
@@ -91,6 +91,7 @@ from .cluster import (
 from .kv_cache import ALLOCATION_POLICIES, BlockManager, blocks_for_budget, make_allocation_policy
 from .request import Request, RequestState, Sequence
 from .scheduler import (
+    ADMISSION_MODES,
     ContinuousBatchingScheduler,
     FifoPriorityPolicy,
     SchedulerConfig,
@@ -101,9 +102,84 @@ __all__ = [
     "EngineConfig",
     "ServingReport",
     "ServingEngine",
+    "REPORT_SCHEMA_KEYS",
     "expert_weight_fraction",
     "overlap_step_seconds",
 ]
+
+#: Every key the serving report may contain, at any nesting level.  The
+#: ``report_sha256`` regression gate hashes the report verbatim, so adding
+#: a key anywhere changes the hash of every benchmark; RPT001 (milo lint)
+#: rejects any key written in ``to_dict`` / ``_build_report`` /
+#: ``_cluster_section`` / ``run`` that is not declared here, making every
+#: schema change an explicit two-line diff (the write + this constant).
+REPORT_SCHEMA_KEYS: frozenset[str] = frozenset(
+    {
+        # top level
+        "backend",
+        "model",
+        "device",
+        "policy",
+        "num_requests",
+        "completed",
+        "rejected",
+        "iterations",
+        "preemptions",
+        "recomputed_tokens",
+        "sim_time_s",
+        "sustained_qps",
+        "ttft_s",
+        "tpot_s",
+        "e2e_s",
+        "batch",
+        "kv_cache",
+        "kv_utilization_peak",
+        "prefix_cache",
+        "completion_order",
+        "requests",
+        "stranded",
+        "cluster",
+        "overlap",
+        # batch section
+        "peak",
+        "mean_tokens",
+        # kv_cache section (and per-device pools)
+        "kv",
+        "scheduler",
+        "num_blocks",
+        "block_size",
+        "peak_used_blocks",
+        # prefix_cache section
+        "hit_tokens",
+        "hit_blocks",
+        "shared_blocks_peak",
+        "cow_copies",
+        "dedup_ratio",
+        # per-request records
+        "request_id",
+        "state",
+        "arrival_s",
+        "prompt_tokens",
+        "new_tokens",
+        "placement_epoch",
+        # cluster section
+        "devices",
+        "placement",
+        "straggler_ratio",
+        "alltoall_tokens",
+        "per_device",
+        "experts",
+        "expert_load_share",
+        "kv_blocks",
+        "kv_peak_used_blocks",
+        # overlap section
+        "efficiency",
+        "hidden_comm_s",
+        "overlap_ratio",
+        "replacements",
+        "migration_s",
+    }
+)
 
 #: Batch-composition changes per drift-detection window of the overlap
 #: mode's dynamic re-placement (a sliding window of measured routing).
@@ -112,9 +188,20 @@ __all__ = [
 #: cannot trigger a migration storm.
 DRIFT_WINDOW = 16
 
+#: Totals handed from either engine loop to ``run``: (clock, iterations,
+#: total_tokens, peak_batch, peak_used_blocks, peak_shared_blocks,
+#: peak_used_per_device, straggler_max_s, straggler_mean_s,
+#: alltoall_tokens, hidden_comm_s, comm_total_s, migration_s,
+#: replacements).  Both loops MUST populate every slot identically — the
+#: fast/general byte-equivalence tests hash reports built from these.
+_RunTotals = tuple[
+    float, int, int, int, int, int, list[int],
+    float, float, int, float, float, float, int,
+]
+
 
 def overlap_step_seconds(
-    compute_s, comm_s, efficiency: float
+    compute_s: Iterable[float], comm_s: Iterable[float], efficiency: float
 ) -> tuple[float, float]:
     """Step time of one layered iteration with dispatch/combine overlap.
 
@@ -231,7 +318,7 @@ class EngineConfig:
             raise ValueError("reserve_gb must be non-negative")
         if self.max_batch_size <= 0:
             raise ValueError("max_batch_size must be positive")
-        if self.admission not in ("queue", "reject"):
+        if self.admission not in ADMISSION_MODES:
             raise ValueError(f"admission must be 'queue' or 'reject', got {self.admission!r}")
         if self.kv_policy not in ALLOCATION_POLICIES:
             raise ValueError(
@@ -318,9 +405,9 @@ class ServingReport:
     #: dynamic re-placement count and migration stall.  ``None`` (and absent
     #: from :meth:`to_dict`) unless the engine ran with ``overlap=True`` —
     #: serial reports stay byte-identical.
-    overlap: dict | None = None
+    overlap: dict[str, Any] | None = None
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """JSON-serializable view (the ``milo serve`` report schema)."""
         out = {
             "backend": self.backend,
@@ -462,7 +549,7 @@ class ServingEngine:
         #: ``(tokens, per-device home token counts)`` (multi-device), holding
         #: the full ``(step, max_compute, mean_compute, remotes)`` result of
         #: the device loop.
-        self._cost_cache: dict = {}
+        self._cost_cache: dict[object, tuple[Any, ...]] = {}
 
         # -- overlap-aware layered cost model --------------------------------
         self._overlap = self.config.overlap
@@ -778,7 +865,7 @@ class ServingEngine:
 
     def _run_general(
         self, pending: list[Request], scheduler: ContinuousBatchingScheduler
-    ) -> tuple:
+    ) -> _RunTotals:
         """The per-iteration loop: correct for every policy combination.
 
         Structurally the pre-PR-6 loop with the per-iteration work fused
@@ -903,7 +990,7 @@ class ServingEngine:
 
     def _run_fast(
         self, pending: list[Request], scheduler: ContinuousBatchingScheduler
-    ) -> tuple:
+    ) -> _RunTotals:
         """Event-driven loop for reservation allocation + the default policy.
 
         Rests on two invariants of that combination (asserted by ``run``):
@@ -1188,7 +1275,7 @@ class ServingEngine:
         straggler_max_s: float,
         straggler_mean_s: float,
         alltoall_tokens: int,
-    ) -> dict:
+    ) -> dict[str, Any]:
         """The report's ``cluster`` section (multi-device runs only)."""
         num_devices = len(self.device_group)
         per_device = []

@@ -50,12 +50,19 @@ from .kv_cache import AllocationPolicy, BlockManager, ReservationPolicy
 from .request import Request, RequestState, Sequence
 
 __all__ = [
+    "ADMISSION_MODES",
     "SchedulerConfig",
     "SchedulingPolicy",
     "FifoPriorityPolicy",
     "WaitingQueue",
     "ContinuousBatchingScheduler",
 ]
+
+
+#: Admission control modes shared by :class:`SchedulerConfig`,
+#: :class:`~repro.serving.engine.EngineConfig`, and the CLI's
+#: ``--admission`` choices (REG001: one constant, no drift).
+ADMISSION_MODES: tuple[str, ...] = ("queue", "reject")
 
 
 @dataclass(frozen=True)
@@ -75,7 +82,7 @@ class SchedulerConfig:
     def __post_init__(self) -> None:
         if self.max_batch_size <= 0:
             raise ValueError("max_batch_size must be positive")
-        if self.admission not in ("queue", "reject"):
+        if self.admission not in ADMISSION_MODES:
             raise ValueError(f"admission must be 'queue' or 'reject', got {self.admission!r}")
         if self.prefill_chunk is not None and self.prefill_chunk <= 0:
             raise ValueError("prefill_chunk must be positive (or None to disable)")
@@ -94,7 +101,7 @@ class SchedulingPolicy:
     #: Name surfaced in the serving report.
     name: str = "priority-fifo"
 
-    def queue_key(self, seq: Sequence) -> tuple:
+    def queue_key(self, seq: Sequence) -> tuple[int, ...]:
         """Sort key of the waiting queue; admission follows this order."""
         return (seq.request.priority, seq.enqueue_index)
 

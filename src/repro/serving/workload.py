@@ -189,7 +189,7 @@ def replay_workload(
     return requests
 
 
-def _validate_trace_record(lineno: int, record: object) -> dict:
+def _validate_trace_record(lineno: int, record: object) -> dict[str, object]:
     if not isinstance(record, dict):
         raise TraceSchemaError(
             f"trace line {lineno}: expected a JSON object, got {type(record).__name__}"
