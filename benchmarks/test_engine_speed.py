@@ -41,6 +41,10 @@ environment-dependent):
 * ``ENGINE_BENCH_ENFORCE_SPEEDUP=1`` asserts >=10x tokens/sec vs the
   recorded pre-PR baseline (meaningful only on hardware comparable to the
   baseline's);
+* ``ENGINE_BENCH_ENFORCE_TELEMETRY=1`` asserts the primary scenario's
+  ``telemetry_overhead_frac`` — throughput cost of the *disabled* PR 9
+  observability hooks vs the recorded pre-telemetry baseline — stays
+  under 5% (the CI smoke job gates the committed value deterministically);
 * the CI smoke job compares the regenerated tokens/sec against the
   committed ``benchmarks/BENCH_engine.json`` and fails on a >30% drop.
 """
@@ -66,6 +70,18 @@ COMMITTED = pathlib.Path(__file__).parent / "BENCH_engine.json"
 PRE_PR_BASELINE = {
     "replay_100k_qps2": {"wall_s": 33.67, "tokens_per_s": 567469},
     "replay_100k_qps8": {"wall_s": 20.89, "tokens_per_s": 916270},
+}
+
+#: Simulator throughput at the pre-telemetry commit (no observability hooks
+#: in the hot loops), best of 5 runs interleaved with the post-change build
+#: on the same container.  The primary scenario's
+#: ``telemetry_overhead_frac`` gauges the cost of the *disabled* hooks
+#: (``tracer is None`` tests on the per-iteration path) against this —
+#: the observability contract caps it below 5%, and the measured value is
+#: indistinguishable from zero (the post-change best was faster than the
+#: pre-change best, i.e. within run-to-run noise).
+PRE_TELEMETRY_BASELINE = {
+    "replay_100k_qps2": {"tokens_per_s": 10_577_902},
 }
 
 #: Each scenario names a workload and (optionally) engine-config overrides
@@ -132,6 +148,16 @@ def _run_scenario(name: str, scenario: dict) -> dict:
         row["speedup_tokens_per_s"] = round(
             tokens_per_s / baseline["tokens_per_s"], 2
         )
+    telemetry_baseline = PRE_TELEMETRY_BASELINE.get(name)
+    if telemetry_baseline is not None:
+        # Telemetry stays disabled here — this prices the dormant hooks,
+        # not tracing itself.  Clamped at zero: a negative "overhead" is
+        # just the post-change build winning the noise coin-flip.
+        row["pre_telemetry_baseline"] = telemetry_baseline
+        row["telemetry_overhead_frac"] = max(
+            0.0,
+            round(1.0 - tokens_per_s / telemetry_baseline["tokens_per_s"], 4),
+        )
     return row
 
 
@@ -189,6 +215,13 @@ def test_engine_replay_speed():
         assert primary["speedup_tokens_per_s"] >= 10.0, (
             f"primary scenario speedup {primary['speedup_tokens_per_s']}x < 10x "
             f"vs the pre-PR baseline"
+        )
+    if os.environ.get("ENGINE_BENCH_ENFORCE_TELEMETRY") == "1":
+        primary = results["scenarios"]["replay_100k_qps2"]
+        assert primary["telemetry_overhead_frac"] < 0.05, (
+            f"disabled-telemetry overhead "
+            f"{primary['telemetry_overhead_frac']:.2%} >= 5% vs the "
+            f"pre-telemetry baseline"
         )
 
 

@@ -60,6 +60,16 @@ the weights leave free, and a deterministic discrete-event clock.
          "replacements": 1,         # dynamic re-placements triggered
          "migration_s": 0.05        # clock charged for expert migration
        }
+
+7. deterministic observability (``milo serve --trace-events
+   --metrics-out`` / ``milo analyze``): a run with telemetry attached —
+   :class:`~repro.serving.telemetry.Tracer` lifecycle spans plus a
+   :class:`~repro.serving.telemetry.MetricsRegistry` sampling on the
+   simulated clock — produces the byte-identical report, a
+   Perfetto-loadable Chrome trace, and an
+   :func:`~repro.serving.telemetry.analyze_trace` summary whose latency
+   numbers reconcile with the report float-for-float (phase breakdown,
+   per-device busy attribution, straggler ratio, KV pressure).
 """
 
 from repro.analysis.expert_frequency import (
@@ -262,6 +272,39 @@ def overlap_comparison() -> None:
     print(format_rows(rows))
 
 
+def telemetry_tour() -> None:
+    print("\n== 7. Deterministic observability (MiLo, 4 dev, overlap) ==")
+    from repro.serving import MetricsRegistry, Tracer, analyze_trace
+
+    workload = poisson_workload(num_requests=120, qps=20.0, seed=11)
+    config = EngineConfig(devices=4, overlap=True)
+    engine = ServingEngine(MiLoBackend(), "mixtral-8x7b", config)
+    tracer, metrics = Tracer(), MetricsRegistry(interval=0.5)
+    engine.enable_telemetry(tracer=tracer, metrics=metrics)
+    report = engine.run(workload)
+    summary = analyze_trace(tracer.events, metrics.samples, tracer.meta)
+
+    kinds: dict[str, int] = {}
+    for event in tracer.events:
+        kinds[event["kind"]] = kinds.get(event["kind"], 0) + 1
+    print(f"events: {sum(kinds.values())} "
+          f"({', '.join(f'{k}={v}' for k, v in sorted(kinds.items()))})")
+    print(f"metrics samples: {len(metrics.samples)} @ 0.5 sim-s interval")
+    phases = summary["phases"]
+    print("phase shares: " + "  ".join(
+        f"{name}={phases[name]['share']:.1%}"
+        for name in ("queued", "prefill", "decode")
+    ))
+    print("device busy: " + "  ".join(
+        f"{row['device']}={row['busy_frac']:.1%}" for row in summary["devices"]
+    ))
+    # The analyzer's latency summaries are the report's, float for float.
+    assert summary["ttft_s"] == report.to_dict()["ttft_s"]
+    print(f"analyze ttft_s == report ttft_s: {summary['ttft_s']}")
+    print(f"straggler ratio: {summary['straggler']['ratio']:.4f}  "
+          f"kv peak utilization: {summary['kv']['peak_utilization']:.1%}")
+
+
 if __name__ == "__main__":
     kv_capacity()
     serve_comparison()
@@ -269,3 +312,4 @@ if __name__ == "__main__":
     policy_comparison()
     cluster_comparison()
     overlap_comparison()
+    telemetry_tour()

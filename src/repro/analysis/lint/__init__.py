@@ -1,7 +1,7 @@
 """``repro.analysis.lint`` — AST-based determinism & invariant linter.
 
 Importing this package registers the default rule set (DET001–DET003,
-REG001, SLOT001, RPT001) in :data:`~.diagnostics.RULE_REGISTRY`; the
+REG001, SLOT001, RPT001, OBS001) in :data:`~.diagnostics.RULE_REGISTRY`; the
 engine, the ``milo lint`` CLI, and the tests all consume that single
 registry.  See ``README.md`` in this directory for the rule catalogue,
 suppression syntax, and baseline workflow.
@@ -23,6 +23,7 @@ from .suppress import filter_suppressed, is_suppressed, suppressed_codes
 
 # Importing the rule modules is what populates RULE_REGISTRY.
 from . import rules_determinism as _rules_determinism  # noqa: F401
+from . import rules_observability as _rules_observability  # noqa: F401
 from . import rules_registry as _rules_registry  # noqa: F401
 from . import rules_structure as _rules_structure  # noqa: F401
 

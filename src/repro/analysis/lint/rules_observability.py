@@ -1,0 +1,118 @@
+"""Observability rule: telemetry hooks in serving hot loops must be guarded.
+
+* **OBS001** — the serving engine promises that telemetry is *opt-in*: with
+  no tracer/registry attached, the hot loops must run the exact same code
+  they ran before observability existed (byte-identical reports, <5%
+  overhead).  That only holds if every telemetry call sitting inside a
+  ``for``/``while`` loop is dominated by a truthiness test on the tracer or
+  metrics object — ``if tracer is not None:``, the inverted
+  ``if tracer is None and metrics is None: ... else: <hooks>`` fast-path
+  split, or a conditional expression (``x if tracer is not None else None``).
+  An unguarded hook call would run (and allocate) every iteration of every
+  simulated run, tracing or not.
+
+The check is branch-insensitive on purpose: it asks "is there *any*
+enclosing ``if``/conditional whose test mentions a telemetry name?", not
+"is the call in the truthy branch?".  Getting the polarity right is the
+equivalence tests' job; the lint gate only enforces that the disabled path
+never reaches the hook unconditionally.  The telemetry package itself is
+exempt — once inside ``Tracer``/``MetricsRegistry`` code, telemetry is by
+definition enabled.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .diagnostics import Diagnostic, FileContext, Rule, register_rule
+
+__all__ = ["GuardedTelemetryRule", "TELEMETRY_NAME_MARKERS"]
+
+#: Lowercase substrings that mark an identifier as telemetry-related.
+TELEMETRY_NAME_MARKERS: tuple[str, ...] = ("tracer", "metric", "telemetry")
+
+#: Guard constructs whose test can dominate a hook call.
+_GUARDS = (ast.If, ast.IfExp)
+
+#: Loop constructs that put a call on the per-iteration path.
+_LOOPS = (ast.For, ast.AsyncFor, ast.While)
+
+#: Scope boundaries: loop/guard containment is per-function.
+_SCOPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+def _is_telemetry_name(name: str) -> bool:
+    lowered = name.lower()
+    return any(marker in lowered for marker in TELEMETRY_NAME_MARKERS)
+
+
+def _dotted_parts(node: ast.expr) -> list[str]:
+    """Identifier parts of a dotted expression (``self.tracer.kv`` →
+    ``["self", "tracer", "kv"]``); empty for non-name expressions."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    parts.reverse()
+    return parts
+
+
+def _is_telemetry_call(call: ast.Call) -> bool:
+    return any(_is_telemetry_name(part) for part in _dotted_parts(call.func))
+
+
+def _test_mentions_telemetry(test: ast.expr) -> bool:
+    """Whether a guard's test expression references any telemetry name."""
+    for node in ast.walk(test):
+        if isinstance(node, ast.Name) and _is_telemetry_name(node.id):
+            return True
+        if isinstance(node, ast.Attribute) and _is_telemetry_name(node.attr):
+            return True
+    return False
+
+
+@register_rule
+class GuardedTelemetryRule(Rule):
+    """OBS001: telemetry hook calls in hot loops must be guarded."""
+
+    code = "OBS001"
+    description = (
+        "telemetry calls (tracer/metrics/telemetry names) inside serving "
+        "loops must sit under an if/conditional testing a telemetry object"
+    )
+    scope = ("src/repro/serving/*",)
+    exclude = ("src/repro/serving/telemetry/*",)
+
+    def check(self, context: FileContext) -> Iterator[Diagnostic]:
+        parents: dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(context.tree):
+            for child in ast.iter_child_nodes(node):
+                parents[child] = node
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call) or not _is_telemetry_call(node):
+                continue
+            in_loop = False
+            guarded = False
+            ancestor = parents.get(node)
+            while ancestor is not None:
+                if isinstance(ancestor, _SCOPES):
+                    break
+                if isinstance(ancestor, _GUARDS) and _test_mentions_telemetry(
+                    ancestor.test
+                ):
+                    guarded = True
+                if isinstance(ancestor, _LOOPS):
+                    in_loop = True
+                ancestor = parents.get(ancestor)
+            if in_loop and not guarded:
+                parts = ".".join(_dotted_parts(node.func)) or "<call>"
+                yield context.diagnostic(
+                    node,
+                    self.code,
+                    f"telemetry call {parts}() inside a hot loop is not "
+                    f"guarded by a tracer/metrics truthiness check; the "
+                    f"disabled path would pay for it every iteration",
+                )

@@ -12,7 +12,11 @@ artifact appendix, the fourth goes beyond it:
 * ``milo serve``      — run the continuous-batching serving simulation
   (:mod:`repro.serving`) for a full-size model on one of the Table 7
   backends, under a synthetic Poisson workload or a replayed trace, and
-  print a JSON report with p50/p95 TTFT, TPOT and sustained QPS.
+  print a JSON report with p50/p95 TTFT, TPOT and sustained QPS.  With
+  ``--trace-events`` / ``--metrics-out`` it also records the deterministic
+  sim-clock observability streams (:mod:`repro.serving.telemetry`).
+* ``milo analyze``    — summarize a recorded serving trace: queueing-delay
+  breakdown, per-device busy/straggler attribution, KV-pressure timeline.
 * ``milo lint``       — run the AST-based determinism & invariant linter
   (:mod:`repro.analysis.lint`) over the source tree; exits nonzero on any
   finding not covered by the committed baseline.
@@ -243,7 +247,32 @@ def cmd_serve(args: argparse.Namespace) -> int:
     except (ValueError, TypeError, OSError, json.JSONDecodeError) as exc:
         print(f"invalid workload: {exc}", file=sys.stderr)
         return 2
+    tracer = None
+    metrics = None
+    if args.trace_events or args.metrics_out:
+        from .serving.telemetry import MetricsRegistry, Tracer
+
+        if args.trace_events:
+            tracer = Tracer()
+        if args.metrics_out:
+            try:
+                metrics = MetricsRegistry(interval=args.metrics_interval)
+            except ValueError as exc:
+                print(f"invalid serving config: {exc}", file=sys.stderr)
+                return 2
+        engine.enable_telemetry(tracer=tracer, metrics=metrics)
     report = engine.run(workload).to_dict()
+    if tracer is not None:
+        if args.trace_events.endswith(".jsonl"):
+            tracer.write_jsonl(args.trace_events)
+        else:
+            from .serving.telemetry import chrome_trace
+
+            with open(args.trace_events, "w") as fh:
+                json.dump(chrome_trace(tracer, metrics), fh)
+                fh.write("\n")
+    if metrics is not None:
+        metrics.write_jsonl(args.metrics_out)
     if not args.per_request:
         report.pop("requests")
         report.pop("completion_order")
@@ -252,6 +281,24 @@ def cmd_serve(args: argparse.Namespace) -> int:
         with open(args.output, "w") as fh:
             fh.write(text + "\n")
     print(text)
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from .serving.telemetry import analyze_trace, load_metrics_file, load_trace_file
+
+    try:
+        events, samples, meta = load_trace_file(args.trace)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"invalid trace: {exc}", file=sys.stderr)
+        return 2
+    if args.metrics:
+        try:
+            samples = load_metrics_file(args.metrics)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"invalid metrics file: {exc}", file=sys.stderr)
+            return 2
+    print(json.dumps(analyze_trace(events, samples, meta), indent=2))
     return 0
 
 
@@ -390,8 +437,52 @@ def build_parser() -> argparse.ArgumentParser:
         "bit-identical either way)",
     )
     s.add_argument("--per-request", action="store_true", help="include per-request records")
-    s.add_argument("--output", default=None, help="also write the JSON report to a file")
+    s.add_argument(
+        "--report-out",
+        "--output",
+        dest="output",
+        default=None,
+        metavar="PATH",
+        help="write the JSON report to a file (also printed to stdout)",
+    )
+    s.add_argument(
+        "--trace-events",
+        default=None,
+        metavar="PATH",
+        help="record a deterministic sim-clock lifecycle trace and write it "
+        "as Chrome trace-event JSON (open in Perfetto or chrome://tracing); "
+        "a PATH ending in .jsonl writes the raw event stream instead",
+    )
+    s.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="stream scheduler/KV gauges (batch size, queue depth, free "
+        "blocks, KV utilization) as JSONL, sampled on a sim-time interval",
+    )
+    s.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="sim-seconds between --metrics-out samples (default 1.0)",
+    )
     s.set_defaults(func=cmd_serve)
+
+    a = sub.add_parser(
+        "analyze",
+        help="summarize a serving trace recorded by serve --trace-events",
+    )
+    a.add_argument(
+        "trace", help="trace file: .trace.json (Chrome) or .jsonl (raw stream)"
+    )
+    a.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="metrics JSONL from --metrics-out (adds the KV-pressure timeline)",
+    )
+    a.set_defaults(func=cmd_analyze)
 
     lint = sub.add_parser(
         "lint", help="AST-based determinism & invariant linter"

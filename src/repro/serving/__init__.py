@@ -52,6 +52,16 @@ Memory and scheduling decisions are *policies*, not hard-wired behavior:
   over the interconnect (:func:`expert_migration_seconds`); the report
   gains an ``overlap`` section.  With ``overlap=False`` (default) the
   serial whole-model cost model is untouched, byte for byte.
+* Opt-in observability (:mod:`repro.serving.telemetry`): a :class:`Tracer`
+  records structured lifecycle spans (request phases, per-iteration device
+  compute, KV block moves) and a :class:`MetricsRegistry` samples
+  scheduler/KV gauges on a sim-time interval, both exportable as raw JSONL
+  or Perfetto-loadable Chrome trace-event JSON
+  (:func:`chrome_trace`) and summarized by ``milo analyze``.  Everything
+  runs on the simulated clock (DET001-clean), the fast path and general
+  loop emit byte-identical streams, and with telemetry disabled every hook
+  sits behind one ``is not None`` test — reports stay byte-identical
+  (goldens) at <5% overhead (``telemetry_overhead_frac`` benchmark gate).
 
 Modules
 -------
@@ -77,6 +87,9 @@ Modules
 ``cluster``
     :class:`DeviceGroup`, :class:`ExpertPlacement` policies and the
     :class:`ShardedBlockManager` per-device KV pools.
+``telemetry``
+    :class:`Tracer`, :class:`MetricsRegistry`, the Chrome trace-event
+    exporter and the ``milo analyze`` trace summarizer.
 """
 
 from .cluster import (
@@ -111,6 +124,13 @@ from .kv_cache import (
     make_allocation_policy,
 )
 from .request import Request, RequestState, Sequence
+from .telemetry import (
+    MetricsRegistry,
+    Tracer,
+    analyze_trace,
+    chrome_trace,
+    validate_chrome_trace,
+)
 from .scheduler import (
     ADMISSION_MODES,
     ContinuousBatchingScheduler,
@@ -158,4 +178,9 @@ __all__ = [
     "replay_workload",
     "load_trace",
     "TraceSchemaError",
+    "Tracer",
+    "MetricsRegistry",
+    "analyze_trace",
+    "chrome_trace",
+    "validate_chrome_trace",
 ]

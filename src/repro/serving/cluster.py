@@ -424,6 +424,9 @@ class ShardedBlockManager:
         if len(block_sizes) != 1:
             raise ValueError(f"pools disagree on block_size: {sorted(block_sizes)}")
         self.pools: list[BlockManager] = list(pools)
+        for d, pool in enumerate(self.pools):
+            # Telemetry KV events emitted by a pool carry its device index.
+            pool.device_index = d
         self.block_size = self.pools[0].block_size
         if device_names is None:
             device_names = tuple(f"gpu{i}" for i in range(len(self.pools)))

@@ -68,7 +68,11 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Any, Iterable
+from typing import TYPE_CHECKING, Any, Iterable
+
+if TYPE_CHECKING:
+    from .telemetry.metrics import MetricsRegistry
+    from .telemetry.tracer import Tracer
 
 from ..analysis.expert_frequency import (
     fig3_layer_frequencies,
@@ -118,6 +122,13 @@ REPORT_SCHEMA_KEYS: frozenset[str] = frozenset(
         # top level
         "backend",
         "model",
+        # latency summary sections (ttft_s / tpot_s / e2e_s, built by
+        # summarize_latencies — string constants live in repro.eval, so the
+        # live-report exhaustiveness test guards them, not RPT001)
+        "p50",
+        "p95",
+        "mean",
+        "max",
         "device",
         "policy",
         "num_requests",
@@ -551,6 +562,20 @@ class ServingEngine:
         #: the device loop.
         self._cost_cache: dict[object, tuple[Any, ...]] = {}
 
+        # -- telemetry (opt-in; see repro.serving.telemetry) ------------------
+        #: Attached via :meth:`enable_telemetry`; ``None`` keeps every hook
+        #: on the hot paths behind a single ``is not None`` test, so the
+        #: disabled engine is byte-identical and near-free (goldens +
+        #: BENCH_engine report_sha256 pin the former, the
+        #: ``telemetry_overhead_frac`` benchmark gate the latter).
+        self.tracer: Tracer | None = None
+        self.metrics: MetricsRegistry | None = None
+        #: Memoized per-device compute tuples for iteration trace events —
+        #: telemetry-only derived data, deliberately separate from
+        #: ``_cost_cache`` so enabling tracing cannot perturb the report
+        #: math's memo population order.
+        self._telemetry_cost_cache: dict[object, tuple[float, ...]] = {}
+
         # -- overlap-aware layered cost model --------------------------------
         self._overlap = self.config.overlap
         self._drift: RoutingDriftTracker | None = None
@@ -617,11 +642,121 @@ class ServingEngine:
             policy=FifoPriorityPolicy(),
         )
 
+    # -- telemetry ---------------------------------------------------------------
+    def enable_telemetry(
+        self,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        """Attach observability sinks (see :mod:`repro.serving.telemetry`).
+
+        Pass a *fresh* :class:`~repro.serving.telemetry.Tracer` /
+        :class:`~repro.serving.telemetry.MetricsRegistry` per ``run`` —
+        events append across runs otherwise.  Passing ``None`` for both
+        detaches telemetry and restores the byte-identical disabled path.
+        """
+        self.tracer = tracer
+        self.metrics = metrics
+        if tracer is not None:
+            meta = tracer.meta
+            meta.setdefault("model", self.spec.name)
+            meta.setdefault("backend", self.backend.name)
+            meta.setdefault("devices", list(self.device_group.names))
+            meta.setdefault("block_size", self.config.block_size)
+            meta.setdefault("overlap", self._overlap)
+        block_manager = self.block_manager
+        if isinstance(block_manager, ShardedBlockManager):
+            for pool in block_manager.pools:
+                pool.tracer = tracer
+        else:
+            block_manager.tracer = tracer
+
+    def _telemetry_per_device(
+        self, tokens: int, home_key: tuple[int, ...]
+    ) -> tuple[float, ...]:
+        """Per-device compute seconds of one iteration, for trace events.
+
+        Derived from the same memoized latencies the cost model reads, but
+        kept in a separate telemetry-only memo: the report math's caches see
+        the identical access pattern whether or not tracing is on.  The
+        split depends only on the token count (device mass fixes the
+        shares; ``home_key`` shifts communication, not compute), so the key
+        is ``tokens`` — epoch-tagged under overlap, where re-placement
+        changes each layer's split.
+        """
+        key: object = (
+            (tokens, self._placement_epoch) if self._overlap else tokens
+        )
+        entry = self._telemetry_cost_cache.get(key)
+        if entry is not None:
+            return entry
+        latency_cache = self._latency_cache
+        backend = self.backend
+        spec = self.spec
+        if self._overlap:
+            num_layers = spec.num_layers
+            per_device = [0.0] * len(self.device_group)
+            for mass in self.layered_placement.layer_mass:
+                for d, load in enumerate(split_tokens(tokens, mass)):
+                    if load:
+                        whole = latency_cache.get(load)
+                        if whole is None:
+                            whole = backend.iteration_latency(spec, load).total
+                            latency_cache[load] = whole
+                        per_device[d] += whole / num_layers
+            entry = tuple(per_device)
+        else:
+            computes = []
+            for load in split_tokens(tokens, self.placement.device_mass):
+                if load:
+                    compute = latency_cache.get(load)
+                    if compute is None:
+                        compute = backend.iteration_latency(spec, load).total
+                        latency_cache[load] = compute
+                    computes.append(compute)
+                else:
+                    computes.append(0.0)
+            entry = tuple(computes)
+        if len(self._telemetry_cost_cache) >= 262144:
+            self._telemetry_cost_cache.clear()
+        self._telemetry_cost_cache[key] = entry
+        return entry
+
+    def _sample_metrics(
+        self,
+        metrics: MetricsRegistry,
+        scheduler: ContinuousBatchingScheduler,
+        clock: float,
+        iterations: int,
+        batch: int,
+    ) -> float:
+        """Record one metrics sample; returns the next due time."""
+        block_manager = self.block_manager
+        num_devices = len(self.device_group)
+        free_per_device = (
+            [block_manager.free_blocks_on(d) for d in range(num_devices)]
+            if num_devices > 1
+            else None
+        )
+        metrics.sample(
+            clock,
+            iterations,
+            batch=batch,
+            waiting=len(scheduler.waiting),
+            preemptions=scheduler.preemptions,
+            placement_epoch=self._placement_epoch,
+            used_blocks=block_manager.used_blocks,
+            free_blocks=block_manager.free_blocks,
+            free_per_device=free_per_device,
+        )
+        return metrics.next_due
+
     # -- simulation --------------------------------------------------------------
     def run(self, requests: Iterable[Request]) -> ServingReport:
         """Serve ``requests`` to completion and report client-visible metrics."""
         pending = sorted(requests, key=lambda r: (r.arrival_time, r.request_id))
         scheduler = self.make_scheduler()
+        scheduler.tracer = self.tracer
         self.block_manager.reset_stats()
         if self._overlap:
             # Dynamic re-placement mutates the layered placement mid-run;
@@ -634,6 +769,7 @@ class ServingEngine:
                 )
                 self._placement_epoch = 0
                 self._cost_cache.clear()
+                self._telemetry_cost_cache.clear()
             if self._drift is not None:
                 self._drift.reset()
         # The steady-state fast path requires two properties the general loop
@@ -656,6 +792,8 @@ class ServingEngine:
          peak_shared_blocks, peak_used_per_device,
          straggler_max_s, straggler_mean_s, alltoall_tokens,
          hidden_comm_s, comm_total_s, migration_s, replacements) = totals
+        if self.tracer is not None:
+            self.tracer.now = clock  # strand events carry the final clock
         scheduler.drain_stranded()
         if self.config.debug_checks:
             self.block_manager.assert_no_leaks()
@@ -899,11 +1037,21 @@ class ServingEngine:
         last_ckey = None
         block_manager = self.block_manager
         finished_state = RequestState.FINISHED
+        tracer = self.tracer
+        metrics = self.metrics
+        #: Next due metrics sample time (``inf`` disables the clock compare).
+        metrics_due = metrics.next_due if metrics is not None else float("inf")
+        iter_t0 = 0.0
+        iter_stall = 0.0
 
         while next_arrival < n_pending or scheduler.has_work:
             while next_arrival < n_pending and pending[next_arrival].arrival_time <= clock:
                 scheduler.add_request(pending[next_arrival])
                 next_arrival += 1
+            if tracer is not None:
+                # Preemption and KV events inside ensure_capacity/admit
+                # timestamp with the tracer clock.
+                tracer.now = clock
             if grows:
                 # Running sequences secure the blocks their next token needs
                 # (preempting the low-precedence tail if the pool is dry)
@@ -943,6 +1091,8 @@ class ServingEngine:
                 for seq in running:
                     tokens += seq.tokens_this_iteration(chunk)
                 step = self._iteration_cost(tokens, None)[0]
+            if tracer is not None:
+                iter_t0 = clock  # float addition is not invertible
             clock += step
             iterations += 1
             total_tokens += tokens
@@ -958,7 +1108,34 @@ class ServingEngine:
                         clock += stall
                         migration_s += stall
                         replacements += 1
+                        if tracer is not None:
+                            iter_stall = stall
             batch = len(running)
+            if tracer is not None:
+                if multi:
+                    if overlap_mode:
+                        tracer.iteration(
+                            iterations - 1, iter_t0, clock, tokens, batch,
+                            compute=self._telemetry_per_device(tokens, home_key),
+                            max_compute=max_compute, mean_compute=mean_compute,
+                            remote_tokens=remote_tokens,
+                            hidden=hidden, comm=comm, stall=iter_stall,
+                        )
+                    else:
+                        tracer.iteration(
+                            iterations - 1, iter_t0, clock, tokens, batch,
+                            compute=self._telemetry_per_device(tokens, home_key),
+                            max_compute=max_compute, mean_compute=mean_compute,
+                            remote_tokens=remote_tokens, stall=iter_stall,
+                        )
+                else:
+                    tracer.iteration(iterations - 1, iter_t0, clock, tokens, batch)
+                iter_stall = 0.0
+                tracer.now = clock  # finish/KV-free events below carry it
+            if metrics is not None and clock >= metrics_due:
+                metrics_due = self._sample_metrics(
+                    metrics, scheduler, clock, iterations, batch
+                )
             if batch > peak_batch:
                 peak_batch = batch
             used = block_manager.used_blocks
@@ -974,10 +1151,22 @@ class ServingEngine:
                         peak_used_per_device[d] = u
 
             finished_any = False
-            for seq in running:
-                seq.advance(clock, chunk)
-                if seq.state is finished_state:
-                    finished_any = True
+            if tracer is None:
+                for seq in running:
+                    seq.advance(clock, chunk)
+                    if seq.state is finished_state:
+                        finished_any = True
+            else:
+                for seq in running:
+                    was_prefill = not seq.prefill_done
+                    seq.advance(clock, chunk)
+                    if was_prefill and seq.prefill_done:
+                        # The iteration that completes (re-)prefill emits the
+                        # first token; a single-token request finishes in the
+                        # same iteration and its finish event follows below.
+                        tracer.first_token(seq, clock)
+                    if seq.state is finished_state:
+                        finished_any = True
             if finished_any:
                 scheduler.evict_finished()
 
@@ -1052,6 +1241,11 @@ class ServingEngine:
         #: Arrival time of ``pending[next_arrival]`` (``inf`` when drained),
         #: kept in a local so the steady-state loops compare plain floats.
         next_at = pending[0].arrival_time if pending else inf
+        tracer = self.tracer
+        metrics = self.metrics
+        metrics_due = metrics.next_due if metrics is not None else inf
+        iter_t0 = 0.0
+        iter_stall = 0.0
 
         while next_arrival < n_pending or scheduler.has_work:
             while next_at <= clock:
@@ -1065,6 +1259,8 @@ class ServingEngine:
                 admit_dirty = True
             if admit_dirty:
                 admit_dirty = False
+                if tracer is not None:
+                    tracer.now = clock  # KV alloc/share events inside admit
                 # `admit` with an empty queue is a no-op (the default policy
                 # has no side effects there); most evictions at low load
                 # find nothing waiting, so skip the call.
@@ -1129,6 +1325,8 @@ class ServingEngine:
                 if entry is None:
                     entry = self._iteration_cost(tokens, None)
                 step = entry[0]
+            if tracer is not None:
+                iter_t0 = clock
             clock += step
             iterations += 1
             total_tokens += tokens
@@ -1142,6 +1340,34 @@ class ServingEngine:
                         clock += stall
                         migration_s += stall
                         replacements += 1
+                        if tracer is not None:
+                            iter_stall = stall
+            if tracer is not None:
+                ibatch = len(running)
+                if multi:
+                    if overlap_mode:
+                        tracer.iteration(
+                            iterations - 1, iter_t0, clock, tokens, ibatch,
+                            compute=self._telemetry_per_device(tokens, home_key),
+                            max_compute=max_compute, mean_compute=mean_compute,
+                            remote_tokens=remote_tokens,
+                            hidden=hidden, comm=comm, stall=iter_stall,
+                        )
+                    else:
+                        tracer.iteration(
+                            iterations - 1, iter_t0, clock, tokens, ibatch,
+                            compute=self._telemetry_per_device(tokens, home_key),
+                            max_compute=max_compute, mean_compute=mean_compute,
+                            remote_tokens=remote_tokens, stall=iter_stall,
+                        )
+                else:
+                    tracer.iteration(iterations - 1, iter_t0, clock, tokens, ibatch)
+                iter_stall = 0.0
+                tracer.now = clock  # finish/KV-free events below carry it
+            if metrics is not None and clock >= metrics_due:
+                metrics_due = self._sample_metrics(
+                    metrics, scheduler, clock, iterations, len(running)
+                )
 
             finished_any = False
             if prefilling:
@@ -1150,7 +1376,11 @@ class ServingEngine:
                     seq.advance(clock, chunk)
                     if seq.state is finished_state:
                         finished_any = True  # single-token request
+                        if tracer is not None:
+                            tracer.first_token(seq, clock)
                     elif seq.prefill_done:
+                        if tracer is not None:
+                            tracer.first_token(seq, clock)
                         # Entered decode: schedule its finish event.  The
                         # completing iteration emitted token 1, so the
                         # remaining max_new - 1 tokens land one per
@@ -1222,43 +1452,119 @@ class ServingEngine:
                     entry = self._iteration_cost(tokens, None)
                 step = entry[0]
             done = 0
-            if multi:
-                if overlap_mode:
-                    while done < span and next_at > clock:
-                        alltoall_tokens += remote_tokens
-                        straggler_max_s += max_compute
-                        straggler_mean_s += mean_compute
-                        hidden_comm_s += hidden
-                        comm_total_s += comm
-                        clock += step
-                        done += 1
+            if tracer is None and metrics is None:
+                if multi:
+                    if overlap_mode:
+                        while done < span and next_at > clock:
+                            alltoall_tokens += remote_tokens
+                            straggler_max_s += max_compute
+                            straggler_mean_s += mean_compute
+                            hidden_comm_s += hidden
+                            comm_total_s += comm
+                            clock += step
+                            done += 1
+                    else:
+                        while done < span and next_at > clock:
+                            alltoall_tokens += remote_tokens
+                            straggler_max_s += max_compute
+                            straggler_mean_s += mean_compute
+                            clock += step
+                            done += 1
                 else:
+                    # Conservative unchecked prefix: after k additions the
+                    # accumulated rounding error is far below one step, so
+                    # ``(next_at - clock)/step - 2`` iterations provably keep
+                    # ``clock < next_at`` throughout — run them without the
+                    # per-iteration comparison, then finish checked.  The adds
+                    # themselves stay the exact sequential ``clock += step`` the
+                    # uncompressed loop performs (bit-identical clock).
+                    bulk = span
+                    if next_at is not inf and step > 0.0:
+                        safe = int((next_at - clock) / step) - 2
+                        if safe < bulk:
+                            bulk = safe
+                    if bulk > 0:
+                        for _ in range(bulk):
+                            clock += step
+                        done = bulk
                     while done < span and next_at > clock:
-                        alltoall_tokens += remote_tokens
-                        straggler_max_s += max_compute
-                        straggler_mean_s += mean_compute
                         clock += step
                         done += 1
             else:
-                # Conservative unchecked prefix: after k additions the
-                # accumulated rounding error is far below one step, so
-                # ``(next_at - clock)/step - 2`` iterations provably keep
-                # ``clock < next_at`` throughout — run them without the
-                # per-iteration comparison, then finish checked.  The adds
-                # themselves stay the exact sequential ``clock += step`` the
-                # uncompressed loop performs (bit-identical clock).
-                bulk = span
-                if next_at is not inf and step > 0.0:
-                    safe = int((next_at - clock) / step) - 2
-                    if safe < bulk:
-                        bulk = safe
-                if bulk > 0:
-                    for _ in range(bulk):
+                # Telemetry variant of the macro step: the identical float
+                # accumulations in the identical order (bit-identical clock
+                # and totals — the single-device checked loop performs the
+                # same sequential ``clock += step`` adds the unchecked bulk
+                # prefix does), plus one synthesized iter event and a due
+                # check per compressed iteration, so the span stream matches
+                # the general loop's byte for byte.
+                ibatch = len(running)
+                if multi:
+                    pd = (
+                        self._telemetry_per_device(tokens, home_key)
+                        if tracer is not None
+                        else None
+                    )
+                    if overlap_mode:
+                        while done < span and next_at > clock:
+                            alltoall_tokens += remote_tokens
+                            straggler_max_s += max_compute
+                            straggler_mean_s += mean_compute
+                            hidden_comm_s += hidden
+                            comm_total_s += comm
+                            iter_t0 = clock
+                            clock += step
+                            done += 1
+                            if tracer is not None:
+                                tracer.iteration(
+                                    iterations + done - 1, iter_t0, clock,
+                                    tokens, ibatch, compute=pd,
+                                    max_compute=max_compute,
+                                    mean_compute=mean_compute,
+                                    remote_tokens=remote_tokens,
+                                    hidden=hidden, comm=comm,
+                                )
+                            if metrics is not None and clock >= metrics_due:
+                                metrics_due = self._sample_metrics(
+                                    metrics, scheduler, clock,
+                                    iterations + done, ibatch,
+                                )
+                    else:
+                        while done < span and next_at > clock:
+                            alltoall_tokens += remote_tokens
+                            straggler_max_s += max_compute
+                            straggler_mean_s += mean_compute
+                            iter_t0 = clock
+                            clock += step
+                            done += 1
+                            if tracer is not None:
+                                tracer.iteration(
+                                    iterations + done - 1, iter_t0, clock,
+                                    tokens, ibatch, compute=pd,
+                                    max_compute=max_compute,
+                                    mean_compute=mean_compute,
+                                    remote_tokens=remote_tokens,
+                                )
+                            if metrics is not None and clock >= metrics_due:
+                                metrics_due = self._sample_metrics(
+                                    metrics, scheduler, clock,
+                                    iterations + done, ibatch,
+                                )
+                else:
+                    while done < span and next_at > clock:
+                        iter_t0 = clock
                         clock += step
-                    done = bulk
-                while done < span and next_at > clock:
-                    clock += step
-                    done += 1
+                        done += 1
+                        if tracer is not None:
+                            tracer.iteration(
+                                iterations + done - 1, iter_t0, clock,
+                                tokens, ibatch,
+                            )
+                        if metrics is not None and clock >= metrics_due:
+                            metrics_due = self._sample_metrics(
+                                metrics, scheduler, clock, iterations + done,
+                                ibatch,
+                            )
             iterations += done
             total_tokens += tokens * done
 

@@ -52,9 +52,13 @@ Per-token KV footprint comes from
 from __future__ import annotations
 
 import abc
+from typing import TYPE_CHECKING
 
 from ..models.registry import FullModelSpec
 from .request import Request, Sequence
+
+if TYPE_CHECKING:
+    from .telemetry.tracer import Tracer
 
 __all__ = [
     "KVCacheExhausted",
@@ -126,6 +130,14 @@ class BlockManager:
         #: Blocks with refcount > 1, maintained at the 1<->2 transitions so
         #: the per-iteration :attr:`shared_blocks` probe is O(1).
         self._shared_count = 0
+        #: Optional telemetry sink (attached by
+        #: :meth:`~repro.serving.engine.ServingEngine.enable_telemetry`) and
+        #: this pool's device index in a sharded cluster (stamped by
+        #: :class:`~repro.serving.cluster.ShardedBlockManager`).  Every hook
+        #: below is ``is not None``-guarded, so the disabled path costs one
+        #: attribute test per pool *mutation* — never per block.
+        self.tracer: Tracer | None = None
+        self.device_index = 0
         self.reset_stats()
 
     def reset_stats(self) -> None:
@@ -318,6 +330,11 @@ class BlockManager:
         hit_tokens = self._hit_tokens(hits, prefix_tokens)
         self.prefix_hit_blocks += hits
         self.prefix_hit_tokens += hit_tokens
+        if self.tracer is not None:
+            self.tracer.kv(
+                "share", seq_id, fresh, self.device_index, len(self._free),
+                hit_blocks=hits,
+            )
         return fresh, hit_tokens
 
     def cow_cost(self, seq_id: int, token_index: int) -> int:
@@ -371,6 +388,8 @@ class BlockManager:
             self._shared_count -= 1
         table[idx] = copy_id
         self.cow_copies += 1
+        if self.tracer is not None:
+            self.tracer.kv("cow", seq_id, 1, self.device_index, len(self._free))
         return 1
 
     # -- mutations ---------------------------------------------------------------
@@ -416,6 +435,8 @@ class BlockManager:
                 f"{self.free_blocks}/{self._num_blocks} are free"
             )
         self._tables[seq_id] = self._take_free_blocks(needed)
+        if self.tracer is not None:
+            self.tracer.kv("alloc", seq_id, needed, self.device_index, len(self._free))
         return needed
 
     def grow(self, seq_id: int, num_blocks: int) -> int:
@@ -431,6 +452,10 @@ class BlockManager:
                 f"{self.free_blocks}/{self._num_blocks} are free"
             )
         table.extend(self._take_free_blocks(num_blocks))
+        if self.tracer is not None:
+            self.tracer.kv(
+                "grow", seq_id, num_blocks, self.device_index, len(self._free)
+            )
         return len(table)
 
     def free(self, seq_id: int) -> int:
@@ -452,6 +477,10 @@ class BlockManager:
             for block_id in table:
                 del ref[block_id]
             self._free.extend(table)
+            if self.tracer is not None:
+                self.tracer.kv(
+                    "free", seq_id, len(table), self.device_index, len(self._free)
+                )
             return len(table)
         freed = 0
         for block_id in table:
@@ -465,6 +494,8 @@ class BlockManager:
                     del self._prefix_index[key]
                 self._free.append(block_id)
                 freed += 1
+        if self.tracer is not None:
+            self.tracer.kv("free", seq_id, freed, self.device_index, len(self._free))
         return freed
 
     # -- invariants --------------------------------------------------------------

@@ -44,10 +44,13 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Callable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterator
 
 from .kv_cache import AllocationPolicy, BlockManager, ReservationPolicy
 from .request import Request, RequestState, Sequence
+
+if TYPE_CHECKING:
+    from .telemetry.tracer import Tracer
 
 __all__ = [
     "ADMISSION_MODES",
@@ -250,15 +253,25 @@ class ContinuousBatchingScheduler:
         #: admission.  The engine's overlap mode bumps it at every dynamic
         #: re-placement; it stays 0 everywhere else.
         self.placement_epoch = 0
+        #: Optional telemetry sink, attached by the engine's ``run`` when
+        #: telemetry is enabled.  Emits the request lifecycle events
+        #: (submit/reject/admit/preempt/finish/strand); every call is
+        #: ``is not None``-guarded so the disabled path stays free.
+        self.tracer: Tracer | None = None
 
     # -- intake ------------------------------------------------------------------
     def add_request(self, request: Request) -> Sequence:
         """Enqueue a request; rejects immediately if it could never fit."""
         seq = Sequence(request=request, enqueue_index=self._enqueue_counter)
         self._enqueue_counter += 1
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.submit(request)
         if not self.allocation.fits_at_all(request):
             seq.reject()
             self.rejected.append(seq)
+            if tracer is not None:
+                tracer.reject(seq, request.arrival_time)
             return seq
         self.waiting.push(seq)
         return seq
@@ -267,6 +280,7 @@ class ContinuousBatchingScheduler:
     def admit(self, now: float) -> list[Sequence]:
         """Join waiting requests to the batch at an iteration boundary."""
         admitted: list[Sequence] = []
+        tracer = self.tracer
         while self.waiting and self.policy.may_join(self.running, self.config):
             head = self.waiting[0]
             if self.allocation.can_admit(head):
@@ -281,10 +295,16 @@ class ContinuousBatchingScheduler:
                 head.admit(now)
                 self.running.append(head)
                 admitted.append(head)
+                if tracer is not None:
+                    # After allocation.admit, so the KV alloc/share event
+                    # precedes the admit event it belongs to.
+                    tracer.admit(head, now)
             elif self.config.admission == "reject" and head.preemptions == 0:
                 self.waiting.pop(0)
                 head.reject()
                 self.rejected.append(head)
+                if tracer is not None:
+                    tracer.reject(head, now)
             else:
                 # Queue mode (and previously-admitted preempted sequences in
                 # either mode): keep FIFO order — do not skip the head to
@@ -347,11 +367,16 @@ class ContinuousBatchingScheduler:
     def _preempt(self, victim: Sequence) -> None:
         """Reclaim a running sequence's blocks and requeue it."""
         self.allocation.release(victim)
-        self.recomputed_tokens += victim.preempt()
+        recomputed = victim.preempt()
+        self.recomputed_tokens += recomputed
         self.preemptions += 1
         victim.requeue()
         self.running.remove(victim)
         self.waiting.push(victim)
+        if self.tracer is not None:
+            # After allocation.release: the KV free event precedes the
+            # preempt event, mirroring admission's alloc-then-admit order.
+            self.tracer.preempt(victim, recomputed)
 
     def drain_stranded(self) -> list[Sequence]:
         """Move every still-waiting sequence to the ``stranded`` terminal state.
@@ -362,9 +387,12 @@ class ContinuousBatchingScheduler:
         sequences would vanish from the report and ``num_requests`` would
         undercount the submitted work.
         """
+        tracer = self.tracer
         for seq in self.waiting:
             seq.strand()
             self.stranded.append(seq)
+            if tracer is not None:
+                tracer.strand(seq)
         self.waiting.clear()
         return self.stranded
 
@@ -376,8 +404,15 @@ class ContinuousBatchingScheduler:
         for seq in self.running:
             (done if seq.state is finished_state else still_running).append(seq)
         release = self.allocation.release
-        for seq in done:
-            release(seq)
+        tracer = self.tracer
+        if tracer is None:
+            for seq in done:
+                release(seq)
+        else:
+            for seq in done:
+                # Finish event first, then the KV free it causes.
+                tracer.finish(seq)
+                release(seq)
         self.finished.extend(done)
         # In-place so engine-held aliases of ``running`` stay live.
         self.running[:] = still_running

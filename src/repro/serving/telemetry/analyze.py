@@ -1,0 +1,264 @@
+"""Post-hoc trace analysis: queueing breakdown, device attribution, KV pressure.
+
+:func:`analyze_trace` walks a raw event stream (from a
+:class:`~repro.serving.telemetry.Tracer` or loaded back from disk with
+:func:`load_trace_file`) and produces a summary that *reconciles exactly*
+with the run's JSON report: latency summaries are accumulated in the same
+(finish-event) order the engine uses, and per-device compute/straggler
+totals sum the identical floats the engine's cost model emitted, so
+``ttft_s``/``e2e_s`` match the report float-for-float and
+``straggler_ratio`` matches to well under 1e-9
+(``tests/serving/test_telemetry.py`` pins this).
+
+Summary layout::
+
+    sim_time_s            last iteration end
+    iterations            number of iter events
+    requests: {submitted, finished, rejected, preempted_requests, stranded}
+    phases:               total and mean seconds per lifecycle phase
+        queued / prefill / decode: {total_s, mean_s, share}
+                          (share = fraction of summed phase time)
+    ttft_s / tpot_s / e2e_s   p50/p95/mean/max summaries (finish order)
+    devices: [{device, busy_s, busy_frac}]   busy_frac over sim_time_s
+    straggler: {max_s, mean_s, ratio}        multi-device runs only
+    overlap: {hidden_s, comm_s}              overlap runs only
+    migration: {stalls, stall_s}             dynamic re-placement only
+    kv: {min_free_blocks, peak_utilization, cow_copies, grow_blocks,
+         pressure: [{t, free_blocks, kv_utilization}]}
+                          timeline from metrics samples when provided
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+from ...eval.reporting import summarize_latencies
+
+__all__ = ["analyze_trace", "load_metrics_file", "load_trace_file"]
+
+
+def load_trace_file(
+    path: str,
+) -> tuple[list[dict[str, Any]], list[dict[str, Any]], dict[str, Any]]:
+    """Load ``(events, samples, meta)`` from a trace file.
+
+    Accepts either a Chrome ``.trace.json`` export (reads the embedded
+    ``"milo"`` object back, exact floats included) or a raw tracer JSONL
+    file (header line then one event per line; no samples).
+    """
+    with open(path) as fh:
+        first = fh.readline()
+        rest = fh.read()
+    text = first + rest
+    stripped = text.lstrip()
+    if stripped.startswith("{") and '"traceEvents"' in text:
+        obj = json.loads(text)
+        milo = obj.get("milo")
+        if not isinstance(milo, dict):
+            raise ValueError(
+                f"{path}: Chrome trace without an embedded 'milo' stream; "
+                "re-export with milo serve --trace-events"
+            )
+        return (
+            list(milo.get("events", [])),
+            list(milo.get("samples", [])),
+            dict(milo.get("meta", {})),
+        )
+    header = json.loads(first)
+    if not isinstance(header, dict) or "schema" not in header:
+        raise ValueError(f"{path}: not a milo trace (missing schema header)")
+    events = [json.loads(line) for line in rest.splitlines() if line]
+    return events, [], dict(header.get("meta", {}))
+
+
+def load_metrics_file(path: str) -> list[dict[str, Any]]:
+    """Load the sample rows of a ``--metrics-out`` JSONL file."""
+    with open(path) as fh:
+        lines = [line for line in fh.read().splitlines() if line]
+    if not lines:
+        return []
+    header = json.loads(lines[0])
+    if not isinstance(header, dict) or "schema" not in header:
+        raise ValueError(f"{path}: not a milo metrics file (missing schema header)")
+    return [json.loads(line) for line in lines[1:]]
+
+
+def _phase_summary(durations: list[float], share_base: float) -> dict[str, Any]:
+    total = sum(durations)
+    return {
+        "total_s": total,
+        "mean_s": total / len(durations) if durations else None,
+        "share": total / share_base if share_base else 0.0,
+    }
+
+
+def analyze_trace(
+    events: Iterable[dict[str, Any]],
+    samples: Iterable[dict[str, Any]] = (),
+    meta: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Summarize a run's event stream (see module docstring for layout)."""
+    meta = meta or {}
+    submitted = rejected = stranded = preempt_events = 0
+    preempted_requests: set[int] = set()
+    arrival: dict[int, float] = {}
+    admit_t: dict[int, float] = {}
+    requeue_t: dict[int, float] = {}
+    first_tok: dict[int, float] = {}
+    queued_s: list[float] = []
+    prefill_s: list[float] = []
+    decode_s: list[float] = []
+    # Latency lists accumulate in finish-event order == the engine's
+    # `finished` order, so summaries match the report exactly.
+    ttfts: list[float] = []
+    tpots: list[float] = []
+    e2es: list[float] = []
+    iterations = 0
+    sim_end = 0.0
+    num_devices = len(meta.get("devices", ())) or 1
+    busy = [0.0] * num_devices
+    straggler_max = 0.0
+    straggler_mean = 0.0
+    hidden_s = 0.0
+    comm_s = 0.0
+    stall_s = 0.0
+    stalls = 0
+    has_compute = False
+    has_overlap = False
+    cow_copies = 0
+    grow_blocks = 0
+    min_free: int | None = None
+
+    for event in events:
+        kind = event["kind"]
+        if kind == "iter":
+            iterations += 1
+            t1 = event["t1"]
+            sim_end = t1
+            compute = event.get("compute")
+            if compute is None:
+                busy[0] += t1 - event["t0"]
+            else:
+                has_compute = True
+                for d, compute_s in enumerate(compute):
+                    busy[d] += compute_s
+                straggler_max += event["max"]
+                straggler_mean += event["mean"]
+            if "hidden" in event:
+                has_overlap = True
+                hidden_s += event["hidden"]
+                comm_s += event["comm"]
+            stall = event.get("stall")
+            if stall:
+                stalls += 1
+                stall_s += stall
+        elif kind == "submit":
+            submitted += 1
+            arrival[event["req"]] = event["t"]
+        elif kind == "admit":
+            req = event["req"]
+            t = event["t"]
+            # Queued time = arrival→first admit, plus requeue→re-admit after
+            # each preemption.
+            start = arrival[req] if event["preempted"] == 0 else requeue_t[req]
+            queued_s.append(t - start)
+            admit_t[req] = t
+        elif kind == "first_token":
+            req = event["req"]
+            t = event["t"]
+            prefill_s.append(t - admit_t[req])
+            # first_token_time is sticky across preemption (re-prefill does
+            # not reset TTFT), matching Sequence.ttft.
+            if req not in first_tok:
+                first_tok[req] = t
+        elif kind == "finish":
+            req = event["req"]
+            t = event["t"]
+            new = event["new"]
+            decode_s.append(t - first_tok[req])
+            ttfts.append(first_tok[req] - arrival[req])
+            e2es.append(t - arrival[req])
+            # Single-token requests have no decode gap and report tpot 0.0,
+            # matching Sequence.tpot.
+            tpots.append((t - first_tok[req]) / (new - 1) if new > 1 else 0.0)
+        elif kind == "preempt":
+            preempt_events += 1
+            preempted_requests.add(event["req"])
+            requeue_t[event["req"]] = event["t"]
+        elif kind == "reject":
+            rejected += 1
+        elif kind == "strand":
+            stranded += 1
+        elif kind == "kv":
+            op = event["op"]
+            if op == "cow":
+                cow_copies += 1
+            elif op == "grow":
+                grow_blocks += event["blocks"]
+            free = event["free"]
+            if min_free is None or free < min_free:
+                min_free = free
+
+    share_base = sum(queued_s) + sum(prefill_s) + sum(decode_s)
+    result: dict[str, Any] = {
+        "sim_time_s": sim_end,
+        "iterations": iterations,
+        "requests": {
+            "submitted": submitted,
+            "finished": len(e2es),
+            "rejected": rejected,
+            "preempted_requests": len(preempted_requests),
+            "preemptions": preempt_events,
+            "stranded": stranded,
+        },
+        "phases": {
+            "queued": _phase_summary(queued_s, share_base),
+            "prefill": _phase_summary(prefill_s, share_base),
+            "decode": _phase_summary(decode_s, share_base),
+        },
+        "ttft_s": summarize_latencies(ttfts),
+        "tpot_s": summarize_latencies(tpots),
+        "e2e_s": summarize_latencies(e2es),
+        "devices": [
+            {
+                "device": (
+                    meta["devices"][d]
+                    if d < len(meta.get("devices", ()))
+                    else f"gpu{d}"
+                ),
+                "busy_s": busy[d],
+                "busy_frac": busy[d] / sim_end if sim_end else 0.0,
+            }
+            for d in range(num_devices)
+        ],
+    }
+    if has_compute:
+        result["straggler"] = {
+            "max_s": straggler_max,
+            "mean_s": straggler_mean,
+            "ratio": straggler_max / straggler_mean if straggler_mean else 1.0,
+        }
+    if has_overlap:
+        result["overlap"] = {"hidden_s": hidden_s, "comm_s": comm_s}
+    if stalls:
+        result["migration"] = {"stalls": stalls, "stall_s": stall_s}
+
+    kv: dict[str, Any] = {
+        "min_free_blocks": min_free,
+        "cow_copies": cow_copies,
+        "grow_blocks": grow_blocks,
+    }
+    pressure = [
+        {
+            "t": row["t"],
+            "free_blocks": row["free_blocks"],
+            "kv_utilization": row["kv_utilization"],
+        }
+        for row in samples
+    ]
+    if pressure:
+        kv["peak_utilization"] = max(row["kv_utilization"] for row in pressure)
+        kv["pressure"] = pressure
+    result["kv"] = kv
+    return result

@@ -1,0 +1,230 @@
+"""Chrome trace-event export and validation.
+
+:func:`chrome_trace` converts a :class:`~repro.serving.telemetry.Tracer`
+(and optionally a :class:`~repro.serving.telemetry.MetricsRegistry`) into
+the Chrome trace-event JSON object format, loadable in Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing``:
+
+* pid 0 is the simulator process; tid 0 is the *requests* track and tids
+  1..D carry one track per device (named from the tracer's ``meta``).
+* Every engine iteration becomes one complete-slice (``ph: "X"``) per
+  device with the device's compute seconds as the duration (single-device
+  runs use the full iteration span); sim seconds are exported as
+  microseconds (``ts``/``dur`` floats), so one sim second reads as 1 s in
+  the viewer.
+* Each request becomes async begin/end pairs (``ph: "b"``/``"e"``,
+  ``cat: "request"``) for its ``queued``, ``prefill``, and ``decode``
+  phases on the requests track.
+* Metrics samples become counter events (``ph: "C"``) for batch size,
+  waiting depth, free KV blocks, and KV utilization.
+
+The export embeds the raw event stream and samples under a top-level
+``"milo"`` key — viewers ignore unknown top-level keys, and
+:func:`~repro.serving.telemetry.analyze.load_trace_file` reads the exact
+floats back from it, so a ``.trace.json`` file is self-contained for both
+visualisation and ``milo analyze``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .metrics import MetricsRegistry
+from .tracer import TRACE_SCHEMA, Tracer
+
+__all__ = ["chrome_trace", "validate_chrome_trace"]
+
+_US = 1e6  # sim seconds -> trace microseconds
+
+
+def _meta_event(name: str, pid: int, tid: int | None, value: str) -> dict[str, Any]:
+    event: dict[str, Any] = {
+        "ph": "M",
+        "name": name,
+        "pid": pid,
+        "args": {"name": value},
+    }
+    if tid is not None:
+        event["tid"] = tid
+    return event
+
+
+def _async_event(
+    ph: str, phase: str, req: int, t: float, pid: int = 0, tid: int = 0
+) -> dict[str, Any]:
+    return {
+        "ph": ph,
+        "name": phase,
+        "cat": "request",
+        "id": req,
+        "pid": pid,
+        "tid": tid,
+        "ts": t * _US,
+    }
+
+
+def chrome_trace(
+    tracer: Tracer, metrics: MetricsRegistry | None = None
+) -> dict[str, Any]:
+    """Build a Chrome trace-event JSON object from a completed run's tracer."""
+    meta = tracer.meta
+    device_names = meta.get("devices") or ["gpu0"]
+    num_devices = len(device_names)
+
+    events: list[dict[str, Any]] = [
+        _meta_event("process_name", 0, None, str(meta.get("name", "milo serving sim"))),
+        _meta_event("thread_name", 0, 0, "requests"),
+    ]
+    for d, device in enumerate(device_names):
+        events.append(_meta_event("thread_name", 0, d + 1, str(device)))
+
+    # Current lifecycle phase per request, so preemption can close whichever
+    # span is open (a victim may be preempted mid-prefill or mid-decode) and
+    # re-open its queued span.
+    phase_of: dict[int, str] = {}
+
+    for event in tracer.events:
+        kind = event["kind"]
+        if kind == "iter":
+            t0 = event["t0"]
+            args = {
+                "iteration": event["i"],
+                "tokens": event["tokens"],
+                "batch": event["batch"],
+            }
+            compute = event.get("compute")
+            if compute is None:
+                events.append(
+                    {
+                        "ph": "X",
+                        "name": "iteration",
+                        "pid": 0,
+                        "tid": 1,
+                        "ts": t0 * _US,
+                        "dur": (event["t1"] - t0) * _US,
+                        "args": args,
+                    }
+                )
+            else:
+                for d, compute_s in enumerate(compute):
+                    events.append(
+                        {
+                            "ph": "X",
+                            "name": "iteration",
+                            "pid": 0,
+                            "tid": d + 1,
+                            "ts": t0 * _US,
+                            "dur": compute_s * _US,
+                            "args": args,
+                        }
+                    )
+        elif kind == "submit":
+            events.append(_async_event("b", "queued", event["req"], event["t"]))
+            phase_of[event["req"]] = "queued"
+        elif kind == "admit":
+            events.append(_async_event("e", "queued", event["req"], event["t"]))
+            events.append(_async_event("b", "prefill", event["req"], event["t"]))
+            phase_of[event["req"]] = "prefill"
+        elif kind == "first_token":
+            events.append(_async_event("e", "prefill", event["req"], event["t"]))
+            events.append(_async_event("b", "decode", event["req"], event["t"]))
+            phase_of[event["req"]] = "decode"
+        elif kind == "finish":
+            events.append(_async_event("e", "decode", event["req"], event["t"]))
+            phase_of.pop(event["req"], None)
+        elif kind == "preempt":
+            open_phase = phase_of.get(event["req"], "prefill")
+            events.append(_async_event("e", open_phase, event["req"], event["t"]))
+            events.append(_async_event("b", "queued", event["req"], event["t"]))
+            phase_of[event["req"]] = "queued"
+        elif kind == "reject" or kind == "strand":
+            if phase_of.pop(event["req"], None) == "queued":
+                events.append(_async_event("e", "queued", event["req"], event["t"]))
+
+    samples = metrics.samples if metrics is not None else []
+    for row in samples:
+        ts = row["t"] * _US
+        for counter in ("batch", "waiting", "free_blocks", "kv_utilization"):
+            events.append(
+                {
+                    "ph": "C",
+                    "name": counter,
+                    "pid": 0,
+                    "ts": ts,
+                    "args": {counter: row[counter]},
+                }
+            )
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"schema": TRACE_SCHEMA, "sim_devices": num_devices},
+        # Raw exact-float stream for `milo analyze`; trace viewers ignore
+        # unknown top-level keys.
+        "milo": {
+            "schema": TRACE_SCHEMA,
+            "meta": meta,
+            "events": tracer.events,
+            "samples": samples,
+        },
+    }
+
+
+def validate_chrome_trace(obj: Any) -> None:
+    """Raise ``ValueError`` unless *obj* is a well-formed trace-event object.
+
+    Checks the JSON Object Format rules each event phase requires:
+    complete slices need a non-negative ``dur``, async events need ``id``
+    and ``cat``, counters need numeric ``args``, metadata events need a
+    recognised name.  Used by the CI trace-artifact gate.
+    """
+    if not isinstance(obj, dict):
+        raise ValueError("trace must be a JSON object")
+    events = obj.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        raise ValueError("traceEvents must be a non-empty list")
+    for idx, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"event {idx}: not an object")
+        ph = event.get("ph")
+        if not isinstance(ph, str):
+            raise ValueError(f"event {idx}: missing ph")
+        if ph != "M":
+            if not isinstance(event.get("name"), str):
+                raise ValueError(f"event {idx}: missing name")
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or isinstance(ts, bool):
+                raise ValueError(f"event {idx}: ts must be a number")
+            if ts < 0:
+                raise ValueError(f"event {idx}: negative ts")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or isinstance(dur, bool):
+                raise ValueError(f"event {idx}: complete slice needs numeric dur")
+            if dur < 0:
+                raise ValueError(f"event {idx}: negative dur")
+        elif ph in ("b", "e", "n"):
+            if "id" not in event:
+                raise ValueError(f"event {idx}: async event needs id")
+            if not isinstance(event.get("cat"), str):
+                raise ValueError(f"event {idx}: async event needs cat")
+        elif ph == "C":
+            args = event.get("args")
+            if not isinstance(args, dict) or not args:
+                raise ValueError(f"event {idx}: counter needs args")
+            for key, value in args.items():
+                if not isinstance(value, (int, float)) or isinstance(value, bool):
+                    raise ValueError(
+                        f"event {idx}: counter arg {key!r} must be numeric"
+                    )
+        elif ph == "M":
+            if event.get("name") not in (
+                "process_name",
+                "process_labels",
+                "process_sort_index",
+                "thread_name",
+                "thread_sort_index",
+            ):
+                raise ValueError(f"event {idx}: unknown metadata name")
+        elif ph not in ("B", "E", "i", "s", "t", "f"):
+            raise ValueError(f"event {idx}: unknown phase {ph!r}")

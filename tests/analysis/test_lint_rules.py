@@ -355,6 +355,124 @@ class TestRpt001ReportSchema:
 
 
 # ---------------------------------------------------------------------------
+# OBS001 — guarded telemetry hooks
+# ---------------------------------------------------------------------------
+
+
+class TestObs001GuardedTelemetry:
+    def test_unguarded_call_in_loop_flagged(self, tmp_path):
+        source = (
+            "def run(self, tracer):\n"
+            "    while True:\n"
+            "        tracer.iteration(0, 0.0, 1.0, 4, 2)\n"
+        )
+        result = lint_snippet(tmp_path, source, select=("OBS001",))
+        assert codes(result) == ["OBS001"]
+        assert "tracer.iteration" in result.fresh[0].message
+
+    def test_unguarded_metrics_in_for_flagged(self, tmp_path):
+        source = (
+            "def run(self, metrics):\n"
+            "    for step in steps:\n"
+            "        metrics.sample(step)\n"
+        )
+        result = lint_snippet(tmp_path, source, select=("OBS001",))
+        assert codes(result) == ["OBS001"]
+
+    def test_guarded_call_clean(self, tmp_path):
+        source = (
+            "def run(self, tracer):\n"
+            "    while True:\n"
+            "        if tracer is not None:\n"
+            "            tracer.iteration(0, 0.0, 1.0, 4, 2)\n"
+        )
+        assert codes(lint_snippet(tmp_path, source, select=("OBS001",))) == []
+
+    def test_inverted_fast_path_split_clean(self, tmp_path):
+        # The fast-path idiom: the *disabled* branch holds the original
+        # loop, the else branch emits telemetry.  Branch polarity is the
+        # equivalence tests' business, not the linter's.
+        source = (
+            "def run(self, tracer, metrics):\n"
+            "    while True:\n"
+            "        if tracer is None and metrics is None:\n"
+            "            pass\n"
+            "        else:\n"
+            "            tracer.iteration(0, 0.0, 1.0, 4, 2)\n"
+        )
+        assert codes(lint_snippet(tmp_path, source, select=("OBS001",))) == []
+
+    def test_conditional_expression_guard_clean(self, tmp_path):
+        source = (
+            "def run(self, tracer):\n"
+            "    while True:\n"
+            "        pd = self._telemetry_per_device(4) "
+            "if tracer is not None else None\n"
+        )
+        assert codes(lint_snippet(tmp_path, source, select=("OBS001",))) == []
+
+    def test_guard_outside_loop_clean(self, tmp_path):
+        source = (
+            "def drain(self):\n"
+            "    tracer = self.tracer\n"
+            "    if tracer is not None:\n"
+            "        for seq in self.stranded:\n"
+            "            tracer.strand(seq)\n"
+        )
+        assert codes(lint_snippet(tmp_path, source, select=("OBS001",))) == []
+
+    def test_call_outside_loop_clean(self, tmp_path):
+        source = "def add(self, tracer, req):\n    tracer.submit(req)\n"
+        assert codes(lint_snippet(tmp_path, source, select=("OBS001",))) == []
+
+    def test_unrelated_guard_still_flagged(self, tmp_path):
+        source = (
+            "def run(self, tracer):\n"
+            "    while True:\n"
+            "        if batch:\n"
+            "            tracer.iteration(0, 0.0, 1.0, 4, 2)\n"
+        )
+        result = lint_snippet(tmp_path, source, select=("OBS001",))
+        assert codes(result) == ["OBS001"]
+
+    def test_telemetry_package_exempt(self, tmp_path):
+        source = (
+            "def flush(self):\n"
+            "    for event in queue:\n"
+            "        self.tracer.emit(event)\n"
+        )
+        result = lint_snippet(
+            tmp_path,
+            source,
+            rel_path=f"{SERVING_REL}/telemetry/tracer.py",
+            select=("OBS001",),
+        )
+        assert codes(result) == []
+
+    def test_outside_serving_not_in_scope(self, tmp_path):
+        source = (
+            "def run(tracer):\n"
+            "    for _ in range(3):\n"
+            "        tracer.submit(None)\n"
+        )
+        result = lint_snippet(
+            tmp_path,
+            source,
+            rel_path="src/repro/eval/fixture.py",
+            select=("OBS001",),
+        )
+        assert codes(result) == []
+
+    def test_non_telemetry_call_in_loop_clean(self, tmp_path):
+        source = (
+            "def run(self):\n"
+            "    while True:\n"
+            "        self.scheduler.admit(0.0)\n"
+        )
+        assert codes(lint_snippet(tmp_path, source, select=("OBS001",))) == []
+
+
+# ---------------------------------------------------------------------------
 # Suppressions
 # ---------------------------------------------------------------------------
 
@@ -460,6 +578,7 @@ class TestEngineAndCli:
             "REG001",
             "SLOT001",
             "RPT001",
+            "OBS001",
         }
 
     def test_unknown_select_code_raises(self):

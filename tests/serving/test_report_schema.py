@@ -1,0 +1,106 @@
+"""``REPORT_SCHEMA_KEYS`` exhaustiveness against *live* reports.
+
+The RPT001 lint rule statically checks string keys written in the report
+builders, but it cannot see keys that arrive from other modules (the
+``summarize_latencies`` p50/p95/mean/max section lives in ``repro.eval``)
+or from data-driven dict construction.  This test closes that gap
+dynamically: run real sims covering every optional report section
+(cluster + overlap + dynamic re-placement, prefix cache, on-demand
+preemption, reject admission), collect every key recursively, and require
+the schema constant to cover all of them — and, conversely, that the
+constant carries no dead entries beyond the sections a stock run cannot
+produce.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.backends import MiLoBackend
+from repro.serving import EngineConfig, ServingEngine, poisson_workload
+from repro.serving.engine import REPORT_SCHEMA_KEYS
+
+#: (config kwargs, workload kwargs) pairs chosen so the union of their
+#: reports exercises every optional report section.
+SCENARIOS = {
+    # cluster + overlap + migration sections.
+    "overlap_replace": (
+        dict(devices=4, overlap=True, replacement_threshold=0.05),
+        dict(num_requests=60, qps=30.0, seed=31, mean_new_tokens=48),
+    ),
+    # prefix_cache section with actual hits/shared blocks.
+    "prefix_shared": (
+        dict(),
+        dict(
+            num_requests=60, qps=30.0, seed=23, mean_new_tokens=48,
+            shared_prefix_tokens=32, prefix_groups=3,
+        ),
+    ),
+    # preemption/recompute counters under on-demand growth.
+    "ondemand_preempt": (
+        dict(kv_policy="ondemand", reserve_gb=20.0, max_batch_size=256),
+        dict(
+            num_requests=120, qps=40.0, seed=25,
+            mean_prompt_tokens=512, mean_new_tokens=256,
+        ),
+    ),
+    # load shedding.
+    "reject": (
+        dict(admission="reject", max_batch_size=8),
+        dict(num_requests=60, qps=60.0, seed=22, mean_new_tokens=32),
+    ),
+}
+
+#: Schema entries no stock-policy run can produce (``stranded`` needs a
+#: custom conservative scheduling policy that never admits); they stay in
+#: the schema because the report *can* emit them.
+CONDITIONAL_KEYS = frozenset({"stranded"})
+
+
+def _collect_keys(obj: object, acc: set[str]) -> set[str]:
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            acc.add(key)
+            _collect_keys(value, acc)
+    elif isinstance(obj, list):
+        for value in obj:
+            _collect_keys(value, acc)
+    return acc
+
+
+def _live_keys(name: str) -> set[str]:
+    config_kwargs, workload_kwargs = SCENARIOS[name]
+    engine = ServingEngine(
+        MiLoBackend(), "mixtral-8x7b", EngineConfig(**config_kwargs)
+    )
+    report = engine.run(poisson_workload(**workload_kwargs))
+    return _collect_keys(report.to_dict(), set())
+
+
+@pytest.fixture(scope="module")
+def live_key_union() -> set[str]:
+    union: set[str] = set()
+    for name in sorted(SCENARIOS):
+        union |= _live_keys(name)
+    return union
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_every_live_report_key_is_declared(scenario):
+    undeclared = _live_keys(scenario) - REPORT_SCHEMA_KEYS
+    assert not undeclared, (
+        f"report keys {sorted(undeclared)} missing from REPORT_SCHEMA_KEYS; "
+        f"the report_sha256 gate would drift silently"
+    )
+
+
+def test_schema_has_no_dead_keys(live_key_union):
+    """Every schema entry (minus the documented conditionals) shows up in at
+    least one live report — a stale entry would let RPT001 wave through a
+    key nothing writes anymore."""
+    dead = REPORT_SCHEMA_KEYS - live_key_union - CONDITIONAL_KEYS
+    assert not dead, f"schema declares keys no scenario produces: {sorted(dead)}"
+
+
+def test_conditional_keys_are_still_declared():
+    assert CONDITIONAL_KEYS <= REPORT_SCHEMA_KEYS

@@ -404,3 +404,130 @@ class TestServeCommand:
         assert report["completed"] == 0 and report["rejected"] == 3
         assert report["ttft_s"]["p50"] is None
         assert report["sustained_qps"] == 0.0
+
+
+class TestServeTelemetryFlags:
+    def serve(self, capsys, *extra):
+        code = main([
+            "serve", "--backend", "milo", "--model", "mixtral-8x7b",
+            "--qps", "20", "--requests", "12", "--seed", "0", *extra,
+        ])
+        out = capsys.readouterr().out
+        return code, out
+
+    def test_trace_events_chrome_export(self, capsys, tmp_path):
+        from repro.serving.telemetry import validate_chrome_trace
+
+        trace = tmp_path / "run.trace.json"
+        code, out = self.serve(
+            capsys, "--devices", "4", "--overlap", "--trace-events", str(trace)
+        )
+        assert code == 0
+        payload = json.loads(trace.read_text())
+        validate_chrome_trace(payload)  # must not raise
+        assert payload["otherData"]["sim_devices"] == 4
+        # the report on stdout is unaffected by tracing.
+        assert json.loads(out)["completed"] == 12
+
+    def test_trace_events_jsonl_export(self, capsys, tmp_path):
+        from repro.serving.telemetry import load_trace_file
+
+        trace = tmp_path / "run.jsonl"
+        code, _ = self.serve(capsys, "--trace-events", str(trace))
+        assert code == 0
+        events, samples, meta = load_trace_file(str(trace))
+        assert sum(1 for e in events if e["kind"] == "finish") == 12
+        assert samples == [] and meta["model"] == "mixtral-8x7b"
+
+    def test_metrics_out(self, capsys, tmp_path):
+        from repro.serving.telemetry import load_metrics_file
+
+        metrics = tmp_path / "run.metrics.jsonl"
+        code, _ = self.serve(
+            capsys, "--metrics-out", str(metrics), "--metrics-interval", "0.25"
+        )
+        assert code == 0
+        rows = load_metrics_file(str(metrics))
+        assert rows and all(row["kv_utilization"] <= 1.0 for row in rows)
+
+    def test_invalid_metrics_interval_exits_cleanly(self, capsys, tmp_path):
+        code = main([
+            "serve", "--metrics-out", str(tmp_path / "m.jsonl"),
+            "--metrics-interval", "0",
+        ])
+        assert code == 2
+        assert "invalid serving config" in capsys.readouterr().err
+
+    def test_telemetry_flags_leave_report_byte_identical(self, capsys, tmp_path):
+        _, plain = self.serve(capsys)
+        _, traced = self.serve(
+            capsys,
+            "--trace-events", str(tmp_path / "t.jsonl"),
+            "--metrics-out", str(tmp_path / "m.jsonl"),
+        )
+        assert plain == traced
+
+    def test_report_out_alias(self, capsys, tmp_path):
+        out_file = tmp_path / "report.json"
+        code, out = self.serve(capsys, "--report-out", str(out_file))
+        assert code == 0
+        assert json.loads(out_file.read_text()) == json.loads(out)
+
+
+class TestAnalyzeCommand:
+    def test_analyze_reconciles_with_serve_report(self, capsys, tmp_path):
+        trace = tmp_path / "run.trace.json"
+        metrics = tmp_path / "run.metrics.jsonl"
+        code = main([
+            "serve", "--backend", "milo", "--model", "mixtral-8x7b",
+            "--qps", "20", "--requests", "12", "--seed", "0",
+            "--devices", "4", "--overlap",
+            "--trace-events", str(trace), "--metrics-out", str(metrics),
+        ])
+        report = json.loads(capsys.readouterr().out)
+        assert code == 0
+        code = main(["analyze", str(trace), "--metrics", str(metrics)])
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["ttft_s"] == report["ttft_s"]
+        assert summary["e2e_s"] == report["e2e_s"]
+        assert summary["sim_time_s"] == report["sim_time_s"]
+        assert summary["requests"]["finished"] == report["completed"]
+        assert len(summary["devices"]) == 4
+        assert "pressure" in summary["kv"]
+
+    def test_analyze_jsonl_trace(self, capsys, tmp_path):
+        trace = tmp_path / "run.jsonl"
+        code = main([
+            "serve", "--backend", "milo", "--model", "mixtral-8x7b",
+            "--qps", "20", "--requests", "12", "--seed", "0",
+            "--trace-events", str(trace),
+        ])
+        capsys.readouterr()
+        assert code == 0
+        assert main(["analyze", str(trace)]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["requests"]["submitted"] == 12
+
+    def test_analyze_missing_file_exits_cleanly(self, capsys, tmp_path):
+        assert main(["analyze", str(tmp_path / "nope.json")]) == 2
+        assert "invalid trace" in capsys.readouterr().err
+
+    def test_analyze_malformed_trace_exits_cleanly(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json at all")
+        assert main(["analyze", str(bad)]) == 2
+        assert "invalid trace" in capsys.readouterr().err
+
+    def test_analyze_malformed_metrics_exits_cleanly(self, capsys, tmp_path):
+        trace = tmp_path / "run.jsonl"
+        main([
+            "serve", "--backend", "milo", "--model", "mixtral-8x7b",
+            "--qps", "20", "--requests", "4", "--seed", "0",
+            "--trace-events", str(trace),
+        ])
+        capsys.readouterr()
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"no": "schema"}\n')
+        assert main(["analyze", str(trace), "--metrics", str(bad)]) == 2
+        assert "invalid metrics file" in capsys.readouterr().err
