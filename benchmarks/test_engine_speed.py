@@ -15,7 +15,12 @@ backend (A100-40GB devices):
   stresses the per-event path;
 * ``replay_100k_qps2_overlap`` — the qps-2 trace on a 4-device group under
   the overlap-aware layered cost model (``overlap=True``): exercises the
-  epoch-keyed per-layer cost memo and the multi-device macro-step loop.
+  epoch-keyed per-layer cost memo and the multi-device macro-step loop;
+* ``replay_100k_qps2_disagg`` — the qps-2 trace on a 4-device group split
+  ``--disagg 1:3``: every request pays a prefill→decode KV handoff, and
+  the run stays on the general per-iteration loop (disaggregation is
+  excluded from the fast path), so this tracks the disagg hot path's
+  throughput and pins its ``report_sha256``.
 
 Results land in ``benchmarks/results/BENCH_engine.json`` (schema
 ``engine-speed/v1``, documented in ROADMAP.md):
@@ -96,6 +101,10 @@ SCENARIOS = {
     "replay_100k_qps2_overlap": dict(
         workload=dict(num_requests=100_000, qps=2.0, seed=0),
         config=dict(devices=4, overlap=True),
+    ),
+    "replay_100k_qps2_disagg": dict(
+        workload=dict(num_requests=100_000, qps=2.0, seed=0),
+        config=dict(devices=4, prefill_devices=1, decode_devices=3),
     ),
 }
 

@@ -42,7 +42,7 @@ from .models import REFERENCE_FFN_SHAPES, available_models, build_model
 from .models.registry import FULL_MODEL_SPECS
 from .serving.cluster import PLACEMENT_POLICIES
 from .serving.kv_cache import ALLOCATION_POLICIES
-from .serving.scheduler import ADMISSION_MODES
+from .serving.scheduler import ADMISSION_MODES, PREEMPT_MODES
 
 __all__ = ["main", "build_parser"]
 
@@ -188,6 +188,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     backend = _make_serve_backend(args.backend, args.device)
     try:
+        prefill_devices = decode_devices = 0
+        if args.disagg is not None:
+            head, sep, tail = args.disagg.partition(":")
+            if not sep or not head or not tail:
+                raise ValueError(
+                    f"--disagg takes P:D (prefill:decode device counts), got {args.disagg!r}"
+                )
+            prefill_devices = int(head)
+            decode_devices = int(tail)
         config = EngineConfig(
             block_size=args.block_size,
             max_batch_size=args.max_batch,
@@ -197,6 +206,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
             prefill_chunk=args.prefill_chunk,
             devices=args.devices,
             placement=args.placement,
+            prefill_devices=prefill_devices,
+            decode_devices=decode_devices,
+            preempt_mode=args.preempt_mode,
             overlap=args.overlap,
             replacement_threshold=args.replacement_threshold,
             debug_checks=not args.no_debug_checks,
@@ -391,6 +403,24 @@ def build_parser() -> argparse.ArgumentParser:
         choices=SERVE_PLACEMENTS,
         help="expert placement across devices: round-robin by id ('balanced') "
         "or Fig. 3 skew-aware greedy packing ('frequency')",
+    )
+    s.add_argument(
+        "--disagg",
+        default=None,
+        metavar="P:D",
+        help="DistServe-style disaggregation: the first P devices prefill, "
+        "the last D decode (P + D must equal --devices); completed prefills "
+        "hand their KV blocks to the least-loaded decode device over the "
+        "interconnect, and the report gains a 'migration' section",
+    )
+    s.add_argument(
+        "--preempt-mode",
+        default="recompute",
+        choices=PREEMPT_MODES,
+        help="what preemption does to the victim's KV: discard and re-prefill "
+        "on resume ('recompute') or park it in host memory and restore it "
+        "over the PCIe link on re-admission ('swap'); the migration section "
+        "prices both so the modes are directly comparable",
     )
     s.add_argument(
         "--overlap",

@@ -54,6 +54,11 @@ class DeviceSpec:
     #: double-buffered dispatch pipeline.  Irrelevant on a single device and
     #: outside overlap mode.
     overlap_efficiency: float = 0.9
+    #: Achievable device-to-host bandwidth in bytes/s (PCIe 4.0 x16 on the
+    #: A100: 32 GB/s nominal, ~80% achievable after protocol overhead).  Used
+    #: by the serving engine's swap-to-host preemption mode to price KV-cache
+    #: swap-in on resume; irrelevant outside ``--preempt-mode swap``.
+    host_bandwidth: float = 25e9
 
     @property
     def effective_bandwidth(self) -> float:

@@ -52,6 +52,21 @@ Memory and scheduling decisions are *policies*, not hard-wired behavior:
   over the interconnect (:func:`expert_migration_seconds`); the report
   gains an ``overlap`` section.  With ``overlap=False`` (default) the
   serial whole-model cost model is untouched, byte for byte.
+* Disaggregated prefill/decode serving (``EngineConfig.prefill_devices`` /
+  ``decode_devices``, ``milo serve --disagg P:D``): the device group splits
+  into a prefill pool and a decode pool, each spanning the whole model with
+  its own pool-local expert placement.  New requests prefill on the prefill
+  pool; the iteration that completes prefill hands the sequence's KV blocks
+  to the least-loaded decode device
+  (:meth:`ShardedBlockManager.migrate`), priced per block over the
+  interconnect and charged to the deterministic clock.  A load-triggered
+  :meth:`SchedulingPolicy.select_rebalance` hook keeps the decode pool
+  even, and ``EngineConfig.preempt_mode='swap'`` (:data:`PREEMPT_MODES`)
+  turns preemption into swap-to-host: the victim's KV parks in host memory
+  and is restored over ``DeviceSpec.host_bandwidth`` on re-admission, with
+  the recompute-equivalent cost reported alongside for comparison.  The
+  report gains a ``migration`` section; disaggregation off reduces to the
+  colocated engine byte-for-byte.
 * Opt-in observability (:mod:`repro.serving.telemetry`): a :class:`Tracer`
   records structured lifecycle spans (request phases, per-iteration device
   compute, KV block moves) and a :class:`MetricsRegistry` samples
@@ -133,6 +148,7 @@ from .telemetry import (
 )
 from .scheduler import (
     ADMISSION_MODES,
+    PREEMPT_MODES,
     ContinuousBatchingScheduler,
     FifoPriorityPolicy,
     SchedulerConfig,
@@ -157,6 +173,7 @@ __all__ = [
     "SchedulingPolicy",
     "FifoPriorityPolicy",
     "ADMISSION_MODES",
+    "PREEMPT_MODES",
     "SchedulerConfig",
     "EngineConfig",
     "ServingEngine",

@@ -435,11 +435,24 @@ class ShardedBlockManager:
         self.device_names = tuple(device_names)
         #: seq_id -> device index of the pool holding its blocks.
         self._home: dict[int, int] = {}
+        #: Restrict *new* admissions (home selection and the intake
+        #: ``fits_at_all`` check) to these device indices; ``None`` (default)
+        #: considers every pool.  The disaggregated engine points this at the
+        #: prefill pool — or the decode pool while re-admitting a swapped-out
+        #: decode-phase sequence — and :meth:`migrate` is how blocks cross the
+        #: boundary afterwards.  Sequences already resident are unaffected.
+        self.admit_devices: tuple[int, ...] | None = None
+        #: Cumulative :meth:`migrate` calls / blocks moved (see ``reset_stats``).
+        self.migrations = 0
+        self.migrated_blocks = 0
+
+    def _admissible(self) -> range | tuple[int, ...]:
+        return range(len(self.pools)) if self.admit_devices is None else self.admit_devices
 
     # -- home selection ----------------------------------------------------------
     def _fitting_devices(self, needed_blocks: int) -> list[int]:
         return [
-            d for d, pool in enumerate(self.pools) if needed_blocks <= pool.free_blocks
+            d for d in self._admissible() if needed_blocks <= self.pools[d].free_blocks
         ]
 
     def _pick_home(self, num_tokens: int) -> int | None:
@@ -456,7 +469,8 @@ class ShardedBlockManager:
         """Most resident prefix hits first, then least-loaded, then index."""
         best: tuple[int, int, int] | None = None
         choice: int | None = None
-        for d, pool in enumerate(self.pools):
+        for d in self._admissible():
+            pool = self.pools[d]
             if not pool.can_allocate_shared(
                 num_tokens, prefix_id, prefix_tokens, share_partial
             ):
@@ -552,9 +566,11 @@ class ShardedBlockManager:
 
         The pools' summed capacity is irrelevant: a block table can never
         span devices, so a request larger than every individual pool can
-        never run even on an idle cluster.
+        never run even on an idle cluster.  Under an :attr:`admit_devices`
+        restriction only the admissible pools count — a request that fits no
+        admission-pool device can never be admitted.
         """
-        return any(pool.fits_at_all(num_tokens) for pool in self.pools)
+        return any(self.pools[d].fits_at_all(num_tokens) for d in self._admissible())
 
     def max_sequences(self, tokens_per_sequence: int) -> int:
         """Concurrent sequences of one length an empty *cluster* sustains."""
@@ -629,8 +645,43 @@ class ShardedBlockManager:
             raise KVCacheExhausted(f"sequence {seq_id} holds no blocks on any device")
         return self.pools[device].free(seq_id)
 
+    def migrate(self, seq_id: int, src: int, dst: int) -> int:
+        """Bulk-move a sequence's KV blocks from device ``src`` to ``dst``.
+
+        The disaggregated engine's prefill→decode handoff and the decode-pool
+        rebalancer both land here.  The destination pool materializes the
+        same number of *private* blocks the sequence held on the source, then
+        the source table is released through the ordinary refcounted path —
+        so shared prefix blocks merely drop one reference (their residency on
+        the source, and every other holder's table, is untouched), while the
+        migrant's copies on the destination are private (block identity never
+        spans devices).  Raises :class:`KVCacheExhausted` if the destination
+        cannot hold the table; the manager state is unchanged in that case.
+        Returns the number of blocks now held on ``dst``.
+        """
+        if self._home.get(seq_id) != src:
+            raise KVCacheExhausted(
+                f"sequence {seq_id} is not resident on device {src} "
+                f"(home: {self._home.get(seq_id)})"
+            )
+        if dst < 0 or dst >= len(self.pools):
+            raise KVCacheExhausted(f"no device {dst} in a {len(self.pools)}-pool cluster")
+        if dst == src:
+            return self.pools[src].blocks_held(seq_id)
+        blocks = self.pools[src].blocks_held(seq_id)
+        # Adopt-then-free: the transfer is priced by the caller, and a
+        # destination that cannot fit must leave the source table intact.
+        self.pools[dst].adopt(seq_id, blocks)
+        self.pools[src].free(seq_id)
+        self._home[seq_id] = dst
+        self.migrations += 1
+        self.migrated_blocks += blocks
+        return blocks
+
     # -- stats / invariants -------------------------------------------------------
     def reset_stats(self) -> None:
+        self.migrations = 0
+        self.migrated_blocks = 0
         for pool in self.pools:
             pool.reset_stats()
 

@@ -85,6 +85,7 @@ from ..eval.reporting import summarize_latencies
 from .cluster import (
     PLACEMENT_POLICIES,
     DeviceGroup,
+    ExpertPlacement,
     LayeredExpertPlacement,
     RoutingDriftTracker,
     ShardedBlockManager,
@@ -92,10 +93,17 @@ from .cluster import (
     make_expert_placement,
     split_tokens,
 )
-from .kv_cache import ALLOCATION_POLICIES, BlockManager, blocks_for_budget, make_allocation_policy
+from .kv_cache import (
+    ALLOCATION_POLICIES,
+    BlockManager,
+    blocks_for_budget,
+    kv_block_bytes,
+    make_allocation_policy,
+)
 from .request import Request, RequestState, Sequence
 from .scheduler import (
     ADMISSION_MODES,
+    PREEMPT_MODES,
     ContinuousBatchingScheduler,
     FifoPriorityPolicy,
     SchedulerConfig,
@@ -189,6 +197,22 @@ REPORT_SCHEMA_KEYS: frozenset[str] = frozenset(
         "overlap_ratio",
         "replacements",
         "migration_s",
+        # migration section (disaggregation / swap preemption) + the
+        # per-device "role" tag of disaggregated cluster sections
+        "migration",
+        "prefill_devices",
+        "decode_devices",
+        "handoffs",
+        "handoff_blocks",
+        "handoff_s",
+        "rebalances",
+        "rebalanced_blocks",
+        "rebalance_s",
+        "swaps",
+        "swapped_blocks",
+        "swap_in_s",
+        "recompute_equivalent_s",
+        "role",
     }
 )
 
@@ -203,11 +227,18 @@ DRIFT_WINDOW = 16
 #: total_tokens, peak_batch, peak_used_blocks, peak_shared_blocks,
 #: peak_used_per_device, straggler_max_s, straggler_mean_s,
 #: alltoall_tokens, hidden_comm_s, comm_total_s, migration_s,
-#: replacements).  Both loops MUST populate every slot identically — the
-#: fast/general byte-equivalence tests hash reports built from these.
+#: replacements, disagg_totals).  ``disagg_totals`` nests the KV-movement
+#: accounting of disaggregated / swap-mode runs: (handoffs, handoff_blocks,
+#: handoff_s, rebalances, rebalanced_blocks, rebalance_s, swap_in_s,
+#: recompute_equivalent_s) — all zero whenever the run cannot move KV (the
+#: fast path never does: disagg forces the general loop and reservation
+#: allocation never preempts, so there is nothing to swap).  Both loops
+#: MUST populate every slot identically — the fast/general
+#: byte-equivalence tests hash reports built from these.
 _RunTotals = tuple[
     float, int, int, int, int, int, list[int],
     float, float, int, float, float, float, int,
+    tuple[int, int, float, int, int, float, float, float],
 ]
 
 
@@ -280,6 +311,22 @@ class EngineConfig:
     #: block pool and the routed experts across N copies of the backend's
     #: device, with the iteration cost the max over per-device costs.
     devices: int = 1
+    #: DistServe-style disaggregation: the first ``prefill_devices`` devices
+    #: form the prefill pool and the remaining ``decode_devices`` the decode
+    #: pool.  New requests are admitted onto (and charged to) the prefill
+    #: pool; the iteration that completes prefill hands the sequence's KV
+    #: blocks off to the least-loaded decode device, priced over the
+    #: interconnect and charged to the clock.  Both fields must be set
+    #: together and sum to ``devices``; ``0``/``0`` (default) is the
+    #: colocated engine, bit-for-bit.
+    prefill_devices: int = 0
+    decode_devices: int = 0
+    #: What a preemption does to the victim's KV: ``"recompute"`` (default)
+    #: frees it and re-prefills on resume; ``"swap"`` parks it in host
+    #: memory and restores it over ``host_bandwidth`` on re-admission (the
+    #: report's ``migration`` section prices both, so the modes are directly
+    #: comparable).  See :data:`~repro.serving.scheduler.PREEMPT_MODES`.
+    preempt_mode: str = "recompute"
     #: Expert placement policy: ``"balanced"`` round-robin or ``"frequency"``
     #: (Fig. 3 skew-aware greedy packing) — see
     #: :data:`~repro.serving.cluster.PLACEMENT_POLICIES`.
@@ -339,6 +386,22 @@ class EngineConfig:
             raise ValueError("prefill_chunk must be positive (or None to disable)")
         if self.devices <= 0:
             raise ValueError("devices must be positive")
+        if self.prefill_devices < 0 or self.decode_devices < 0:
+            raise ValueError("prefill_devices/decode_devices must be non-negative")
+        if (self.prefill_devices > 0) != (self.decode_devices > 0):
+            raise ValueError(
+                "disaggregation needs both pools: set prefill_devices and "
+                "decode_devices together (or neither for the colocated engine)"
+            )
+        if self.prefill_devices and self.prefill_devices + self.decode_devices != self.devices:
+            raise ValueError(
+                f"prefill_devices + decode_devices must equal devices "
+                f"({self.prefill_devices} + {self.decode_devices} != {self.devices})"
+            )
+        if self.preempt_mode not in PREEMPT_MODES:
+            raise ValueError(
+                f"preempt_mode must be one of {PREEMPT_MODES}, got {self.preempt_mode!r}"
+            )
         if self.placement not in PLACEMENT_POLICIES:
             raise ValueError(
                 f"placement must be one of {sorted(PLACEMENT_POLICIES)}, "
@@ -353,6 +416,11 @@ class EngineConfig:
                 raise ValueError("expert_frequencies must all be positive")
         if self.overlap and self.devices <= 1:
             raise ValueError("overlap requires devices > 1 (there is no all-to-all to hide)")
+        if self.overlap and self.prefill_devices:
+            raise ValueError(
+                "overlap and disaggregation are mutually exclusive: the layered "
+                "overlap cost model assumes one placement spanning every device"
+            )
         if self.layer_frequencies is not None:
             if not self.overlap:
                 raise ValueError("layer_frequencies requires overlap=True")
@@ -417,6 +485,12 @@ class ServingReport:
     #: from :meth:`to_dict`) unless the engine ran with ``overlap=True`` —
     #: serial reports stay byte-identical.
     overlap: dict[str, Any] | None = None
+    #: KV-movement section of disaggregated / swap-mode runs: prefill→decode
+    #: handoffs, decode-pool rebalance migrations, and swap-to-host traffic
+    #: with the recompute-equivalent cost for comparison.  ``None`` (and
+    #: absent from :meth:`to_dict`) on a colocated recompute-mode engine —
+    #: historical reports stay byte-identical.
+    migration: dict[str, Any] | None = None
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-serializable view (the ``milo serve`` report schema)."""
@@ -459,6 +533,8 @@ class ServingReport:
             out["cluster"] = dict(self.cluster)
         if self.overlap is not None:
             out["overlap"] = dict(self.overlap)
+        if self.migration is not None:
+            out["migration"] = dict(self.migration)
         return out
 
 
@@ -492,6 +568,23 @@ class ServingEngine:
         self.placement = make_expert_placement(
             self.config.placement, frequencies, self.config.devices
         )
+        # -- disaggregated prefill/decode pools -------------------------------
+        #: Each pool serves the *whole* model on its own devices, so each
+        #: gets its own expert placement spanning only that pool — a prefill
+        #: device's weight footprint (and therefore KV pool) follows from the
+        #: prefill placement, not the global colocated one.
+        self._disagg = self.config.prefill_devices > 0
+        if self._disagg:
+            self._prefill_pool = tuple(range(self.config.prefill_devices))
+            self._decode_pool = tuple(
+                range(self.config.prefill_devices, self.config.devices)
+            )
+            self._prefill_placement = make_expert_placement(
+                self.config.placement, frequencies, self.config.prefill_devices
+            )
+            self._decode_placement = make_expert_placement(
+                self.config.placement, frequencies, self.config.decode_devices
+            )
         #: Interconnect time to dispatch one routed token to a remote expert
         #: and combine its output back (hidden activations cross twice, FP16).
         self._alltoall_s_per_token = (
@@ -527,7 +620,14 @@ class ServingEngine:
             expert_frac = expert_weight_fraction(spec)
             pools = []
             for d, name in enumerate(self.device_group.names):
-                local_experts = self.placement.experts_on(d)
+                if self._disagg:
+                    # Decode-pool misfits must name the decode device: its
+                    # pool-local placement decides how many experts it hosts,
+                    # and the error is actionable only if it points there.
+                    pool_placement, local = self._pool_placement(d)
+                    local_experts = pool_placement.experts_on(local)
+                else:
+                    local_experts = self.placement.experts_on(d)
                 weights_gb = total_weights_gb * (
                     (1.0 - expert_frac) + expert_frac * local_experts / spec.num_experts
                 )
@@ -551,6 +651,19 @@ class ServingEngine:
             self.block_manager = ShardedBlockManager(
                 pools, device_names=self.device_group.names
             )
+            if self._disagg:
+                # New admissions land on the prefill pool; the scheduler
+                # re-steers this restriction per head (decode pool for
+                # swapped decode-phase resumes) and restores it after.
+                self.block_manager.admit_devices = self._prefill_pool
+
+        #: Per-block KV transfer seconds: prefill→decode handoffs and
+        #: rebalance migrations cross the interconnect; swap-to-host traffic
+        #: crosses the host (PCIe) link.  Priced per paged block — the unit
+        #: both the pools and the report account in.
+        block_bytes = kv_block_bytes(spec, self.config.block_size)
+        self._handoff_s_per_block = block_bytes / backend.device.interconnect_bandwidth
+        self._swap_s_per_block = block_bytes / backend.device.host_bandwidth
 
         #: Memoized backend step latency per token-load (pure in the load for
         #: a fixed backend/spec, so it persists across runs).
@@ -617,6 +730,17 @@ class ServingEngine:
             if self.config.replacement_threshold is not None:
                 self._drift = RoutingDriftTracker(rows, window=DRIFT_WINDOW)
 
+    def _pool_placement(self, d: int) -> tuple[ExpertPlacement, int]:
+        """Pool-local placement serving global device ``d``, and its index in it.
+
+        Disaggregated engines only: devices ``0..P-1`` belong to the prefill
+        placement, ``P..P+D-1`` to the decode placement.
+        """
+        prefill = self.config.prefill_devices
+        if d < prefill:
+            return self._prefill_placement, d
+        return self._decode_placement, d - prefill
+
     # -- capacity ----------------------------------------------------------------
     def max_batch_size(self, tokens_per_sequence: int) -> int:
         """Max concurrent sequences of a given total length this engine sustains.
@@ -631,16 +755,21 @@ class ServingEngine:
 
     def make_scheduler(self) -> ContinuousBatchingScheduler:
         """Build the scheduler/policy stack for one run over this engine's pool."""
-        return ContinuousBatchingScheduler(
+        scheduler = ContinuousBatchingScheduler(
             self.block_manager,
             SchedulerConfig(
                 max_batch_size=self.config.max_batch_size,
                 admission=self.config.admission,
                 prefill_chunk=self.config.prefill_chunk,
+                preempt_mode=self.config.preempt_mode,
             ),
             allocation=make_allocation_policy(self.config.kv_policy, self.block_manager),
             policy=FifoPriorityPolicy(),
         )
+        if self._disagg:
+            scheduler.prefill_pool = self._prefill_pool
+            scheduler.decode_pool = self._decode_pool
+        return scheduler
 
     # -- telemetry ---------------------------------------------------------------
     def enable_telemetry(
@@ -684,9 +813,18 @@ class ServingEngine:
         is ``tokens`` — epoch-tagged under overlap, where re-placement
         changes each layer's split.
         """
-        key: object = (
-            (tokens, self._placement_epoch) if self._overlap else tokens
-        )
+        pool_tokens: tuple[int, int] | None = None
+        if self._overlap:
+            key: object = (tokens, self._placement_epoch)
+        elif self._disagg:
+            # Each pool splits its *own* token share by its own placement's
+            # mass, so the split depends on the (prefill, decode) pool token
+            # pair rather than the batch total.
+            prefill = self.config.prefill_devices
+            pool_tokens = (sum(home_key[:prefill]), sum(home_key[prefill:]))
+            key = ("dg",) + pool_tokens
+        else:
+            key = tokens
         entry = self._telemetry_cost_cache.get(key)
         if entry is not None:
             return entry
@@ -705,6 +843,24 @@ class ServingEngine:
                             latency_cache[load] = whole
                         per_device[d] += whole / num_layers
             entry = tuple(per_device)
+        elif pool_tokens is not None:
+            computes = []
+            for placement, ptokens in zip(
+                (self._prefill_placement, self._decode_placement), pool_tokens
+            ):
+                if not ptokens:
+                    computes.extend([0.0] * len(placement.device_mass))
+                    continue
+                for load in split_tokens(ptokens, placement.device_mass):
+                    if load:
+                        compute = latency_cache.get(load)
+                        if compute is None:
+                            compute = backend.iteration_latency(spec, load).total
+                            latency_cache[load] = compute
+                        computes.append(compute)
+                    else:
+                        computes.append(0.0)
+            entry = tuple(computes)
         else:
             computes = []
             for load in split_tokens(tokens, self.placement.device_mass):
@@ -782,6 +938,7 @@ class ServingEngine:
         # (goldens + equivalence tests pin this).
         if (
             self.config.fast_path
+            and not self._disagg
             and not scheduler.allocation.grows
             and type(scheduler.policy) in (SchedulingPolicy, FifoPriorityPolicy)
         ):
@@ -791,7 +948,8 @@ class ServingEngine:
         (clock, iterations, total_tokens, peak_batch, peak_used_blocks,
          peak_shared_blocks, peak_used_per_device,
          straggler_max_s, straggler_mean_s, alltoall_tokens,
-         hidden_comm_s, comm_total_s, migration_s, replacements) = totals
+         hidden_comm_s, comm_total_s, migration_s, replacements,
+         disagg_totals) = totals
         if self.tracer is not None:
             self.tracer.now = clock  # strand events carry the final clock
         scheduler.drain_stranded()
@@ -813,9 +971,29 @@ class ServingEngine:
                 "replacements": replacements,
                 "migration_s": migration_s,
             }
+        migration = None
+        if self._disagg or self.config.preempt_mode == "swap":
+            (handoffs, handoff_blocks, handoff_s, rebalances, rebalanced_blocks,
+             rebalance_s, swap_in_s, recompute_equivalent_s) = disagg_totals
+            migration = {
+                "prefill_devices": self.config.prefill_devices,
+                "decode_devices": self.config.decode_devices,
+                "handoffs": handoffs,
+                "handoff_blocks": handoff_blocks,
+                "handoff_s": handoff_s,
+                "rebalances": rebalances,
+                "rebalanced_blocks": rebalanced_blocks,
+                "rebalance_s": rebalance_s,
+                "swaps": scheduler.swaps,
+                "swapped_blocks": scheduler.swapped_blocks,
+                "swap_in_s": swap_in_s,
+                # What the swapped KV would have cost to re-prefill instead:
+                # swap vs recompute directly comparable from one run.
+                "recompute_equivalent_s": recompute_equivalent_s,
+            }
         return self._build_report(
             scheduler, clock, iterations, total_tokens, peak_batch, peak_used_blocks,
-            peak_shared_blocks, cluster, overlap,
+            peak_shared_blocks, cluster, overlap, migration,
             first_submitted=pending[0].arrival_time if pending else None,
             num_submitted=len(pending),
         )
@@ -890,6 +1068,69 @@ class ServingEngine:
         if len(self._cost_cache) >= 262144:
             # Multi-device home mixes are unbounded in principle; keep the
             # memo's footprint flat on adversarial workloads.
+            self._cost_cache.clear()
+        self._cost_cache[key] = entry
+        return entry
+
+    def _iteration_cost_disagg(
+        self, tokens: int, home_key: tuple[int, ...]
+    ) -> tuple[float, float, float, int]:
+        """Memoized cost of one disaggregated iteration.
+
+        The prefill pool and the decode pool run *concurrently*: each pool
+        splits its own token share (``home_key`` entries of its devices) by
+        its own placement's mass, pays its own all-to-all for tokens routed
+        to remote experts *within the pool*, and the iteration's step is the
+        max over every device of both pools.  A pool with no tokens this
+        iteration contributes nothing (its devices are idle).  Returns the
+        same ``(step, max_compute, mean_compute, remote_tokens)`` tuple as
+        :meth:`_iteration_cost`, with ``remote_tokens`` summed over pools
+        (round-half-up per pool, exact-integer accounting end to end).
+
+        Shares ``_cost_cache`` and the ``(tokens, home_key)`` key shape with
+        the colocated cost — safe because one engine instance is either
+        disaggregated or not for its whole lifetime.
+        """
+        key = (tokens, home_key)
+        entry = self._cost_cache.get(key)
+        if entry is not None:
+            return entry
+        latency_cache = self._latency_cache
+        experts_per_token = self.spec.experts_per_token
+        alltoall_s = self._alltoall_s_per_token
+        prefill = self.config.prefill_devices
+        step = 0.0
+        max_compute = 0.0
+        iter_compute_s = 0.0
+        iter_loaded = 0
+        remote_tokens = 0
+        for placement, pool_home in (
+            (self._prefill_placement, home_key[:prefill]),
+            (self._decode_placement, home_key[prefill:]),
+        ):
+            pool_tokens = sum(pool_home)
+            if not pool_tokens:
+                continue
+            remote_numer = 0
+            for d, load in enumerate(split_tokens(pool_tokens, placement.device_mass)):
+                if load:
+                    compute = latency_cache.get(load)
+                    if compute is None:
+                        compute = self.backend.iteration_latency(self.spec, load).total
+                        latency_cache[load] = compute
+                    iter_compute_s += compute
+                    iter_loaded += 1
+                else:
+                    compute = 0.0
+                remote_int = load * experts_per_token * (pool_tokens - pool_home[d])
+                remote_numer += remote_int
+                remote = remote_int / pool_tokens
+                max_compute = max(max_compute, compute)
+                step = max(step, compute + remote * alltoall_s)
+            remote_tokens += (2 * remote_numer + pool_tokens) // (2 * pool_tokens)
+        mean_compute = iter_compute_s / iter_loaded if iter_loaded else 0.0
+        entry = (step, max_compute, mean_compute, remote_tokens)
+        if len(self._cost_cache) >= 262144:
             self._cost_cache.clear()
         self._cost_cache[key] = entry
         return entry
@@ -1029,10 +1270,21 @@ class ServingEngine:
         comm_total_s = 0.0
         migration_s = 0.0
         replacements = 0
+        handoffs = 0
+        handoff_blocks = 0
+        handoff_s = 0.0
+        rebalances = 0
+        rebalanced_blocks = 0
+        rebalance_s = 0.0
+        swap_in_s = 0.0
+        recompute_equivalent_s = 0.0
         chunk = scheduler.config.prefill_chunk
         grows = scheduler.allocation.grows
         multi = num_devices > 1
         overlap_mode = self._overlap
+        disagg = self._disagg
+        swap_mode = scheduler.config.preempt_mode == "swap"
+        rebalance_pool = disagg and len(self._decode_pool) > 1
         drift = self._drift if overlap_mode else None
         last_ckey = None
         block_manager = self.block_manager
@@ -1057,7 +1309,31 @@ class ServingEngine:
                 # (preempting the low-precedence tail if the pool is dry)
                 # before any queued request may claim free blocks.
                 scheduler.ensure_capacity()
-            scheduler.admit(clock)
+            admitted = scheduler.admit(clock)
+            if swap_mode and admitted:
+                # Re-admitted swap victims restore their parked KV over the
+                # host link before the batch may step; the stall is serial
+                # (one PCIe link) and charged to the clock.
+                for seq in admitted:
+                    if seq.swapped_tokens:
+                        blocks = block_manager.blocks_needed(seq.swapped_tokens)
+                        stall = blocks * self._swap_s_per_block
+                        resume_t0 = clock
+                        clock += stall
+                        swap_in_s += stall
+                        # What discarding instead would have cost: one
+                        # re-prefill pass over the swapped tokens.
+                        lat = self._latency_cache.get(seq.swapped_tokens)
+                        if lat is None:
+                            lat = self.backend.iteration_latency(
+                                self.spec, seq.swapped_tokens
+                            ).total
+                            self._latency_cache[seq.swapped_tokens] = lat
+                        recompute_equivalent_s += lat
+                        if tracer is not None:
+                            tracer.swap_in(seq, resume_t0, clock, blocks, stall)
+                            tracer.now = clock
+                        seq.swapped_tokens = 0
             running = scheduler.running
             if not running:
                 if next_arrival < n_pending:
@@ -1079,6 +1355,10 @@ class ServingEngine:
                      hidden, comm) = self._iteration_cost_overlap(tokens, home_key)
                     hidden_comm_s += hidden
                     comm_total_s += comm
+                elif disagg:
+                    step, max_compute, mean_compute, remote_tokens = (
+                        self._iteration_cost_disagg(tokens, home_key)
+                    )
                 else:
                     step, max_compute, mean_compute, remote_tokens = (
                         self._iteration_cost(tokens, home_key)
@@ -1151,7 +1431,58 @@ class ServingEngine:
                         peak_used_per_device[d] = u
 
             finished_any = False
-            if tracer is None:
+            if disagg:
+                # The walk additionally collects sequences whose prefill just
+                # completed: their KV must leave the prefill pool before the
+                # next iteration (first token already emitted — handoff
+                # delays the second).
+                handoff_ready: list[Sequence] | None = None
+                for seq in running:
+                    was_prefill = not seq.prefill_done
+                    seq.advance(clock, chunk)
+                    if seq.state is finished_state:
+                        finished_any = True
+                        if tracer is not None and was_prefill and seq.prefill_done:
+                            tracer.first_token(seq, clock)
+                    elif was_prefill and seq.prefill_done:
+                        if tracer is not None:
+                            tracer.first_token(seq, clock)
+                        if handoff_ready is None:
+                            handoff_ready = []
+                        handoff_ready.append(seq)
+                if handoff_ready:
+                    for seq in handoff_ready:
+                        req_id = seq.request.request_id
+                        blocks = block_manager.blocks_held(req_id)
+                        dst = -1
+                        best_free = -1
+                        for d in self._decode_pool:
+                            free = block_manager.free_blocks_on(d)
+                            if free >= blocks and free > best_free:
+                                best_free = free
+                                dst = d
+                        if dst < 0:
+                            # No decode device can hold the KV right now:
+                            # preempt off the prefill device instead
+                            # (preempt_mode decides recompute vs swap) and
+                            # retry the whole admission later.
+                            scheduler._preempt(seq)
+                            continue
+                        src = seq.home_device
+                        block_manager.migrate(req_id, src, dst)
+                        seq.home_device = dst
+                        stall = blocks * self._handoff_s_per_block
+                        transfer_t0 = clock
+                        clock += stall
+                        handoffs += 1
+                        handoff_blocks += blocks
+                        handoff_s += stall
+                        if tracer is not None:
+                            tracer.handoff(
+                                seq, transfer_t0, clock, src, dst, blocks, stall
+                            )
+                            tracer.now = clock
+            elif tracer is None:
                 for seq in running:
                     seq.advance(clock, chunk)
                     if seq.state is finished_state:
@@ -1169,12 +1500,39 @@ class ServingEngine:
                         finished_any = True
             if finished_any:
                 scheduler.evict_finished()
+                if rebalance_pool:
+                    # Elasticity hook: batch membership changed, so the
+                    # decode pool's load may have skewed — let the policy
+                    # move (at most) one decode sequence per boundary.
+                    move = scheduler.policy.select_rebalance(
+                        running, block_manager, self._decode_pool
+                    )
+                    if move is not None:
+                        mover, dst = move
+                        src = mover.home_device
+                        blocks = block_manager.migrate(
+                            mover.request.request_id, src, dst
+                        )
+                        mover.home_device = dst
+                        stall = blocks * self._handoff_s_per_block
+                        transfer_t0 = clock
+                        clock += stall
+                        rebalances += 1
+                        rebalanced_blocks += blocks
+                        rebalance_s += stall
+                        if tracer is not None:
+                            tracer.migrate(
+                                mover, transfer_t0, clock, src, dst, blocks, stall
+                            )
+                            tracer.now = clock
 
         return (
             clock, iterations, total_tokens, peak_batch, peak_used_blocks,
             peak_shared_blocks, peak_used_per_device,
             straggler_max_s, straggler_mean_s, alltoall_tokens,
             hidden_comm_s, comm_total_s, migration_s, replacements,
+            (handoffs, handoff_blocks, handoff_s, rebalances,
+             rebalanced_blocks, rebalance_s, swap_in_s, recompute_equivalent_s),
         )
 
     def _run_fast(
@@ -1568,11 +1926,14 @@ class ServingEngine:
             iterations += done
             total_tokens += tokens * done
 
+        # The fast path never moves KV: disagg is excluded by ``run`` and
+        # reservation allocation never preempts, so nothing is ever swapped.
         return (
             clock, iterations, total_tokens, peak_batch, peak_used_blocks,
             peak_shared_blocks, peak_used_per_device,
             straggler_max_s, straggler_mean_s, alltoall_tokens,
             hidden_comm_s, comm_total_s, migration_s, replacements,
+            (0, 0, 0.0, 0, 0, 0.0, 0.0, 0.0),
         )
 
     def _cluster_section(
@@ -1587,11 +1948,27 @@ class ServingEngine:
         per_device = []
         for d, name in enumerate(self.device_group.names):
             blocks = self.block_manager.num_blocks_on(d)
-            per_device.append(
-                {
+            if self._disagg:
+                # Each pool spans the whole model on its own devices, so the
+                # expert count and load share come from the pool-local
+                # placement, tagged with the device's role.
+                pool_placement, local = self._pool_placement(d)
+                entry = {
+                    "device": name,
+                    "role": (
+                        "prefill" if d < self.config.prefill_devices else "decode"
+                    ),
+                    "experts": pool_placement.experts_on(local),
+                    "expert_load_share": round(pool_placement.device_mass[local], 6),
+                }
+            else:
+                entry = {
                     "device": name,
                     "experts": self.placement.experts_on(d),
                     "expert_load_share": round(self.placement.device_mass[d], 6),
+                }
+            entry.update(
+                {
                     "kv_blocks": blocks,
                     "kv_peak_used_blocks": peak_used_per_device[d],
                     "kv_utilization_peak": (
@@ -1599,6 +1976,7 @@ class ServingEngine:
                     ),
                 }
             )
+            per_device.append(entry)
         # The skew baseline is the per-iteration mean over devices that
         # actually received token load: a device the placement left
         # expert-less is idle by construction, and `split_tokens` hands a
@@ -1633,6 +2011,7 @@ class ServingEngine:
         peak_shared_blocks: int,
         cluster: dict | None = None,
         overlap: dict | None = None,
+        migration: dict | None = None,
         *,
         first_submitted: float | None = None,
         num_submitted: int | None = None,
@@ -1749,4 +2128,5 @@ class ServingEngine:
             requests=records,
             cluster=cluster,
             overlap=overlap,
+            migration=migration,
         )

@@ -439,6 +439,32 @@ class BlockManager:
             self.tracer.kv("alloc", seq_id, needed, self.device_index, len(self._free))
         return needed
 
+    def adopt(self, seq_id: int, num_blocks: int) -> int:
+        """Materialize ``num_blocks`` private blocks for an incoming migrant.
+
+        The receiving half of a cross-device migration
+        (:meth:`~repro.serving.cluster.ShardedBlockManager.migrate`): the
+        sequence's KV state is being copied in from another device, so it
+        gets exactly as many *private* blocks here as it held there — block
+        identity never spans devices, so shared source blocks arrive as
+        private copies.  Returns the blocks taken.
+        """
+        if seq_id in self._tables:
+            raise KVCacheExhausted(f"sequence {seq_id} already holds blocks")
+        if num_blocks <= 0:
+            raise ValueError("num_blocks must be positive")
+        if num_blocks > self.free_blocks:
+            raise KVCacheExhausted(
+                f"need {num_blocks} blocks to adopt sequence {seq_id} but only "
+                f"{self.free_blocks}/{self._num_blocks} are free"
+            )
+        self._tables[seq_id] = self._take_free_blocks(num_blocks)
+        if self.tracer is not None:
+            self.tracer.kv(
+                "adopt", seq_id, num_blocks, self.device_index, len(self._free)
+            )
+        return num_blocks
+
     def grow(self, seq_id: int, num_blocks: int) -> int:
         """Append private blocks to an existing table (on-demand growth)."""
         table = self._tables.get(seq_id)
@@ -588,7 +614,7 @@ class AllocationPolicy(abc.ABC):
     def can_admit(self, seq: Sequence) -> bool:
         """Whether the pool currently has room to admit the sequence."""
         request = seq.request
-        if request.prefix_id is None:
+        if request.prefix_id is None or seq.swapped_tokens:
             return self.pool.can_allocate(self._admit_tokens(seq))
         return self.pool.can_allocate_shared(
             self._admit_tokens(seq),
@@ -603,9 +629,14 @@ class AllocationPolicy(abc.ABC):
         Prefix-carrying requests map resident shared blocks read-only and
         skip the covered prefill tokens (at least one prompt token is always
         recomputed, so the finishing iteration still emits the first token).
+        A sequence re-admitted after swap-to-host (``swapped_tokens`` set)
+        takes private blocks instead: its KV is restored wholesale from host
+        memory, not rebuilt by a prefill pass, so mapping index blocks
+        read-only (and skipping prefill it will not run) would misstate what
+        the swap-in actually transfers.
         """
         request = seq.request
-        if request.prefix_id is None:
+        if request.prefix_id is None or seq.swapped_tokens:
             return self.pool.allocate(request.request_id, self._admit_tokens(seq))
         fresh, hit_tokens = self.pool.allocate_shared(
             request.request_id,
@@ -663,6 +694,12 @@ class OnDemandPolicy(AllocationPolicy):
     def _admit_tokens(self, seq: Sequence) -> int:
         # Prefill extent (prompt, plus recomputed tokens when resuming) + the
         # first appended token, so a fresh admission never deficits mid-prefill.
+        # A swap-to-host resume arrives with its written KV intact: the
+        # allocation must cover the restored tokens plus the next appended
+        # one, or — for a victim swapped mid-prefill — the remaining prefill
+        # writes, whichever extends further.
+        if seq.swapped_tokens:
+            return max(seq.kv_tokens_written(), seq.prefill_extent) + 1
         return seq.prefill_extent + 1
 
     def _share_partial(self, seq: Sequence) -> bool:

@@ -111,6 +111,12 @@ class Sequence:
     generated_tokens: int = 0
     #: Times this sequence was preempted (on-demand allocation only).
     preemptions: int = 0
+    #: Tokens of KV state parked in host memory by swap-to-host preemption
+    #: (``--preempt-mode swap``).  Non-zero only between :meth:`swap_out` and
+    #: the engine's swap-in on re-admission; the engine prices the restore as
+    #: ``blocks(swapped_tokens)`` over :attr:`DeviceSpec.host_bandwidth` and
+    #: then clears it.  Always 0 under recompute preemption.
+    swapped_tokens: int = 0
     #: Device index of the pool holding this sequence's KV blocks (set by the
     #: scheduler at each admission; a preempted sequence may re-home).  Always
     #: 0 on a single-device engine.
@@ -242,6 +248,22 @@ class Sequence:
         self.prefill_done = False
         self.preemptions += 1
         return recomputed
+
+    def swap_out(self) -> int:
+        """Drop to PREEMPTED, parking in-flight KV state in host memory.
+
+        The swap-to-host alternative to :meth:`preempt`: the KV written so
+        far survives (copied to host over PCIe by the engine's accounting),
+        so no prefill state is reset — on re-admission the sequence pays a
+        swap-in transfer instead of a recompute pass and resumes exactly
+        where it stopped.  Returns the tokens of KV state swapped out.
+        """
+        if self.state is not RequestState.RUNNING:
+            raise RuntimeError(f"cannot swap out a {self.state.value} sequence")
+        self.swapped_tokens = self.kv_tokens_written()
+        self.state = RequestState.PREEMPTED
+        self.preemptions += 1
+        return self.swapped_tokens
 
     def requeue(self) -> None:
         if self.state is not RequestState.PREEMPTED:

@@ -54,6 +54,7 @@ if TYPE_CHECKING:
 
 __all__ = [
     "ADMISSION_MODES",
+    "PREEMPT_MODES",
     "SchedulerConfig",
     "SchedulingPolicy",
     "FifoPriorityPolicy",
@@ -66,6 +67,13 @@ __all__ = [
 #: :class:`~repro.serving.engine.EngineConfig`, and the CLI's
 #: ``--admission`` choices (REG001: one constant, no drift).
 ADMISSION_MODES: tuple[str, ...] = ("queue", "reject")
+
+#: What preemption does to the victim's KV state, shared by
+#: :class:`SchedulerConfig`, :class:`~repro.serving.engine.EngineConfig`, and
+#: the CLI's ``--preempt-mode`` choices (REG001): ``"recompute"`` discards it
+#: and re-prefills on resume (vLLM recompute, the historical behavior);
+#: ``"swap"`` parks it in host memory and pays a PCIe swap-in on resume.
+PREEMPT_MODES: tuple[str, ...] = ("recompute", "swap")
 
 
 @dataclass(frozen=True)
@@ -81,6 +89,10 @@ class SchedulerConfig:
     #: per iteration (piggybacked with decode tokens); ``None`` feeds the
     #: whole prompt in one iteration (PR 1 behavior).
     prefill_chunk: int | None = None
+    #: What preemption does to the victim's KV: ``"recompute"`` discards and
+    #: re-prefills (the historical behavior), ``"swap"`` parks it in host
+    #: memory and the engine prices a swap-in on resume.
+    preempt_mode: str = "recompute"
 
     def __post_init__(self) -> None:
         if self.max_batch_size <= 0:
@@ -89,6 +101,10 @@ class SchedulerConfig:
             raise ValueError(f"admission must be 'queue' or 'reject', got {self.admission!r}")
         if self.prefill_chunk is not None and self.prefill_chunk <= 0:
             raise ValueError("prefill_chunk must be positive (or None to disable)")
+        if self.preempt_mode not in PREEMPT_MODES:
+            raise ValueError(
+                f"preempt_mode must be one of {PREEMPT_MODES}, got {self.preempt_mode!r}"
+            )
 
 
 class SchedulingPolicy:
@@ -142,6 +158,53 @@ class SchedulingPolicy:
             ),
             default=None,
         )
+
+    def select_rebalance(
+        self,
+        running: list[Sequence],
+        pool: BlockManager,
+        decode_pool: tuple[int, ...],
+    ) -> tuple[Sequence, int] | None:
+        """Pick a decode-phase migration to even the decode pool, or ``None``.
+
+        Load-triggered rebalancing hook of the disaggregated engine: called
+        at iteration boundaries where batch membership changed, over the
+        decode pool's devices.  The default moves the smallest decode-phase
+        sequence (fewest blocks held, ties by enqueue order) off the
+        most-loaded decode device (fewest free blocks, ties by index) onto
+        the least-loaded one — but only when the move leaves the destination
+        at least ``2 × moved`` free blocks ahead of the source, a hysteresis
+        band that keeps two near-even devices from trading the same sequence
+        back and forth.  Returns ``(sequence, destination_device)``;
+        subclasses may override for other elasticity disciplines.
+        """
+        if len(decode_pool) < 2:
+            return None
+        free = {d: pool.free_blocks_on(d) for d in decode_pool}
+        most_loaded = min(decode_pool, key=lambda d: (free[d], d))
+        least_loaded = max(decode_pool, key=lambda d: (free[d], -d))
+        if most_loaded == least_loaded:
+            return None
+        candidates = [
+            seq
+            for seq in running
+            if seq.state is RequestState.RUNNING
+            and seq.prefill_done
+            and seq.home_device == most_loaded
+        ]
+        if not candidates:
+            return None
+        mover = min(
+            candidates,
+            key=lambda seq: (
+                pool.blocks_held(seq.request.request_id),
+                seq.enqueue_index,
+            ),
+        )
+        held = pool.blocks_held(mover.request.request_id)
+        if held == 0 or free[least_loaded] < free[most_loaded] + 2 * held:
+            return None
+        return mover, least_loaded
 
 
 class FifoPriorityPolicy(SchedulingPolicy):
@@ -248,6 +311,16 @@ class ContinuousBatchingScheduler:
         self.stranded: list[Sequence] = []
         self.preemptions = 0
         self.recomputed_tokens = 0
+        #: Swap-to-host preemptions and the blocks they parked in host memory
+        #: (``preempt_mode == "swap"`` only; both stay 0 under recompute).
+        self.swaps = 0
+        self.swapped_blocks = 0
+        #: Disaggregated pool split, set by the engine (``None`` = colocated):
+        #: new admissions are steered to the prefill pool, swapped-out
+        #: decode-phase resumes to the decode pool, and the rebalance hook
+        #: runs over the decode pool.  Requires a sharded block manager.
+        self.prefill_pool: tuple[int, ...] | None = None
+        self.decode_pool: tuple[int, ...] | None = None
         self._enqueue_counter = 0
         #: Current expert-placement epoch, stamped onto sequences at
         #: admission.  The engine's overlap mode bumps it at every dynamic
@@ -267,7 +340,18 @@ class ContinuousBatchingScheduler:
         tracer = self.tracer
         if tracer is not None:
             tracer.submit(request)
-        if not self.allocation.fits_at_all(request):
+        # Under disaggregation the intake bound is two-sided: the request
+        # must fit a prefill device (``fits_at_all`` checks the admissible
+        # pools) *and* its full decoded extent must fit some decode device,
+        # or the post-prefill handoff could never land anywhere and the
+        # sequence would bounce between preemption and re-prefill forever.
+        fits = self.allocation.fits_at_all(request)
+        if fits and self.decode_pool is not None:
+            fits = any(
+                self.block_manager.pools[d].fits_at_all(request.total_tokens)
+                for d in self.decode_pool
+            )
+        if not fits:
             seq.reject()
             self.rejected.append(seq)
             if tracer is not None:
@@ -283,6 +367,14 @@ class ContinuousBatchingScheduler:
         tracer = self.tracer
         while self.waiting and self.policy.may_join(self.running, self.config):
             head = self.waiting[0]
+            if self.decode_pool is not None:
+                # Steer the allocation: a swapped-out decode-phase sequence
+                # resumes in the decode pool (its restored KV lives where
+                # decode runs), while fresh arrivals and recompute resumes —
+                # which (re-)prefill — are admitted to the prefill pool.
+                self.block_manager.admit_devices = (
+                    self.decode_pool if head.prefill_done else self.prefill_pool
+                )
             if self.allocation.can_admit(head):
                 self.waiting.pop(0)
                 self.allocation.admit(head)
@@ -311,6 +403,10 @@ class ContinuousBatchingScheduler:
                 # admit a smaller request behind it (that is how starvation
                 # starts).
                 break
+        if self.decode_pool is not None:
+            # Leave the restriction on the prefill pool — the resting state
+            # intake's ``fits_at_all`` and the engine's capacity checks see.
+            self.block_manager.admit_devices = self.prefill_pool
         return admitted
 
     def ensure_capacity(self) -> list[Sequence]:
@@ -365,7 +461,29 @@ class ContinuousBatchingScheduler:
         return preempted
 
     def _preempt(self, victim: Sequence) -> None:
-        """Reclaim a running sequence's blocks and requeue it."""
+        """Reclaim a running sequence's blocks and requeue it.
+
+        ``preempt_mode`` decides what happens to the victim's KV state:
+        ``"recompute"`` discards it (prefill state resets, the resume pass
+        re-prefills every token written so far); ``"swap"`` parks it in host
+        memory — the sequence keeps its prefill state, and the engine prices
+        the swap-in over :attr:`DeviceSpec.host_bandwidth` on re-admission.
+        """
+        if self.config.preempt_mode == "swap":
+            swapped_blocks = self.block_manager.blocks_held(victim.request.request_id)
+            self.allocation.release(victim)
+            swapped = victim.swap_out()
+            self.swaps += 1
+            self.swapped_blocks += swapped_blocks
+            self.preemptions += 1
+            victim.requeue()
+            self.running.remove(victim)
+            self.waiting.push(victim)
+            if self.tracer is not None:
+                # After allocation.release: the KV free event precedes the
+                # swap event, mirroring admission's alloc-then-admit order.
+                self.tracer.swap_out(victim, swapped_blocks, swapped)
+            return
         self.allocation.release(victim)
         recomputed = victim.preempt()
         self.recomputed_tokens += recomputed

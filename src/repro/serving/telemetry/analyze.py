@@ -23,6 +23,12 @@ Summary layout::
     straggler: {max_s, mean_s, ratio}        multi-device runs only
     overlap: {hidden_s, comm_s}              overlap runs only
     migration: {stalls, stall_s}             dynamic re-placement only
+    migration: {handoffs, handoff_blocks, handoff_s, rebalances,
+                rebalanced_blocks, rebalance_s, swaps, swapped_blocks,
+                swap_in_s}                   disagg / swap runs only (the
+                          ``s`` fields sum the exact stall floats the
+                          engine's events carry, in event order, so they
+                          match the report's migration section exactly)
     kv: {min_free_blocks, peak_utilization, cow_copies, grow_blocks,
          pressure: [{t, free_blocks, kv_utilization}]}
                           timeline from metrics samples when provided
@@ -124,6 +130,12 @@ def analyze_trace(
     comm_s = 0.0
     stall_s = 0.0
     stalls = 0
+    handoffs = handoff_blocks = 0
+    handoff_s = 0.0
+    rebalances = rebalanced_blocks = 0
+    rebalance_s = 0.0
+    swaps = swapped_blocks = swap_ins = 0
+    swap_in_s = 0.0
     has_compute = False
     has_overlap = False
     cow_copies = 0
@@ -186,6 +198,26 @@ def analyze_trace(
             preempt_events += 1
             preempted_requests.add(event["req"])
             requeue_t[event["req"]] = event["t"]
+        elif kind == "swap":
+            if event["op"] == "out":
+                # A swap-out is a preemption flavor: the victim requeues and
+                # its later admit event references this requeue time.
+                preempt_events += 1
+                preempted_requests.add(event["req"])
+                requeue_t[event["req"]] = event["t"]
+                swaps += 1
+                swapped_blocks += event["blocks"]
+            else:
+                swap_ins += 1
+                swap_in_s += event["s"]
+        elif kind == "handoff":
+            handoffs += 1
+            handoff_blocks += event["blocks"]
+            handoff_s += event["s"]
+        elif kind == "migrate":
+            rebalances += 1
+            rebalanced_blocks += event["blocks"]
+            rebalance_s += event["s"]
         elif kind == "reject":
             rejected += 1
         elif kind == "strand":
@@ -243,6 +275,20 @@ def analyze_trace(
         result["overlap"] = {"hidden_s": hidden_s, "comm_s": comm_s}
     if stalls:
         result["migration"] = {"stalls": stalls, "stall_s": stall_s}
+    if handoffs or rebalances or swaps or swap_ins:
+        result.setdefault("migration", {}).update(
+            {
+                "handoffs": handoffs,
+                "handoff_blocks": handoff_blocks,
+                "handoff_s": handoff_s,
+                "rebalances": rebalances,
+                "rebalanced_blocks": rebalanced_blocks,
+                "rebalance_s": rebalance_s,
+                "swaps": swaps,
+                "swapped_blocks": swapped_blocks,
+                "swap_in_s": swap_in_s,
+            }
+        )
 
     kv: dict[str, Any] = {
         "min_free_blocks": min_free,

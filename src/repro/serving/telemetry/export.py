@@ -137,6 +137,44 @@ def chrome_trace(
             events.append(_async_event("e", open_phase, event["req"], event["t"]))
             events.append(_async_event("b", "queued", event["req"], event["t"]))
             phase_of[event["req"]] = "queued"
+        elif kind == "swap" and event["op"] == "out":
+            # Swap-out is the swap-mode preemption: close the open phase and
+            # reopen the queued span (the re-admission's admit event opens
+            # prefill again; a decode-phase resume just leaves it empty).
+            open_phase = phase_of.get(event["req"], "prefill")
+            events.append(_async_event("e", open_phase, event["req"], event["t"]))
+            events.append(_async_event("b", "queued", event["req"], event["t"]))
+            phase_of[event["req"]] = "queued"
+        elif kind == "swap":  # op == "in": the PCIe restore stall
+            events.append(
+                {
+                    "ph": "X",
+                    "name": "swap_in",
+                    "pid": 0,
+                    "tid": 0,
+                    "ts": event["t0"] * _US,
+                    "dur": event["s"] * _US,
+                    "args": {"req": event["req"], "blocks": event["blocks"]},
+                }
+            )
+        elif kind == "handoff" or kind == "migrate":
+            # KV transfer slice on the *destination* device's track.
+            events.append(
+                {
+                    "ph": "X",
+                    "name": kind,
+                    "pid": 0,
+                    "tid": event["dst"] + 1,
+                    "ts": event["t0"] * _US,
+                    "dur": event["s"] * _US,
+                    "args": {
+                        "req": event["req"],
+                        "src": event["src"],
+                        "dst": event["dst"],
+                        "blocks": event["blocks"],
+                    },
+                }
+            )
         elif kind == "reject" or kind == "strand":
             if phase_of.pop(event["req"], None) == "queued":
                 events.append(_async_event("e", "queued", event["req"], event["t"]))

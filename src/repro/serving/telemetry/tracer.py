@@ -25,6 +25,15 @@ Event catalogue (``kind`` field; every event also carries ``t`` or
 ``finish``     last token produced; ``new`` = tokens generated.
 ``preempt``    scheduler reclaimed the sequence's KV blocks; ``recomputed``
                tokens must be re-prefilled on resume.
+``swap``       swap-to-host preemption (``--preempt-mode swap``): ``op`` =
+               ``out`` parks ``blocks`` (= ``tokens`` of KV) in host memory
+               at ``t``; ``op`` = ``in`` restores them on re-admission over
+               the ``t0``→``t1`` span, with the exact stall seconds ``s``
+               (carried explicitly: ``(t0 + s) - t0`` is not IEEE-exact).
+``handoff``    disaggregated prefill→decode KV handoff: ``blocks`` moved from
+               device ``src`` to ``dst`` over ``t0``→``t1``, stall ``s``.
+``migrate``    load-triggered decode-pool rebalance migration; same fields as
+               ``handoff``.
 ``strand``     request still queued when the run ended (conservative custom
                policies only).
 ``kv``         block-pool movement: ``op`` ∈ ``alloc`` (reservation),
@@ -142,6 +151,77 @@ class Tracer:
                 "t": self.now,
                 "req": seq.request.request_id,
                 "recomputed": recomputed,
+            }
+        )
+
+    def swap_out(self, seq: Sequence, blocks: int, tokens: int) -> None:
+        self.events.append(
+            {
+                "kind": "swap",
+                "op": "out",
+                "t": self.now,
+                "req": seq.request.request_id,
+                "blocks": blocks,
+                "tokens": tokens,
+            }
+        )
+
+    def swap_in(self, seq: Sequence, t0: float, t1: float, blocks: int, s: float) -> None:
+        self.events.append(
+            {
+                "kind": "swap",
+                "op": "in",
+                "t0": t0,
+                "t1": t1,
+                "req": seq.request.request_id,
+                "blocks": blocks,
+                "s": s,
+            }
+        )
+
+    def handoff(
+        self,
+        seq: Sequence,
+        t0: float,
+        t1: float,
+        src: int,
+        dst: int,
+        blocks: int,
+        s: float,
+    ) -> None:
+        self.events.append(
+            {
+                "kind": "handoff",
+                "t0": t0,
+                "t1": t1,
+                "req": seq.request.request_id,
+                "src": src,
+                "dst": dst,
+                "blocks": blocks,
+                "s": s,
+            }
+        )
+
+    def migrate(
+        self,
+        seq: Sequence,
+        t0: float,
+        t1: float,
+        src: int,
+        dst: int,
+        blocks: int,
+        s: float,
+    ) -> None:
+        self.events.append(
+            {
+                "kind": "migrate",
+                "t0": t0,
+                "t1": t1,
+                "req": seq.request.request_id,
+                "src": src,
+                "dst": dst,
+                "blocks": blocks,
+                "s": s,
             }
         )
 

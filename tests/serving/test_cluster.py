@@ -368,6 +368,38 @@ class TestClusterEngine:
         engine = ServingEngine(PyTorchFP16Backend(), "mixtral-8x7b", EngineConfig(devices=4))
         assert all(pool.num_blocks > 0 for pool in engine.block_manager.pools)
 
+    def test_disagg_oom_names_the_actual_pool_device(self):
+        """Each disaggregation pool spans the *whole* model on its own
+        devices, so a 3:1 split makes the lone decode device host all eight
+        experts.  The capacity check must size each device by its pool-local
+        placement and name the overloaded device — regression for the sizing
+        loop using the colocated placement (2 experts everywhere) and either
+        passing or blaming gpu0."""
+        with pytest.raises(OutOfMemoryError) as exc_info:
+            ServingEngine(
+                PyTorchFP16Backend(), "mixtral-8x7b",
+                EngineConfig(devices=4, prefill_devices=3, decode_devices=1),
+            )
+        err = exc_info.value
+        assert err.device == "gpu3"  # the decode device, not the first device
+        assert err.required_gb > err.available_gb == 40.0
+        # Mirror image: a 1:3 split overloads the lone *prefill* device.
+        with pytest.raises(OutOfMemoryError) as exc_info:
+            ServingEngine(
+                PyTorchFP16Backend(), "mixtral-8x7b",
+                EngineConfig(devices=4, prefill_devices=1, decode_devices=3),
+            )
+        assert exc_info.value.device == "gpu0"
+        # Quantized, the same partitions fit; the all-expert decode device
+        # simply keeps less VRAM for KV than its 3-expert prefill peers.
+        engine = ServingEngine(
+            MiLoBackend(), "mixtral-8x7b",
+            EngineConfig(devices=4, prefill_devices=3, decode_devices=1),
+        )
+        pools = engine.block_manager.pools
+        assert all(pool.num_blocks > 0 for pool in pools)
+        assert pools[3].num_blocks < min(pool.num_blocks for pool in pools[:3])
+
     def test_admission_rechecks_capacity_per_device(self):
         """A device the placement loads with extra experts can OOM while the
         across-device average fits: the per-device check must catch it and

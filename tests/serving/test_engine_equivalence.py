@@ -47,6 +47,9 @@ CONFIGS = {
     # placements, drift observation interleaved with macro-stepping.
     "overlap_4dev": dict(devices=4, overlap=True),
     "overlap_replace": dict(devices=2, overlap=True, replacement_threshold=0.05),
+    # Swap preemption under reservation: reserve never preempts, so the
+    # swap machinery must be fully dormant on both loops.
+    "swap_reserve_2dev": dict(devices=2, preempt_mode="swap"),
 }
 
 
@@ -79,6 +82,49 @@ def test_ondemand_falls_back_to_general_loop():
     flag is a no-op there (still byte-identical)."""
     config = dict(kv_policy="ondemand", block_size=8, max_batch_size=1000)
     workload = dict(num_requests=40, qps=50.0, seed=25, mean_new_tokens=64)
+    fast = run_report(workload, config, fast_path=True)
+    general = run_report(workload, config, fast_path=False)
+    assert fast == general
+
+
+def test_disagg_falls_back_to_general_loop():
+    """Disaggregated runs are excluded from the fast path outright (handoff
+    stalls land between iterations); the flag must be a byte-level no-op."""
+    config = dict(
+        devices=3, prefill_devices=1, decode_devices=2,
+        kv_policy="ondemand", block_size=8, max_batch_size=1000,
+    )
+    workload = dict(num_requests=40, qps=50.0, seed=25, mean_new_tokens=64)
+    fast = run_report(workload, config, fast_path=True)
+    general = run_report(workload, config, fast_path=False)
+    assert fast == general
+
+
+def test_swap_reserve_keeps_fast_path_dormant_equivalence():
+    """``preempt_mode='swap'`` with reservation allocation stays eligible for
+    the fast path (no preemption can ever fire), and the general loop's swap
+    branches never trigger — the two loops agree byte for byte and match the
+    recompute-mode report except for the migration section."""
+    workload = dict(num_requests=60, qps=30.0, seed=27, mean_new_tokens=48)
+    swap_fast = run_report(workload, {"devices": 2}, preempt_mode="swap", fast_path=True)
+    swap_general = run_report(workload, {"devices": 2}, preempt_mode="swap", fast_path=False)
+    assert swap_fast == swap_general
+    recompute = json.loads(run_report(workload, {"devices": 2}))
+    swapped = json.loads(swap_fast)
+    migration = swapped.pop("migration")
+    assert migration["swaps"] == 0 and migration["swap_in_s"] == 0.0
+    assert swapped == recompute
+
+
+def test_disagg_swap_modes_fast_flag_is_inert():
+    """Swap-mode disaggregation (the everything-on configuration) also
+    ignores ``fast_path`` byte-for-byte."""
+    config = dict(
+        devices=3, prefill_devices=1, decode_devices=2,
+        kv_policy="ondemand", block_size=8, max_batch_size=1000,
+        preempt_mode="swap",
+    )
+    workload = dict(num_requests=40, qps=60.0, seed=28, mean_new_tokens=64)
     fast = run_report(workload, config, fast_path=True)
     general = run_report(workload, config, fast_path=False)
     assert fast == general

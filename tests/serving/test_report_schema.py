@@ -49,6 +49,15 @@ SCENARIOS = {
         dict(admission="reject", max_batch_size=8),
         dict(num_requests=60, qps=60.0, seed=22, mean_new_tokens=32),
     ),
+    # disaggregated prefill/decode + swap preemption: migration section and
+    # the per-device role tags.
+    "disagg_swap": (
+        dict(
+            devices=3, prefill_devices=1, decode_devices=2,
+            kv_policy="ondemand", preempt_mode="swap",
+        ),
+        dict(num_requests=60, qps=40.0, seed=29, mean_new_tokens=48),
+    ),
 }
 
 #: Schema entries no stock-policy run can produce (``stranded`` needs a

@@ -288,3 +288,117 @@ def test_analyze_single_token_requests_report_zero_tpot():
     res = analyze_trace(tracer.events)
     assert res["tpot_s"] == report.to_dict()["tpot_s"]
     assert res["tpot_s"]["max"] == 0.0
+
+
+# ---------------------------------------------------------------------------
+# 5. milo analyze edge traces (PR 10)
+# ---------------------------------------------------------------------------
+
+
+DISAGG_CONFIG = dict(
+    devices=3, prefill_devices=1, decode_devices=2,
+    kv_policy="ondemand", block_size=8, max_batch_size=1000,
+)
+DISAGG_WORKLOAD = dict(num_requests=35, qps=60.0, seed=44, mean_new_tokens=96)
+
+
+def run_traced_small_pools(config_kwargs, workload_kwargs, *, num_blocks=40, **overrides):
+    config = EngineConfig(**{**config_kwargs, **overrides})
+    engine = ServingEngine(MiLoBackend(), "mixtral-8x7b", config)
+    for pool in engine.block_manager.pools:
+        pool.num_blocks = num_blocks
+    tracer = Tracer()
+    engine.enable_telemetry(tracer=tracer)
+    report = engine.run(poisson_workload(**workload_kwargs))
+    return report, tracer
+
+
+def test_analyze_empty_trace_is_all_zero():
+    """An empty event stream (a run that served nothing) summarizes cleanly
+    instead of crashing: zero counters, null latency summaries, no migration
+    section."""
+    res = analyze_trace([])
+    assert res["sim_time_s"] == 0.0
+    assert res["iterations"] == 0
+    assert res["requests"] == {
+        "submitted": 0, "finished": 0, "rejected": 0,
+        "preempted_requests": 0, "preemptions": 0, "stranded": 0,
+    }
+    for section in ("ttft_s", "tpot_s", "e2e_s"):
+        assert res[section] == {"p50": None, "p95": None, "mean": None, "max": None}
+    for phase in ("queued", "prefill", "decode"):
+        assert res["phases"][phase]["total_s"] == 0
+        assert res["phases"][phase]["share"] == 0.0
+    assert "migration" not in res
+    assert res["kv"] == {"min_free_blocks": None, "cow_copies": 0, "grow_blocks": 0}
+
+
+def test_analyze_only_rejected_trace():
+    """A trace where every request was shed at admission: finished stays 0,
+    latency summaries stay null, rejected counts every shed."""
+    from repro.serving.request import Request, Sequence
+
+    tracer = Tracer()
+    for rid in range(5):
+        request = Request(
+            rid, arrival_time=rid * 0.1, prompt_tokens=16, max_new_tokens=8
+        )
+        tracer.submit(request)
+        tracer.reject(Sequence(request), rid * 0.1)
+    res = analyze_trace(tracer.events)
+    assert res["requests"]["submitted"] == 5
+    assert res["requests"]["rejected"] == 5
+    assert res["requests"]["finished"] == 0
+    assert res["ttft_s"]["p50"] is None
+    assert res["e2e_s"]["mean"] is None
+    # The Chrome export of the same stream validates too (instant events
+    # only, no spans).
+    validate_chrome_trace(chrome_trace(tracer))
+
+
+def test_analyze_handoff_and_migration_spans_float_for_float():
+    """The migration section reproduces the engine's stall accounting
+    *exactly* — summed from the per-event ``s`` floats, not recomputed."""
+    report, tracer = run_traced_small_pools(DISAGG_CONFIG, DISAGG_WORKLOAD)
+    res = analyze_trace(tracer.events, meta=tracer.meta)
+    migration = report.to_dict()["migration"]
+    handoffs = [e for e in tracer.events if e["kind"] == "handoff"]
+    rebalances = [e for e in tracer.events if e["kind"] == "migrate"]
+    assert handoffs, "workload must actually exercise handoffs"
+    assert res["migration"]["handoffs"] == migration["handoffs"] == len(handoffs)
+    assert res["migration"]["handoff_s"] == migration["handoff_s"]
+    assert res["migration"]["handoff_s"] == sum(e["s"] for e in handoffs)
+    assert res["migration"]["handoff_blocks"] == sum(e["blocks"] for e in handoffs)
+    assert res["migration"]["rebalances"] == migration["rebalances"] == len(rebalances)
+    assert res["migration"]["rebalance_s"] == migration["rebalance_s"]
+    assert res["migration"]["rebalance_s"] == sum(e["s"] for e in rebalances)
+    # Every span is well-formed: t1 - t0 equals the priced stall exactly as
+    # the engine computed it (t1 = t0 + s by construction).
+    for event in handoffs + rebalances:
+        assert event["t1"] == event["t0"] + event["s"]
+        assert event["blocks"] > 0
+
+
+def test_analyze_swap_spans_float_for_float():
+    report, tracer = run_traced_small_pools(
+        DISAGG_CONFIG, DISAGG_WORKLOAD, preempt_mode="swap"
+    )
+    res = analyze_trace(tracer.events, meta=tracer.meta)
+    migration = report.to_dict()["migration"]
+    outs = [e for e in tracer.events if e["kind"] == "swap" and e["op"] == "out"]
+    ins = [e for e in tracer.events if e["kind"] == "swap" and e["op"] == "in"]
+    assert outs, "workload must actually exercise swap preemption"
+    assert res["migration"]["swaps"] == migration["swaps"] == len(outs)
+    assert res["migration"]["swapped_blocks"] == sum(e["blocks"] for e in outs)
+    assert res["migration"]["swap_in_s"] == migration["swap_in_s"]
+    assert res["migration"]["swap_in_s"] == sum(e["s"] for e in ins)
+    # Chrome export of a swap/handoff-bearing stream stays schema-valid.
+    validate_chrome_trace(chrome_trace(tracer))
+
+
+def test_analyze_colocated_trace_has_no_migration_section():
+    """Colocated recompute traces predate PR 10 conceptually: analyze must
+    not invent a migration section for them."""
+    _, tracer, _ = run_traced(CONFIGS["cluster"], WORKLOADS["mixed"])
+    res = analyze_trace(tracer.events, meta=tracer.meta)
+    assert "migration" not in res
